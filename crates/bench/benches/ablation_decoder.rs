@@ -1,0 +1,67 @@
+//! Criterion bench: decoder-speed side of the MWPM vs union-find trade-off
+//! (the quality side is `cargo run --bin ablation_quality`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use radqec_circuit::ShotRecord;
+use radqec_core::codes::{QecCode, XxzzCode};
+use radqec_core::decoder::{Decoder, MwpmDecoder, UnionFindDecoder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+/// Synthetic worst-ish-case syndromes: each primary stabilizer bit flipped
+/// independently with the given rate in both rounds.
+fn synthetic_shots(code: &radqec_core::codes::CodeCircuit, rate: f64, n: usize) -> Vec<ShotRecord> {
+    let mut rng = StdRng::seed_from_u64(11);
+    (0..n)
+        .map(|_| {
+            let mut shot = ShotRecord::new(code.circuit.num_clbits());
+            for s in code.primary_stabilizers() {
+                if rng.gen_bool(rate) {
+                    shot.set(s.cbit_round1, true);
+                }
+                if rng.gen_bool(rate) {
+                    shot.set(s.cbit_round2, true);
+                }
+            }
+            shot.set(code.readout_cbit, true);
+            shot
+        })
+        .collect()
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_decoder");
+    let code = XxzzCode::new(5, 5).build();
+    let mwpm = MwpmDecoder::new(&code);
+    let uf = UnionFindDecoder::new(&code);
+    for &rate in &[0.05f64, 0.2, 0.5] {
+        let shots = synthetic_shots(&code, rate, 32);
+        group.bench_with_input(
+            BenchmarkId::new("mwpm", format!("rate{rate}")),
+            &(),
+            |b, _| {
+                b.iter(|| {
+                    for s in &shots {
+                        black_box(mwpm.decode(s));
+                    }
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("union_find", format!("rate{rate}")),
+            &(),
+            |b, _| {
+                b.iter(|| {
+                    for s in &shots {
+                        black_box(uf.decode(s));
+                    }
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

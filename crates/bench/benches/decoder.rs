@@ -1,0 +1,57 @@
+//! Criterion bench: end-to-end MWPM and union-find decode latency per shot
+//! on realistic syndromes (noisy shots of the paper's codes).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use radqec_circuit::ShotRecord;
+use radqec_core::codes::{CodeSpec, RepetitionCode, XxzzCode};
+use radqec_core::decoder::{Decoder, MwpmDecoder, UnionFindDecoder};
+use radqec_noise::{run_noisy_shot, ActiveFault, NoiseSpec};
+use radqec_stabilizer::StabilizerBackend;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn sample_shots(spec: CodeSpec, count: usize) -> (Vec<ShotRecord>, MwpmDecoder, UnionFindDecoder) {
+    let code = spec.build();
+    let mwpm = MwpmDecoder::new(&code);
+    let uf = UnionFindDecoder::new(&code);
+    let mut rng = StdRng::seed_from_u64(3);
+    let noise = NoiseSpec::depolarizing(0.03);
+    let fault = ActiveFault::none(code.total_qubits() as usize);
+    let shots = (0..count)
+        .map(|_| {
+            let mut backend = StabilizerBackend::new(code.total_qubits());
+            run_noisy_shot(&code.circuit, &mut backend, &noise, &fault, &mut rng)
+        })
+        .collect();
+    (shots, mwpm, uf)
+}
+
+fn bench_decoders(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decode");
+    for (name, spec) in [
+        ("rep15", CodeSpec::from(RepetitionCode::bit_flip(15))),
+        ("xxzz33", CodeSpec::from(XxzzCode::new(3, 3))),
+        ("xxzz55", CodeSpec::from(XxzzCode::new(5, 5))),
+    ] {
+        let (shots, mwpm, uf) = sample_shots(spec, 64);
+        group.bench_with_input(BenchmarkId::new("mwpm", name), &(), |b, _| {
+            b.iter(|| {
+                for s in &shots {
+                    black_box(mwpm.decode(s));
+                }
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("union_find", name), &(), |b, _| {
+            b.iter(|| {
+                for s in &shots {
+                    black_box(uf.decode(s));
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_decoders);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion bench: blossom maximum-weight matching vs. defect count, and
+//! the exact-DP oracle for comparison at small sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use radqec_matching::{
+    max_weight_matching, min_weight_perfect_matching, min_weight_perfect_matching_dp,
+    WeightedEdge,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn complete_graph(n: usize, seed: u64) -> Vec<WeightedEdge> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::new();
+    for a in 0..n as u32 {
+        for b in a + 1..n as u32 {
+            edges.push((a, b, rng.gen_range(1..100)));
+        }
+    }
+    edges
+}
+
+fn bench_blossom(c: &mut Criterion) {
+    let mut group = c.benchmark_group("blossom");
+    for &n in &[8usize, 16, 32, 64] {
+        let edges = complete_graph(n, 42);
+        group.bench_with_input(BenchmarkId::new("max_weight", n), &n, |b, &n| {
+            b.iter(|| black_box(max_weight_matching(n, &edges, false)));
+        });
+        group.bench_with_input(BenchmarkId::new("mwpm", n), &n, |b, &n| {
+            b.iter(|| black_box(min_weight_perfect_matching(n, &edges)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_dp_oracle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dp_oracle");
+    for &n in &[8usize, 12, 16] {
+        let edges = complete_graph(n, 7);
+        group.bench_with_input(BenchmarkId::new("dp", n), &n, |b, &n| {
+            b.iter(|| black_box(min_weight_perfect_matching_dp(n, &edges)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_blossom, bench_dp_oracle);
+criterion_main!(benches);

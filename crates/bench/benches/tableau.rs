@@ -1,0 +1,52 @@
+//! Criterion bench: CHP tableau gate and measurement throughput across the
+//! device sizes used in the paper (10 = rep-5, 30 = 5×6 mesh, 65 = Brooklyn).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use radqec_stabilizer::Tableau;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_gates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tableau_gates");
+    for &n in &[10usize, 30, 65] {
+        group.bench_with_input(BenchmarkId::new("h_cx_layer", n), &n, |b, &n| {
+            let mut t = Tableau::new(n);
+            b.iter(|| {
+                for q in 0..n {
+                    t.h(q);
+                }
+                for q in 0..n - 1 {
+                    t.cx(q, q + 1);
+                }
+                black_box(&t);
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_measure(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tableau_measure");
+    for &n in &[10usize, 30, 65] {
+        group.bench_with_input(BenchmarkId::new("ghz_measure_all", n), &n, |b, &n| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| {
+                let mut t = Tableau::new(n);
+                t.h(0);
+                for q in 1..n {
+                    t.cx(q - 1, q);
+                }
+                let mut acc = false;
+                for q in 0..n {
+                    acc ^= t.measure(q, &mut rng);
+                }
+                black_box(acc)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gates, bench_measure);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Ablation: decoder quality (MWPM vs union-find) under radiation faults.
+//!
+//! The paper selects MWPM for its accuracy/time trade-off (Sec. II-D) and
+//! cites union-find as the almost-linear-time alternative. This binary
+//! quantifies the accuracy side: logical error of both decoders on the same
+//! injected workloads. `--shots N` (default 300), `--seed N`.
+
+use radqec_bench::{arg_flag, header, pct};
+use radqec_core::codes::{CodeSpec, RepetitionCode, XxzzCode};
+use radqec_core::decoder::DecoderKind;
+use radqec_core::injection::InjectionEngine;
+use radqec_noise::{FaultSpec, NoiseSpec, RadiationModel};
+
+fn main() {
+    let shots: usize = arg_flag("shots", 300);
+    let seed: u64 = arg_flag("seed", 0xAB1);
+    header("Ablation — MWPM vs union-find decoder under radiation");
+    println!(
+        "{:>10} {:>10} {:>12} {:>12}",
+        "code", "fault", "mwpm", "union-find"
+    );
+    for spec in [
+        CodeSpec::from(RepetitionCode::bit_flip(5)),
+        CodeSpec::from(RepetitionCode::bit_flip(11)),
+        CodeSpec::from(XxzzCode::new(3, 3)),
+    ] {
+        let mut rates = Vec::new();
+        for kind in [DecoderKind::Mwpm, DecoderKind::UnionFind] {
+            let engine = InjectionEngine::builder(spec)
+                .decoder(kind)
+                .shots(shots)
+                .seed(seed)
+                .build();
+            let baseline =
+                engine.logical_error_at_sample(&FaultSpec::None, &NoiseSpec::paper_default(), 0);
+            let strike = FaultSpec::RadiationAtImpact {
+                model: RadiationModel::default(),
+                root: 2,
+            };
+            let hit = engine.logical_error_at_sample(&strike, &NoiseSpec::paper_default(), 0);
+            rates.push((baseline, hit));
+        }
+        println!(
+            "{:>10} {:>10} {:>12} {:>12}",
+            spec.name(),
+            "none",
+            pct(rates[0].0),
+            pct(rates[1].0)
+        );
+        println!(
+            "{:>10} {:>10} {:>12} {:>12}",
+            spec.name(),
+            "radiation",
+            pct(rates[0].1),
+            pct(rates[1].1)
+        );
+    }
+}

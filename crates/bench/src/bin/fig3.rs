@@ -1,0 +1,27 @@
+//! Paper Figure 3: intensity of the radiation-induced fault according to
+//! time — the temporal decay T(t) = e^(−10·t) and its n_s = 10 sample
+//! staircase T̂(t).
+
+use radqec_bench::bar;
+use radqec_core::experiments::fig3_series;
+use radqec_noise::RadiationModel;
+
+fn main() {
+    let model = RadiationModel::default();
+    radqec_bench::header("Fig. 3 — temporal decay T(t) and step function T̂(t)");
+    println!("{:>6} {:>10} {:>10}  plot (T̂)", "t", "T(t)", "T̂(t)");
+    for p in fig3_series(&model, 41) {
+        println!(
+            "{:6.3} {:10.6} {:10.6}  {}",
+            p.t,
+            p.continuous,
+            p.stepped,
+            bar(p.stepped, 1.0, 40)
+        );
+    }
+    println!("\ncsv:");
+    println!("t,T,That");
+    for p in fig3_series(&model, 101) {
+        println!("{:.4},{:.6},{:.6}", p.t, p.continuous, p.stepped);
+    }
+}

@@ -1,0 +1,37 @@
+//! Paper Figure 4: intensity of the radiation-induced fault according to
+//! distance — the spatial damping S(d) = 1/(d+1)² around an impact at the
+//! centre of a 21×21 lattice (graph distance on the mesh).
+
+use radqec_core::experiments::fig4_grid;
+
+fn main() {
+    radqec_bench::header("Fig. 4 — spatial decay S(d) on a 21x21 lattice (impact at centre)");
+    let grid = fig4_grid(10, 1.0);
+    // Terminal heatmap: log-bucket glyphs.
+    for row in &grid {
+        let line: String = row
+            .iter()
+            .map(|&v| {
+                if v >= 0.5 {
+                    '@'
+                } else if v >= 0.1 {
+                    '#'
+                } else if v >= 0.03 {
+                    '+'
+                } else if v >= 0.01 {
+                    '.'
+                } else {
+                    ' '
+                }
+            })
+            .collect();
+        println!("{line}");
+    }
+    println!("\nlegend: @ >=50%  # >=10%  + >=3%  . >=1%");
+    println!("\ncsv (row,col,injection_probability):");
+    for (r, row) in grid.iter().enumerate() {
+        for (c, &v) in row.iter().enumerate() {
+            println!("{},{},{:.6}", r as i32 - 10, c as i32 - 10, v);
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! Paper Figure 7: impact of fault spread — logical error from k
+//! simultaneously erased qubits (connected subgraphs) vs. the reference
+//! line of a single spreading radiation fault at impact time.
+//!
+//! Panel (a): repetition-(15,1); panel (b): XXZZ-(3,3).
+//! `--shots N` (default 250), `--seed N`, `--subgraphs N` (default 12).
+
+use radqec_bench::{arg_flag, bar, header, pct};
+use radqec_core::codes::{CodeSpec, RepetitionCode, XxzzCode};
+use radqec_core::experiments::{run_fig7, Fig7Config};
+
+fn run_panel(code: CodeSpec, shots: usize, seed: u64, subgraphs: usize) {
+    let mut cfg = Fig7Config::new(code);
+    cfg.shots = shots;
+    cfg.seed = seed;
+    cfg.subgraphs_per_size = subgraphs;
+    let res = run_fig7(&cfg);
+    header(&format!(
+        "Fig. 7 — {} ({} shots, {} subgraphs/size)",
+        res.code_name, shots, subgraphs
+    ));
+    println!(
+        "radiation reference (single spreading fault @ t=0): {}",
+        pct(res.radiation_reference)
+    );
+    println!("{:>10} {:>8}  plot (| = radiation reference)", "corrupted", "median");
+    for row in &res.rows {
+        let mut plot = bar(row.median_logic_error, 1.0, 50);
+        let marker = ((res.radiation_reference) * 50.0) as usize;
+        if marker < plot.len() {
+            let mut chars: Vec<char> = plot.chars().collect();
+            chars[marker] = '|';
+            plot = chars.into_iter().collect();
+        }
+        println!("{:>10} {:>8}  {}", row.corrupted_qubits, pct(row.median_logic_error), plot);
+    }
+    match res.crossover_size() {
+        Some(k) => println!("crossover: erasures exceed the radiation fault at k = {k}"),
+        None => println!("crossover: not reached"),
+    }
+    println!("\ncsv:\n{}", res.to_csv());
+}
+
+fn main() {
+    let shots: usize = arg_flag("shots", 250);
+    let seed: u64 = arg_flag("seed", 0x717);
+    let subgraphs: usize = arg_flag("subgraphs", 12);
+    run_panel(RepetitionCode::bit_flip(15).into(), shots, seed, subgraphs);
+    run_panel(XxzzCode::new(3, 3).into(), shots, seed, subgraphs);
+}

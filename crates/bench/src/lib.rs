@@ -1,0 +1,84 @@
+//! # radqec-bench
+//!
+//! Benchmark harness for the `radqec` reproduction:
+//!
+//! * one **binary per paper artefact** (`fig1_fig2` … `fig8`, plus the
+//!   ablation binaries) that regenerates the corresponding figure's series
+//!   and prints it as a table/CSV — see `DESIGN.md` §4 for the index;
+//! * **criterion benches** (`cargo bench`) for the performance-critical
+//!   substrates: tableau simulator, blossom matching, decoders, transpiler
+//!   and the end-to-end injection engine.
+//!
+//! Every binary accepts `--shots N` and `--seed N`; defaults are
+//! laptop-friendly. Absolute numbers need larger budgets (the paper used
+//! 400M injections); shapes are stable at the defaults.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Parse `--name value` or `--name=value` from `std::env::args`, falling
+/// back to `default`.
+pub fn arg_flag<T: std::str::FromStr>(name: &str, default: T) -> T {
+    let args: Vec<String> = std::env::args().collect();
+    let key = format!("--{name}");
+    for i in 0..args.len() {
+        if args[i] == key {
+            if let Some(v) = args.get(i + 1) {
+                if let Ok(parsed) = v.parse::<T>() {
+                    return parsed;
+                }
+                eprintln!("warning: could not parse {key} {v}, using default");
+            }
+        } else if let Some(rest) = args[i].strip_prefix(&format!("{key}=")) {
+            if let Ok(parsed) = rest.parse::<T>() {
+                return parsed;
+            }
+            eprintln!("warning: could not parse {key}={rest}, using default");
+        }
+    }
+    default
+}
+
+/// Render a probability as a percentage with one decimal, e.g. `12.3%`.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", 100.0 * x)
+}
+
+/// Render a fixed-width horizontal bar for terminal "plots".
+pub fn bar(x: f64, scale: f64, width: usize) -> String {
+    let filled = ((x / scale) * width as f64).round().clamp(0.0, width as f64) as usize;
+    let mut s = String::with_capacity(width);
+    for i in 0..width {
+        s.push(if i < filled { '█' } else { '·' });
+    }
+    s
+}
+
+/// Print a section header in the style used by all figure binaries.
+pub fn header(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.1234), "12.3%");
+        assert_eq!(pct(0.0), "0.0%");
+        assert_eq!(pct(1.0), "100.0%");
+    }
+
+    #[test]
+    fn bar_clamps() {
+        assert_eq!(bar(0.5, 1.0, 4), "██··");
+        assert_eq!(bar(2.0, 1.0, 4), "████");
+        assert_eq!(bar(-1.0, 1.0, 4), "····");
+    }
+
+    #[test]
+    fn arg_flag_default_used_without_flag() {
+        assert_eq!(arg_flag("definitely-not-passed", 42usize), 42);
+    }
+}

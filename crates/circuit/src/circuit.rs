@@ -1,0 +1,346 @@
+//! The [`Circuit`] container: an ordered list of [`Gate`]s over a qubit and
+//! classical-bit register, with the builder, composition and rewriting
+//! operations the code generators and the transpiler need.
+
+use crate::gate::{Clbit, Gate, Qubit};
+
+/// An ordered quantum circuit over `num_qubits` qubits and `num_clbits`
+/// classical bits.
+///
+/// This is the single IR shared by the code generators (`radqec-core`), the
+/// transpiler (`radqec-transpiler`), the noise executor (`radqec-noise`) and
+/// both simulator backends.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Circuit {
+    num_qubits: u32,
+    num_clbits: u32,
+    ops: Vec<Gate>,
+}
+
+impl Circuit {
+    /// An empty circuit with the given register sizes.
+    pub fn new(num_qubits: u32, num_clbits: u32) -> Self {
+        Circuit { num_qubits, num_clbits, ops: Vec::new() }
+    }
+
+    /// Number of qubits in the register.
+    #[inline]
+    pub fn num_qubits(&self) -> u32 {
+        self.num_qubits
+    }
+
+    /// Number of classical bits in the register.
+    #[inline]
+    pub fn num_clbits(&self) -> u32 {
+        self.num_clbits
+    }
+
+    /// The operations, in execution order.
+    #[inline]
+    pub fn ops(&self) -> &[Gate] {
+        &self.ops
+    }
+
+    /// Number of operations (including barriers).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True when the circuit has no operations.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Append a raw gate, validating its indices against the registers.
+    ///
+    /// # Panics
+    /// Panics if a qubit/clbit index is out of range, or if a two-qubit gate
+    /// addresses the same qubit twice.
+    pub fn push(&mut self, gate: Gate) {
+        for &q in gate.qubits().as_slice() {
+            assert!(q < self.num_qubits, "qubit {q} out of range (n={})", self.num_qubits);
+        }
+        if let Gate::Measure { cbit, .. } = gate {
+            assert!(cbit < self.num_clbits, "clbit {cbit} out of range (n={})", self.num_clbits);
+        }
+        let qs = gate.qubits();
+        if qs.len() == 2 {
+            assert_ne!(qs[0], qs[1], "two-qubit gate with duplicated qubit {}", qs[0]);
+        }
+        self.ops.push(gate);
+    }
+
+    // --- fluent builder helpers -------------------------------------------------
+
+    /// Append a Pauli X.
+    pub fn x(&mut self, q: Qubit) -> &mut Self {
+        self.push(Gate::X(q));
+        self
+    }
+    /// Append a Pauli Y.
+    pub fn y(&mut self, q: Qubit) -> &mut Self {
+        self.push(Gate::Y(q));
+        self
+    }
+    /// Append a Pauli Z.
+    pub fn z(&mut self, q: Qubit) -> &mut Self {
+        self.push(Gate::Z(q));
+        self
+    }
+    /// Append a Hadamard.
+    pub fn h(&mut self, q: Qubit) -> &mut Self {
+        self.push(Gate::H(q));
+        self
+    }
+    /// Append an S gate.
+    pub fn s(&mut self, q: Qubit) -> &mut Self {
+        self.push(Gate::S(q));
+        self
+    }
+    /// Append an S† gate.
+    pub fn sdg(&mut self, q: Qubit) -> &mut Self {
+        self.push(Gate::Sdg(q));
+        self
+    }
+    /// Append a CX (CNOT).
+    pub fn cx(&mut self, control: Qubit, target: Qubit) -> &mut Self {
+        self.push(Gate::Cx { control, target });
+        self
+    }
+    /// Append a CZ.
+    pub fn cz(&mut self, a: Qubit, b: Qubit) -> &mut Self {
+        self.push(Gate::Cz { a, b });
+        self
+    }
+    /// Append a SWAP.
+    pub fn swap(&mut self, a: Qubit, b: Qubit) -> &mut Self {
+        self.push(Gate::Swap { a, b });
+        self
+    }
+    /// Append a Z-basis measurement.
+    pub fn measure(&mut self, qubit: Qubit, cbit: Clbit) -> &mut Self {
+        self.push(Gate::Measure { qubit, cbit });
+        self
+    }
+    /// Append a reset to |0⟩.
+    pub fn reset(&mut self, q: Qubit) -> &mut Self {
+        self.push(Gate::Reset(q));
+        self
+    }
+    /// Append a barrier.
+    pub fn barrier(&mut self) -> &mut Self {
+        self.push(Gate::Barrier);
+        self
+    }
+
+    // --- statistics -------------------------------------------------------------
+
+    /// Count of operations excluding barriers.
+    pub fn gate_count(&self) -> usize {
+        self.ops.iter().filter(|g| !matches!(g, Gate::Barrier)).count()
+    }
+
+    /// Count of two-qubit gates (CX/CZ/SWAP).
+    pub fn two_qubit_gate_count(&self) -> usize {
+        self.ops.iter().filter(|g| g.is_two_qubit()).count()
+    }
+
+    /// Count of a specific gate kind by mnemonic name.
+    pub fn count_by_name(&self, name: &str) -> usize {
+        self.ops.iter().filter(|g| g.name() == name).count()
+    }
+
+    /// Circuit depth: length of the longest chain of operations that share
+    /// qubits, barriers synchronising all qubits. Measure/reset count as
+    /// depth-1 operations on their qubit.
+    pub fn depth(&self) -> usize {
+        let mut level = vec![0usize; self.num_qubits as usize];
+        let mut barrier_level = 0usize;
+        for g in &self.ops {
+            if matches!(g, Gate::Barrier) {
+                barrier_level = level.iter().copied().max().unwrap_or(0).max(barrier_level);
+                level.fill(barrier_level);
+                continue;
+            }
+            let qs = g.qubits();
+            let next = qs
+                .as_slice()
+                .iter()
+                .map(|&q| level[q as usize])
+                .max()
+                .unwrap_or(0)
+                + 1;
+            for &q in qs.as_slice() {
+                level[q as usize] = next;
+            }
+        }
+        level.into_iter().max().unwrap_or(0)
+    }
+
+    /// Set of qubits touched by at least one operation.
+    pub fn used_qubits(&self) -> Vec<Qubit> {
+        let mut used = vec![false; self.num_qubits as usize];
+        for g in &self.ops {
+            for &q in g.qubits().as_slice() {
+                used[q as usize] = true;
+            }
+        }
+        (0..self.num_qubits).filter(|&q| used[q as usize]).collect()
+    }
+
+    // --- rewriting ---------------------------------------------------------------
+
+    /// Append all operations of `other` (registers must be compatible).
+    ///
+    /// # Panics
+    /// Panics if `other` uses more qubits or clbits than `self` has.
+    pub fn extend_from(&mut self, other: &Circuit) {
+        assert!(other.num_qubits <= self.num_qubits, "composed circuit needs more qubits");
+        assert!(other.num_clbits <= self.num_clbits, "composed circuit needs more clbits");
+        self.ops.extend_from_slice(&other.ops);
+    }
+
+    /// A copy of this circuit with every qubit index rewritten through `map`
+    /// (a table of length `num_qubits`), onto a register of `new_num_qubits`.
+    ///
+    /// Used by the transpiler to apply an initial layout.
+    ///
+    /// # Panics
+    /// Panics if the map sends any used qubit out of range or is not injective
+    /// over used qubits of a two-qubit gate.
+    pub fn remap_qubits(&self, map: &[Qubit], new_num_qubits: u32) -> Circuit {
+        assert_eq!(map.len(), self.num_qubits as usize, "layout table has wrong length");
+        let mut out = Circuit::new(new_num_qubits, self.num_clbits);
+        for g in &self.ops {
+            out.push(g.map_qubits(|q| map[q as usize]));
+        }
+        out
+    }
+
+    /// Decompose every SWAP into 3 CX gates, leaving other gates untouched.
+    ///
+    /// Routed circuits pay the full gate-count cost of their SWAPs (this is
+    /// what drives the paper's Observation VIII about SWAP overhead).
+    pub fn decompose_swaps(&self) -> Circuit {
+        let mut out = Circuit::new(self.num_qubits, self.num_clbits);
+        for g in &self.ops {
+            if let Gate::Swap { a, b } = *g {
+                out.cx(a, b).cx(b, a).cx(a, b);
+            } else {
+                out.push(*g);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bell() -> Circuit {
+        let mut c = Circuit::new(2, 2);
+        c.h(0).cx(0, 1).measure(0, 0).measure(1, 1);
+        c
+    }
+
+    #[test]
+    fn builder_builds_in_order() {
+        let c = bell();
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.ops()[0], Gate::H(0));
+        assert_eq!(c.ops()[1], Gate::Cx { control: 0, target: 1 });
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn push_rejects_bad_qubit() {
+        let mut c = Circuit::new(2, 0);
+        c.x(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn push_rejects_bad_clbit() {
+        let mut c = Circuit::new(2, 1);
+        c.measure(0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicated qubit")]
+    fn push_rejects_duplicate_qubits() {
+        let mut c = Circuit::new(2, 0);
+        c.cx(1, 1);
+    }
+
+    #[test]
+    fn depth_counts_parallel_layers() {
+        let mut c = Circuit::new(3, 0);
+        c.h(0).h(1).h(2); // one layer
+        assert_eq!(c.depth(), 1);
+        c.cx(0, 1); // second layer on 0,1
+        assert_eq!(c.depth(), 2);
+        c.x(2); // still second layer for qubit 2
+        assert_eq!(c.depth(), 2);
+        c.cx(1, 2); // third layer
+        assert_eq!(c.depth(), 3);
+    }
+
+    #[test]
+    fn depth_with_barrier_synchronises() {
+        let mut c = Circuit::new(2, 0);
+        c.h(0).barrier().x(1);
+        // barrier forces x(1) after h(0)'s layer
+        assert_eq!(c.depth(), 2);
+    }
+
+    #[test]
+    fn gate_counts() {
+        let mut c = bell();
+        c.barrier();
+        c.swap(0, 1);
+        assert_eq!(c.gate_count(), 5);
+        assert_eq!(c.two_qubit_gate_count(), 2);
+        assert_eq!(c.count_by_name("measure"), 2);
+        assert_eq!(c.count_by_name("swap"), 1);
+    }
+
+    #[test]
+    fn used_qubits_reports_touched_only() {
+        let mut c = Circuit::new(5, 0);
+        c.h(1).cx(1, 3);
+        assert_eq!(c.used_qubits(), vec![1, 3]);
+    }
+
+    #[test]
+    fn remap_moves_gates() {
+        let c = bell();
+        let mapped = c.remap_qubits(&[4, 2], 5);
+        assert_eq!(mapped.ops()[0], Gate::H(4));
+        assert_eq!(mapped.ops()[1], Gate::Cx { control: 4, target: 2 });
+        assert_eq!(mapped.num_qubits(), 5);
+        // classical bits are untouched
+        assert_eq!(mapped.ops()[2], Gate::Measure { qubit: 4, cbit: 0 });
+    }
+
+    #[test]
+    fn decompose_swaps_produces_three_cx() {
+        let mut c = Circuit::new(2, 0);
+        c.swap(0, 1);
+        let d = c.decompose_swaps();
+        assert_eq!(d.len(), 3);
+        assert!(d.ops().iter().all(|g| matches!(g, Gate::Cx { .. })));
+        assert_eq!(d.count_by_name("swap"), 0);
+    }
+
+    #[test]
+    fn extend_from_appends() {
+        let mut a = Circuit::new(2, 2);
+        a.h(0);
+        let b = bell();
+        a.extend_from(&b);
+        assert_eq!(a.len(), 5);
+    }
+}

@@ -1,0 +1,219 @@
+//! Directed-acyclic-graph view of a circuit.
+//!
+//! The paper's Observation VII explains the per-qubit criticality gradient
+//! ("qubits used earlier in the gate sequence hurt more") by the number of
+//! *descendants* a qubit's first gate has in the circuit DAG: a fault on a
+//! qubit propagates along two-qubit gates to everything downstream. This
+//! module builds that DAG and computes the descendant/criticality metrics.
+
+use crate::circuit::Circuit;
+use crate::gate::{Gate, Qubit};
+
+/// One node of the circuit DAG: an operation index plus its dependencies.
+#[derive(Debug, Clone)]
+pub struct DagNode {
+    /// Index into `Circuit::ops()`.
+    pub op_index: usize,
+    /// The operation itself.
+    pub gate: Gate,
+    /// Direct predecessor node indices (previous op on each wire).
+    pub preds: Vec<usize>,
+    /// Direct successor node indices.
+    pub succs: Vec<usize>,
+}
+
+/// DAG over the non-barrier operations of a circuit.
+///
+/// Node indices are positions in [`CircuitDag::nodes`], which are in circuit
+/// (topological) order by construction.
+#[derive(Debug, Clone)]
+pub struct CircuitDag {
+    nodes: Vec<DagNode>,
+    num_qubits: u32,
+}
+
+impl CircuitDag {
+    /// Build the DAG of `circuit`. Barriers are treated as synchronisation
+    /// points: they create dependencies on all wires but are not nodes.
+    pub fn new(circuit: &Circuit) -> Self {
+        let n = circuit.num_qubits() as usize;
+        // Last node index seen on each qubit wire; None if untouched.
+        let mut last_on_wire: Vec<Option<usize>> = vec![None; n];
+        // After a barrier, every wire depends on all prior wire heads.
+        let mut barrier_heads: Vec<usize> = Vec::new();
+        let mut nodes: Vec<DagNode> = Vec::new();
+
+        for (op_index, &gate) in circuit.ops().iter().enumerate() {
+            if matches!(gate, Gate::Barrier) {
+                barrier_heads = last_on_wire.iter().flatten().copied().collect();
+                continue;
+            }
+            let idx = nodes.len();
+            let mut preds: Vec<usize> = Vec::new();
+            for &q in gate.qubits().as_slice() {
+                if let Some(p) = last_on_wire[q as usize] {
+                    if !preds.contains(&p) {
+                        preds.push(p);
+                    }
+                } else {
+                    // First op on this wire after a barrier depends on barrier heads.
+                    for &p in &barrier_heads {
+                        if !preds.contains(&p) {
+                            preds.push(p);
+                        }
+                    }
+                }
+                last_on_wire[q as usize] = Some(idx);
+            }
+            for &p in &preds {
+                nodes[p].succs.push(idx);
+            }
+            nodes.push(DagNode { op_index, gate, preds, succs: Vec::new() });
+        }
+        CircuitDag { nodes, num_qubits: circuit.num_qubits() }
+    }
+
+    /// The DAG nodes in topological (circuit) order.
+    pub fn nodes(&self) -> &[DagNode] {
+        &self.nodes
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the DAG has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Number of distinct descendants of node `idx` (excluding itself).
+    pub fn descendant_count(&self, idx: usize) -> usize {
+        let mut seen = vec![false; self.nodes.len()];
+        let mut stack = vec![idx];
+        let mut count = 0usize;
+        while let Some(v) = stack.pop() {
+            for &s in &self.nodes[v].succs {
+                if !seen[s] {
+                    seen[s] = true;
+                    count += 1;
+                    stack.push(s);
+                }
+            }
+        }
+        count
+    }
+
+    /// Index of the first node acting on `qubit`, if any.
+    pub fn first_node_on(&self, qubit: Qubit) -> Option<usize> {
+        self.nodes
+            .iter()
+            .position(|n| n.gate.qubits().as_slice().contains(&qubit))
+    }
+
+    /// Criticality of a qubit: the number of DAG descendants of the first
+    /// operation on that qubit. A radiation strike on a high-criticality
+    /// qubit can corrupt every downstream operation (Obs. VII).
+    pub fn qubit_criticality(&self, qubit: Qubit) -> usize {
+        match self.first_node_on(qubit) {
+            Some(idx) => self.descendant_count(idx) + 1,
+            None => 0,
+        }
+    }
+
+    /// Criticality for every qubit of the original circuit.
+    pub fn criticality_profile(&self) -> Vec<usize> {
+        (0..self.num_qubits).map(|q| self.qubit_criticality(q)).collect()
+    }
+
+    /// Longest path length (in nodes) — equals the gate depth of the circuit
+    /// restricted to non-barrier ops.
+    pub fn longest_path(&self) -> usize {
+        let mut dist = vec![0usize; self.nodes.len()];
+        let mut best = 0;
+        for v in 0..self.nodes.len() {
+            let d = self.nodes[v]
+                .preds
+                .iter()
+                .map(|&p| dist[p])
+                .max()
+                .unwrap_or(0)
+                + 1;
+            dist[v] = d;
+            best = best.max(d);
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_chain_has_linear_dag() {
+        let mut c = Circuit::new(1, 0);
+        c.h(0).x(0).z(0);
+        let dag = CircuitDag::new(&c);
+        assert_eq!(dag.len(), 3);
+        assert_eq!(dag.nodes()[0].succs, vec![1]);
+        assert_eq!(dag.nodes()[2].preds, vec![1]);
+        assert_eq!(dag.longest_path(), 3);
+        assert_eq!(dag.descendant_count(0), 2);
+    }
+
+    #[test]
+    fn parallel_wires_are_independent() {
+        let mut c = Circuit::new(2, 0);
+        c.h(0).h(1);
+        let dag = CircuitDag::new(&c);
+        assert!(dag.nodes()[0].succs.is_empty());
+        assert!(dag.nodes()[1].preds.is_empty());
+        assert_eq!(dag.longest_path(), 1);
+    }
+
+    #[test]
+    fn cx_joins_wires() {
+        let mut c = Circuit::new(2, 0);
+        c.h(0).x(1).cx(0, 1).z(1);
+        let dag = CircuitDag::new(&c);
+        // cx (node 2) depends on both h and x
+        let mut preds = dag.nodes()[2].preds.clone();
+        preds.sort_unstable();
+        assert_eq!(preds, vec![0, 1]);
+        // z (node 3) descends from everything
+        assert_eq!(dag.descendant_count(0), 2); // cx, z
+        assert_eq!(dag.qubit_criticality(0), 3);
+    }
+
+    #[test]
+    fn earlier_qubits_have_higher_criticality_in_a_cnot_ladder() {
+        // Ladder: cx(0,1), cx(1,2), cx(2,3): faults on qubit 0 reach everything.
+        let mut c = Circuit::new(4, 0);
+        c.cx(0, 1).cx(1, 2).cx(2, 3);
+        let dag = CircuitDag::new(&c);
+        let prof = dag.criticality_profile();
+        assert!(prof[0] >= prof[2], "{prof:?}");
+        assert!(prof[1] >= prof[3], "{prof:?}");
+        assert_eq!(prof[0], 3);
+        assert_eq!(prof[3], 1);
+    }
+
+    #[test]
+    fn barrier_creates_dependencies() {
+        let mut c = Circuit::new(2, 0);
+        c.h(0).barrier().x(1);
+        let dag = CircuitDag::new(&c);
+        // x(1) is the first op on wire 1 and must depend on the barrier head h(0)
+        assert_eq!(dag.nodes()[1].preds, vec![0]);
+    }
+
+    #[test]
+    fn untouched_qubit_has_zero_criticality() {
+        let mut c = Circuit::new(3, 0);
+        c.h(0);
+        let dag = CircuitDag::new(&c);
+        assert_eq!(dag.qubit_criticality(2), 0);
+    }
+}

@@ -1,0 +1,152 @@
+//! Plain-text rendering of circuits, in the spirit of the paper's Figures 1
+//! and 2 (circuit-diagram representations of the two codes).
+//!
+//! The renderer draws one row per qubit wire plus a classical summary row;
+//! it is deliberately simple (column per operation, no layer packing) so
+//! diagrams stay unambiguous in tests and documentation.
+
+use crate::circuit::Circuit;
+use crate::gate::Gate;
+use std::fmt::Write as _;
+
+/// Render `circuit` as ASCII art, with optional per-qubit labels.
+///
+/// `labels` must either be empty (default `q{i}` names are used) or have one
+/// entry per qubit.
+pub fn render(circuit: &Circuit, labels: &[String]) -> String {
+    let n = circuit.num_qubits() as usize;
+    assert!(labels.is_empty() || labels.len() == n, "need one label per qubit");
+    let names: Vec<String> = if labels.is_empty() {
+        (0..n).map(|i| format!("q{i}")).collect()
+    } else {
+        labels.to_vec()
+    };
+    let width = names.iter().map(|s| s.len()).max().unwrap_or(2);
+
+    // One cell column per op; each cell is 5 chars wide.
+    let mut rows: Vec<String> = names
+        .iter()
+        .map(|name| format!("{name:>width$}: "))
+        .collect();
+    let mut crow = format!("{:>width$}  ", "c");
+
+    for g in circuit.ops() {
+        let mut cells: Vec<&str> = vec!["─────"; n];
+        let mut owned: Vec<(usize, String)> = Vec::new();
+        let mut ccell = "     ".to_string();
+        match *g {
+            Gate::Barrier => {
+                for c in cells.iter_mut() {
+                    *c = "──░──";
+                }
+                ccell = "  ░  ".into();
+            }
+            Gate::Cx { control, target } => {
+                owned.push((control as usize, "──●──".into()));
+                owned.push((target as usize, "──⊕──".into()));
+            }
+            Gate::Cz { a, b } => {
+                owned.push((a as usize, "──●──".into()));
+                owned.push((b as usize, "──●──".into()));
+            }
+            Gate::Swap { a, b } => {
+                owned.push((a as usize, "──╳──".into()));
+                owned.push((b as usize, "──╳──".into()));
+            }
+            Gate::Measure { qubit, cbit } => {
+                owned.push((qubit as usize, "──M──".into()));
+                ccell = format!("═{cbit:^3}═");
+            }
+            Gate::Reset(q) => {
+                owned.push((q as usize, "─|0⟩─".into()));
+            }
+            ref g1 => {
+                let q = g1.qubits()[0] as usize;
+                let sym = match g1 {
+                    Gate::I(_) => "I",
+                    Gate::X(_) => "X",
+                    Gate::Y(_) => "Y",
+                    Gate::Z(_) => "Z",
+                    Gate::H(_) => "H",
+                    Gate::S(_) => "S",
+                    Gate::Sdg(_) => "S†",
+                    _ => unreachable!("two-qubit and non-unitary ops handled above"),
+                };
+                owned.push((q, format!("─[{sym}]─")));
+            }
+        }
+        for (q, cell) in &owned {
+            cells[*q] = cell;
+        }
+        for (i, row) in rows.iter_mut().enumerate() {
+            let _ = write!(row, "{}", cells[i]);
+        }
+        let _ = write!(crow, "{ccell}");
+    }
+
+    let mut out = String::new();
+    for row in rows {
+        out.push_str(&row);
+        out.push('\n');
+    }
+    if circuit.num_clbits() > 0 {
+        out.push_str(&crow);
+        out.push('\n');
+    }
+    out
+}
+
+/// Short single-line summary, e.g. `Circuit(10q, 9c, 42 ops, depth 17)`.
+pub fn summary(circuit: &Circuit) -> String {
+    format!(
+        "Circuit({}q, {}c, {} ops, depth {})",
+        circuit.num_qubits(),
+        circuit.num_clbits(),
+        circuit.gate_count(),
+        circuit.depth()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_contains_gate_markers() {
+        let mut c = Circuit::new(2, 1);
+        c.h(0).cx(0, 1).measure(1, 0);
+        let art = render(&c, &[]);
+        assert!(art.contains("[H]"), "{art}");
+        assert!(art.contains('●'), "{art}");
+        assert!(art.contains('⊕'), "{art}");
+        assert!(art.contains('M'), "{art}");
+        assert_eq!(art.lines().count(), 3); // 2 wires + classical row
+    }
+
+    #[test]
+    fn render_with_labels() {
+        let mut c = Circuit::new(2, 0);
+        c.reset(0).x(1);
+        let art = render(&c, &["data0".into(), "mz0".into()]);
+        assert!(art.contains("data0:"));
+        assert!(art.contains("mz0:"));
+        assert!(art.contains("|0⟩"));
+    }
+
+    #[test]
+    fn summary_format() {
+        let mut c = Circuit::new(3, 2);
+        c.h(0).cx(0, 1).measure(0, 0);
+        let s = summary(&c);
+        assert!(s.contains("3q"));
+        assert!(s.contains("2c"));
+        assert!(s.contains("3 ops"));
+    }
+
+    #[test]
+    #[should_panic(expected = "one label per qubit")]
+    fn label_count_is_checked() {
+        let c = Circuit::new(3, 0);
+        render(&c, &["a".into()]);
+    }
+}

@@ -1,0 +1,260 @@
+//! The gate set used throughout `radqec`.
+//!
+//! The paper's circuits (repetition and XXZZ surface codes, their noise and
+//! their radiation faults) are purely Clifford: H, S, Pauli gates, CX/CZ/SWAP,
+//! plus the non-unitary `Measure` and `Reset` operations. Keeping the gate
+//! set closed under Clifford operations is what makes the stabilizer backend
+//! an *exact* simulator for every experiment in the paper.
+
+/// Index of a qubit inside a [`crate::Circuit`].
+pub type Qubit = u32;
+
+/// Index of a classical bit inside a [`crate::Circuit`].
+pub type Clbit = u32;
+
+/// A single circuit operation.
+///
+/// Unitary variants are all Clifford. `Measure` projects a qubit in the
+/// computational (Z) basis and records the outcome in a classical bit.
+/// `Reset` projects and then re-initialises the qubit to |0⟩ — this is the
+/// non-unitary operation the radiation fault model injects (Sec. III-B of
+/// the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Gate {
+    /// Identity (used as an explicit scheduling placeholder).
+    I(Qubit),
+    /// Pauli X (bit flip).
+    X(Qubit),
+    /// Pauli Y.
+    Y(Qubit),
+    /// Pauli Z (phase flip).
+    Z(Qubit),
+    /// Hadamard.
+    H(Qubit),
+    /// Phase gate S = diag(1, i).
+    S(Qubit),
+    /// Inverse phase gate S† = diag(1, -i).
+    Sdg(Qubit),
+    /// Controlled-X with `control` and `target`.
+    Cx {
+        /// Control qubit.
+        control: Qubit,
+        /// Target qubit.
+        target: Qubit,
+    },
+    /// Controlled-Z (symmetric).
+    Cz {
+        /// First qubit.
+        a: Qubit,
+        /// Second qubit.
+        b: Qubit,
+    },
+    /// SWAP of two qubits.
+    Swap {
+        /// First qubit.
+        a: Qubit,
+        /// Second qubit.
+        b: Qubit,
+    },
+    /// Z-basis measurement of `qubit` into classical bit `cbit`.
+    Measure {
+        /// Measured qubit.
+        qubit: Qubit,
+        /// Destination classical bit.
+        cbit: Clbit,
+    },
+    /// Non-unitary reset of `qubit` to |0⟩.
+    Reset(Qubit),
+    /// Scheduling barrier; no effect on the state.
+    Barrier,
+}
+
+impl Gate {
+    /// The qubits this operation acts on, in a fixed-size buffer.
+    ///
+    /// Returns a slice of length 0 (barrier), 1 or 2.
+    #[inline]
+    pub fn qubits(&self) -> GateQubits {
+        match *self {
+            Gate::I(q)
+            | Gate::X(q)
+            | Gate::Y(q)
+            | Gate::Z(q)
+            | Gate::H(q)
+            | Gate::S(q)
+            | Gate::Sdg(q)
+            | Gate::Reset(q) => GateQubits::one(q),
+            Gate::Measure { qubit, .. } => GateQubits::one(qubit),
+            Gate::Cx { control, target } => GateQubits::two(control, target),
+            Gate::Cz { a, b } | Gate::Swap { a, b } => GateQubits::two(a, b),
+            Gate::Barrier => GateQubits::none(),
+        }
+    }
+
+    /// True for the unitary (Clifford) variants; false for measure/reset/barrier.
+    #[inline]
+    pub fn is_unitary(&self) -> bool {
+        !matches!(self, Gate::Measure { .. } | Gate::Reset(_) | Gate::Barrier)
+    }
+
+    /// True for two-qubit unitary gates (CX, CZ, SWAP).
+    #[inline]
+    pub fn is_two_qubit(&self) -> bool {
+        matches!(self, Gate::Cx { .. } | Gate::Cz { .. } | Gate::Swap { .. })
+    }
+
+    /// Short lowercase mnemonic, matching common OpenQASM names.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Gate::I(_) => "id",
+            Gate::X(_) => "x",
+            Gate::Y(_) => "y",
+            Gate::Z(_) => "z",
+            Gate::H(_) => "h",
+            Gate::S(_) => "s",
+            Gate::Sdg(_) => "sdg",
+            Gate::Cx { .. } => "cx",
+            Gate::Cz { .. } => "cz",
+            Gate::Swap { .. } => "swap",
+            Gate::Measure { .. } => "measure",
+            Gate::Reset(_) => "reset",
+            Gate::Barrier => "barrier",
+        }
+    }
+
+    /// Rewrite all qubit indices through `f`, leaving classical bits alone.
+    pub fn map_qubits(&self, mut f: impl FnMut(Qubit) -> Qubit) -> Gate {
+        match *self {
+            Gate::I(q) => Gate::I(f(q)),
+            Gate::X(q) => Gate::X(f(q)),
+            Gate::Y(q) => Gate::Y(f(q)),
+            Gate::Z(q) => Gate::Z(f(q)),
+            Gate::H(q) => Gate::H(f(q)),
+            Gate::S(q) => Gate::S(f(q)),
+            Gate::Sdg(q) => Gate::Sdg(f(q)),
+            Gate::Cx { control, target } => Gate::Cx { control: f(control), target: f(target) },
+            Gate::Cz { a, b } => Gate::Cz { a: f(a), b: f(b) },
+            Gate::Swap { a, b } => Gate::Swap { a: f(a), b: f(b) },
+            Gate::Measure { qubit, cbit } => Gate::Measure { qubit: f(qubit), cbit },
+            Gate::Reset(q) => Gate::Reset(f(q)),
+            Gate::Barrier => Gate::Barrier,
+        }
+    }
+}
+
+/// Small fixed-capacity container for the (at most two) qubits of a gate.
+///
+/// Avoids heap allocation on the hot path of noise injection, which walks
+/// the qubits of every gate of every shot.
+#[derive(Debug, Clone, Copy)]
+pub struct GateQubits {
+    buf: [Qubit; 2],
+    len: u8,
+}
+
+impl GateQubits {
+    #[inline]
+    fn none() -> Self {
+        GateQubits { buf: [0, 0], len: 0 }
+    }
+    #[inline]
+    fn one(q: Qubit) -> Self {
+        GateQubits { buf: [q, 0], len: 1 }
+    }
+    #[inline]
+    fn two(a: Qubit, b: Qubit) -> Self {
+        GateQubits { buf: [a, b], len: 2 }
+    }
+
+    /// View as a slice of length 0..=2.
+    #[inline]
+    pub fn as_slice(&self) -> &[Qubit] {
+        &self.buf[..self.len as usize]
+    }
+
+    /// Number of qubits (0, 1 or 2).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// True when the gate touches no qubits (barrier).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl std::ops::Deref for GateQubits {
+    type Target = [Qubit];
+    #[inline]
+    fn deref(&self) -> &[Qubit] {
+        self.as_slice()
+    }
+}
+
+impl<'a> IntoIterator for &'a GateQubits {
+    type Item = &'a Qubit;
+    type IntoIter = std::slice::Iter<'a, Qubit>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qubits_of_single_qubit_gates() {
+        for g in [Gate::X(3), Gate::Y(3), Gate::Z(3), Gate::H(3), Gate::S(3), Gate::Sdg(3), Gate::I(3), Gate::Reset(3)] {
+            assert_eq!(g.qubits().as_slice(), &[3]);
+            assert_eq!(g.qubits().len(), 1);
+        }
+    }
+
+    #[test]
+    fn qubits_of_two_qubit_gates() {
+        assert_eq!(Gate::Cx { control: 1, target: 2 }.qubits().as_slice(), &[1, 2]);
+        assert_eq!(Gate::Cz { a: 4, b: 0 }.qubits().as_slice(), &[4, 0]);
+        assert_eq!(Gate::Swap { a: 7, b: 9 }.qubits().as_slice(), &[7, 9]);
+    }
+
+    #[test]
+    fn qubits_of_measure_and_barrier() {
+        assert_eq!(Gate::Measure { qubit: 5, cbit: 1 }.qubits().as_slice(), &[5]);
+        assert!(Gate::Barrier.qubits().is_empty());
+    }
+
+    #[test]
+    fn unitary_classification() {
+        assert!(Gate::H(0).is_unitary());
+        assert!(Gate::Cx { control: 0, target: 1 }.is_unitary());
+        assert!(!Gate::Measure { qubit: 0, cbit: 0 }.is_unitary());
+        assert!(!Gate::Reset(0).is_unitary());
+        assert!(!Gate::Barrier.is_unitary());
+    }
+
+    #[test]
+    fn two_qubit_classification() {
+        assert!(Gate::Swap { a: 0, b: 1 }.is_two_qubit());
+        assert!(Gate::Cz { a: 0, b: 1 }.is_two_qubit());
+        assert!(!Gate::H(0).is_two_qubit());
+        assert!(!Gate::Measure { qubit: 0, cbit: 0 }.is_two_qubit());
+    }
+
+    #[test]
+    fn map_qubits_rewrites_indices() {
+        let g = Gate::Cx { control: 0, target: 1 }.map_qubits(|q| q + 10);
+        assert_eq!(g, Gate::Cx { control: 10, target: 11 });
+        let m = Gate::Measure { qubit: 2, cbit: 7 }.map_qubits(|q| q * 2);
+        assert_eq!(m, Gate::Measure { qubit: 4, cbit: 7 });
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(Gate::H(0).name(), "h");
+        assert_eq!(Gate::Cx { control: 0, target: 1 }.name(), "cx");
+        assert_eq!(Gate::Sdg(0).name(), "sdg");
+    }
+}

@@ -1,0 +1,233 @@
+//! The space-time detector graph a syndrome decoder works on.
+//!
+//! Nodes are (primary stabilizer, round) pairs plus one virtual boundary;
+//! edges are data qubits shared between stabilizer supports (space, weight
+//! 1), measurement repetitions (time, weight 1), and data qubits seen by a
+//! single stabilizer (boundary, weight 1). Each space/boundary edge is
+//! tagged with whether its data qubit lies on the logical readout chain, so
+//! a correction path knows whether it flips the raw readout.
+
+use crate::codes::CodeCircuit;
+
+/// A node of the detector graph: `layer * P + stab` for the two syndrome
+/// rounds, `2P` for the boundary.
+pub type DetectorNode = usize;
+
+/// Space-time defect graph for the primary syndrome family of a code.
+#[derive(Debug, Clone)]
+pub struct DetectorGraph {
+    primary_count: usize,
+    /// adj[v] = (neighbour, crosses_logical_readout).
+    adj: Vec<Vec<(u32, bool)>>,
+    /// All-pairs BFS distances.
+    dist: Vec<Vec<u32>>,
+    /// Crossing parity along one canonical shortest path.
+    parity: Vec<Vec<bool>>,
+}
+
+impl DetectorGraph {
+    /// Build the 2-round detector graph of `code`'s primary stabilizers.
+    pub fn new(code: &CodeCircuit) -> Self {
+        let p = code.primary_count;
+        let num_nodes = 2 * p + 1;
+        let boundary = 2 * p;
+        let mut adj: Vec<Vec<(u32, bool)>> = vec![Vec::new(); num_nodes];
+        let readout: std::collections::HashSet<u32> =
+            code.logical_readout_support.iter().copied().collect();
+
+        // Space and boundary edges, replicated per layer.
+        for &d in &code.data_qubits {
+            let owners: Vec<usize> = code
+                .primary_stabilizers()
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.support.contains(&d))
+                .map(|(i, _)| i)
+                .collect();
+            let crosses = readout.contains(&d);
+            match owners.len() {
+                0 => {} // invisible to the primary family (undecodable qubit)
+                1 => {
+                    for layer in 0..2 {
+                        let v = layer * p + owners[0];
+                        adj[v].push((boundary as u32, crosses));
+                        adj[boundary].push((v as u32, crosses));
+                    }
+                }
+                2 => {
+                    for layer in 0..2 {
+                        let (a, b) = (layer * p + owners[0], layer * p + owners[1]);
+                        adj[a].push((b as u32, crosses));
+                        adj[b].push((a as u32, crosses));
+                    }
+                }
+                n => unreachable!("data qubit {d} owned by {n} primary stabilizers"),
+            }
+        }
+        // Time edges between the two rounds of the same stabilizer.
+        for i in 0..p {
+            adj[i].push(((p + i) as u32, false));
+            adj[p + i].push((i as u32, false));
+        }
+
+        // APSP with crossing parity along the BFS-canonical shortest path.
+        let mut dist = vec![vec![u32::MAX; num_nodes]; num_nodes];
+        let mut parity = vec![vec![false; num_nodes]; num_nodes];
+        for src in 0..num_nodes {
+            let (d, par) = bfs(&adj, src);
+            dist[src] = d;
+            parity[src] = par;
+        }
+        DetectorGraph { primary_count: p, adj, dist, parity }
+    }
+
+    /// Number of primary stabilizers `P`.
+    pub fn primary_count(&self) -> usize {
+        self.primary_count
+    }
+
+    /// Node id of stabilizer `stab` in `round` (0 or 1).
+    #[inline]
+    pub fn node(&self, stab: usize, round: usize) -> DetectorNode {
+        debug_assert!(round < 2 && stab < self.primary_count);
+        round * self.primary_count + stab
+    }
+
+    /// The virtual boundary node.
+    #[inline]
+    pub fn boundary(&self) -> DetectorNode {
+        2 * self.primary_count
+    }
+
+    /// BFS distance between two nodes (u32::MAX = unreachable).
+    #[inline]
+    pub fn distance(&self, a: DetectorNode, b: DetectorNode) -> u32 {
+        self.dist[a][b]
+    }
+
+    /// Readout-crossing parity along the canonical shortest path `a → b`.
+    #[inline]
+    pub fn crossing_parity(&self, a: DetectorNode, b: DetectorNode) -> bool {
+        self.parity[a][b]
+    }
+
+    /// Adjacency of node `v` (for the union-find decoder and tests).
+    pub fn neighbors(&self, v: DetectorNode) -> &[(u32, bool)] {
+        &self.adj[v]
+    }
+
+    /// Total node count (including the boundary).
+    pub fn num_nodes(&self) -> usize {
+        self.adj.len()
+    }
+}
+
+fn bfs(adj: &[Vec<(u32, bool)>], src: usize) -> (Vec<u32>, Vec<bool>) {
+    let n = adj.len();
+    let mut dist = vec![u32::MAX; n];
+    let mut parity = vec![false; n];
+    dist[src] = 0;
+    let mut queue = std::collections::VecDeque::new();
+    queue.push_back(src);
+    while let Some(v) = queue.pop_front() {
+        for &(w, cross) in &adj[v] {
+            let w = w as usize;
+            if dist[w] == u32::MAX {
+                dist[w] = dist[v] + 1;
+                parity[w] = parity[v] ^ cross;
+                queue.push_back(w);
+            }
+        }
+    }
+    (dist, parity)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codes::{QecCode, RepetitionCode, XxzzCode};
+
+    #[test]
+    fn repetition_graph_is_a_ladder() {
+        // d=5: 4 stabs per layer; stab i and i+1 share data qubit i+1.
+        let code = RepetitionCode::bit_flip(5).build();
+        let g = DetectorGraph::new(&code);
+        assert_eq!(g.primary_count(), 4);
+        assert_eq!(g.num_nodes(), 9);
+        // neighbours in space
+        assert_eq!(g.distance(g.node(0, 0), g.node(1, 0)), 1);
+        // far ends may legitimately shortcut through the boundary node
+        // (equivalent to matching each defect to the boundary separately)
+        assert_eq!(g.distance(g.node(0, 0), g.node(3, 0)), 2);
+        assert_eq!(g.distance(g.node(1, 0), g.node(3, 0)), 2);
+        // time edge
+        assert_eq!(g.distance(g.node(2, 0), g.node(2, 1)), 1);
+        // boundary adjacency from the chain ends (data 0 and data 4)
+        assert_eq!(g.distance(g.node(0, 0), g.boundary()), 1);
+        assert_eq!(g.distance(g.node(3, 1), g.boundary()), 1);
+        // middle stabilizer reaches boundary in 2 (via either end)
+        assert_eq!(g.distance(g.node(1, 0), g.boundary()), 2);
+    }
+
+    #[test]
+    fn repetition_crossing_parity_counts_chain_qubits() {
+        // Readout support = {data 0}: only paths using data 0 cross.
+        let code = RepetitionCode::bit_flip(3).build();
+        let g = DetectorGraph::new(&code);
+        // stab0 -> boundary: BFS reaches it via data 0 or data 2 (both
+        // distance 1); the canonical path is the first adjacency entry,
+        // which is data 0 (crossing).
+        assert!(g.crossing_parity(g.node(0, 0), g.boundary()));
+        // stab0 -> stab1 via data 1 (no crossing)
+        assert!(!g.crossing_parity(g.node(0, 0), g.node(1, 0)));
+        // stab1 -> boundary via data 2 (no crossing)
+        assert!(!g.crossing_parity(g.node(1, 0), g.boundary()));
+        // time edge: no crossing
+        assert!(!g.crossing_parity(g.node(0, 0), g.node(0, 1)));
+    }
+
+    #[test]
+    fn xxzz_graph_connects_all_z_stabs_to_boundary() {
+        let code = XxzzCode::new(3, 3).build();
+        let g = DetectorGraph::new(&code);
+        assert_eq!(g.primary_count(), 4);
+        for i in 0..4 {
+            for layer in 0..2 {
+                let d = g.distance(g.node(i, layer), g.boundary());
+                assert!(d != u32::MAX && d <= 3, "stab {i} layer {layer}: {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn xxzz_readout_row_crossings() {
+        // Z̄ is row 0; matching a defect pair through row 0 must flip parity.
+        let code = XxzzCode::new(3, 3).build();
+        let g = DetectorGraph::new(&code);
+        // Each Z-stab containing a row-0 data qubit has a crossing edge
+        // either to the boundary or to a neighbour.
+        let row0: Vec<u32> = code.logical_readout_support.clone();
+        let mut crossing_edges = 0;
+        for v in 0..g.num_nodes() {
+            for &(_, cross) in g.neighbors(v) {
+                if cross {
+                    crossing_edges += 1;
+                }
+            }
+        }
+        assert!(crossing_edges > 0, "no crossing edges for row {row0:?}");
+    }
+
+    #[test]
+    fn parity_is_symmetric_enough_for_matching() {
+        // dist symmetric; parity along canonical path must agree both ways
+        // whenever paths are unique (ladder ends).
+        let code = RepetitionCode::bit_flip(7).build();
+        let g = DetectorGraph::new(&code);
+        for a in 0..g.num_nodes() {
+            for b in 0..g.num_nodes() {
+                assert_eq!(g.distance(a, b), g.distance(b, a));
+            }
+        }
+    }
+}

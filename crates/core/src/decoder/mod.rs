@@ -1,0 +1,48 @@
+//! Syndrome decoding (paper Sec. II-D).
+//!
+//! The primary decoder is [`MwpmDecoder`] (minimum-weight perfect matching,
+//! the paper's choice); [`UnionFindDecoder`] implements the cited
+//! alternative for ablation studies. Both operate on the same
+//! [`DetectorGraph`] and read only a shot's classical record, so they work
+//! identically on logical and transpiled circuits.
+
+mod graph;
+mod mwpm;
+mod union_find;
+
+pub use graph::{DetectorGraph, DetectorNode};
+pub use mwpm::MwpmDecoder;
+pub use union_find::UnionFindDecoder;
+
+use radqec_circuit::ShotRecord;
+
+/// A syndrome decoder: maps one shot's classical record to the corrected
+/// logical readout value.
+pub trait Decoder: Send + Sync {
+    /// Decode a shot. `true` = logical |1⟩ (the expected outcome of every
+    /// experiment circuit in the paper).
+    fn decode(&self, shot: &ShotRecord) -> bool;
+
+    /// Decoder display name.
+    fn name(&self) -> &str;
+}
+
+/// Which decoder the injection engine instantiates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DecoderKind {
+    /// Minimum-weight perfect matching (paper default).
+    #[default]
+    Mwpm,
+    /// Union-find (ablation alternative).
+    UnionFind,
+}
+
+impl DecoderKind {
+    /// Instantiate the decoder for `code`.
+    pub fn build(&self, code: &crate::codes::CodeCircuit) -> Box<dyn Decoder> {
+        match self {
+            DecoderKind::Mwpm => Box::new(MwpmDecoder::new(code)),
+            DecoderKind::UnionFind => Box::new(UnionFindDecoder::new(code)),
+        }
+    }
+}

@@ -1,0 +1,257 @@
+//! The minimum-weight perfect-matching decoder (paper Sec. II-D: "MWPM
+//! offers the better trade-off between high accuracy and low
+//! time-to-solution").
+
+use crate::codes::CodeCircuit;
+use crate::decoder::graph::DetectorGraph;
+use crate::decoder::Decoder;
+use radqec_circuit::ShotRecord;
+use radqec_matching::{match_defects, DefectMatch};
+
+/// Weight assigned to an unreachable pairing (effectively forbids it
+/// without overflowing the matcher's arithmetic).
+const UNREACHABLE: i64 = 1 << 30;
+
+/// MWPM decoder over a code's primary detector graph.
+#[derive(Debug, Clone)]
+pub struct MwpmDecoder {
+    graph: DetectorGraph,
+    cbits_round1: Vec<u32>,
+    cbits_round2: Vec<u32>,
+    readout_cbit: u32,
+    name: String,
+}
+
+impl MwpmDecoder {
+    /// Build the decoder for `code`. The decoder depends only on the code's
+    /// classical-register layout, so it works unchanged on transpiled
+    /// versions of the circuit.
+    pub fn new(code: &CodeCircuit) -> Self {
+        let graph = DetectorGraph::new(code);
+        MwpmDecoder {
+            graph,
+            cbits_round1: code.primary_stabilizers().iter().map(|s| s.cbit_round1).collect(),
+            cbits_round2: code.primary_stabilizers().iter().map(|s| s.cbit_round2).collect(),
+            readout_cbit: code.readout_cbit,
+            name: format!("mwpm[{}]", code.name),
+        }
+    }
+
+    /// The underlying detector graph.
+    pub fn graph(&self) -> &DetectorGraph {
+        &self.graph
+    }
+
+    /// Extract defect nodes from a shot: round-1 detectors fire when the
+    /// first syndrome deviates from the deterministic initial value (0),
+    /// round-2 detectors when the syndrome changes between rounds.
+    pub fn defects(&self, shot: &ShotRecord) -> Vec<usize> {
+        let mut defects = Vec::new();
+        for i in 0..self.graph.primary_count() {
+            let s1 = shot.get(self.cbits_round1[i]);
+            let s2 = shot.get(self.cbits_round2[i]);
+            if s1 {
+                defects.push(self.graph.node(i, 0));
+            }
+            if s1 != s2 {
+                defects.push(self.graph.node(i, 1));
+            }
+        }
+        defects
+    }
+
+    /// Decode a shot into the corrected logical readout value.
+    pub fn decode_shot(&self, shot: &ShotRecord) -> bool {
+        let defects = self.defects(shot);
+        let raw = shot.get(self.readout_cbit);
+        if defects.is_empty() {
+            return raw;
+        }
+        let g = &self.graph;
+        let boundary = g.boundary();
+        let weight_of = |d: u32| -> i64 {
+            if d == u32::MAX {
+                UNREACHABLE
+            } else {
+                d as i64
+            }
+        };
+        let matches = match_defects(
+            defects.len(),
+            |a, b| weight_of(g.distance(defects[a], defects[b])),
+            |a| weight_of(g.distance(defects[a], boundary)),
+        );
+        let mut flip = false;
+        for (a, m) in matches.iter().enumerate() {
+            match *m {
+                DefectMatch::Boundary => flip ^= g.crossing_parity(defects[a], boundary),
+                DefectMatch::Peer(b) if b > a => flip ^= g.crossing_parity(defects[a], defects[b]),
+                DefectMatch::Peer(_) => {} // counted once from the lower index
+            }
+        }
+        raw ^ flip
+    }
+}
+
+impl Decoder for MwpmDecoder {
+    fn decode(&self, shot: &ShotRecord) -> bool {
+        self.decode_shot(shot)
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codes::{QecCode, RepetitionCode, XxzzCode};
+    use radqec_circuit::{execute, Circuit};
+    use radqec_stabilizer::StabilizerBackend;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn run_noiseless(code: &CodeCircuit, seed: u64) -> ShotRecord {
+        let mut backend = StabilizerBackend::new(code.total_qubits());
+        let mut rng = StdRng::seed_from_u64(seed);
+        execute(&code.circuit, &mut backend, &mut rng)
+    }
+
+    #[test]
+    fn noiseless_repetition_decodes_to_one() {
+        for d in [3, 5, 7, 9, 11, 13, 15] {
+            let code = RepetitionCode::bit_flip(d).build();
+            let dec = MwpmDecoder::new(&code);
+            for seed in 0..5 {
+                let shot = run_noiseless(&code, seed);
+                assert!(dec.defects(&shot).is_empty(), "d={d}");
+                assert!(dec.decode_shot(&shot), "d={d} seed={seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn noiseless_xxzz_decodes_to_one() {
+        for (dz, dx) in [(3, 3), (3, 1), (1, 3), (3, 5), (5, 3)] {
+            let code = XxzzCode::new(dz, dx).build();
+            let dec = MwpmDecoder::new(&code);
+            for seed in 0..5 {
+                let shot = run_noiseless(&code, seed);
+                assert!(dec.defects(&shot).is_empty(), "({dz},{dx}) defects");
+                assert!(dec.decode_shot(&shot), "({dz},{dx}) seed={seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn noiseless_phase_flip_repetition_decodes_to_one() {
+        let code = RepetitionCode::phase_flip(5).build();
+        let dec = MwpmDecoder::new(&code);
+        for seed in 0..5 {
+            let shot = run_noiseless(&code, seed);
+            assert!(dec.decode_shot(&shot), "seed={seed}");
+        }
+    }
+
+    /// Inject a single X error on a data qubit between the rounds and check
+    /// the decoder corrects it for every position.
+    fn single_data_error_corrected(code: &CodeCircuit, data: u32) -> bool {
+        // Rebuild the circuit with an X error right after the logical op.
+        let mut broken = Circuit::new(code.circuit.num_qubits(), code.circuit.num_clbits());
+        let mut barriers = 0;
+        for g in code.circuit.ops() {
+            broken.push(*g);
+            if matches!(g, radqec_circuit::Gate::Barrier) {
+                barriers += 1;
+                if barriers == 2 {
+                    broken.x(data); // fault after the logical X layer
+                }
+            }
+        }
+        let dec = MwpmDecoder::new(code);
+        let mut backend = StabilizerBackend::new(code.total_qubits());
+        let mut rng = StdRng::seed_from_u64(17);
+        let shot = execute(&broken, &mut backend, &mut rng);
+        dec.decode_shot(&shot)
+    }
+
+    #[test]
+    fn repetition_corrects_any_single_data_flip() {
+        let code = RepetitionCode::bit_flip(5).build();
+        for d in 0..5 {
+            assert!(
+                single_data_error_corrected(&code, d),
+                "uncorrected flip on data {d}"
+            );
+        }
+    }
+
+    #[test]
+    fn xxzz_corrects_any_single_data_flip() {
+        let code = XxzzCode::new(3, 3).build();
+        for d in 0..9 {
+            assert!(
+                single_data_error_corrected(&code, d),
+                "uncorrected flip on data {d}"
+            );
+        }
+    }
+
+    #[test]
+    fn xxzz_5x5_corrects_any_single_data_flip() {
+        let code = XxzzCode::new(5, 5).build();
+        for d in 0..25 {
+            assert!(
+                single_data_error_corrected(&code, d),
+                "uncorrected flip on data {d}"
+            );
+        }
+    }
+
+    #[test]
+    fn defect_extraction_pairs_layers() {
+        // Craft a synthetic shot: stab 1 fired in round 1 and round 2 ->
+        // defect only at layer 0 (the round-2 detector is the XOR).
+        let code = RepetitionCode::bit_flip(5).build();
+        let dec = MwpmDecoder::new(&code);
+        let mut shot = ShotRecord::new(code.circuit.num_clbits());
+        shot.set(code.stabilizers[1].cbit_round1, true);
+        shot.set(code.stabilizers[1].cbit_round2, true);
+        let defects = dec.defects(&shot);
+        assert_eq!(defects, vec![dec.graph().node(1, 0)]);
+        // Fired only in round 2 -> defect at layer 1.
+        let mut shot2 = ShotRecord::new(code.circuit.num_clbits());
+        shot2.set(code.stabilizers[1].cbit_round2, true);
+        assert_eq!(dec.defects(&shot2), vec![dec.graph().node(1, 1)]);
+    }
+
+    #[test]
+    fn interior_defect_pair_leaves_readout_alone() {
+        // Stabs 1 and 2 fire in both rounds => inferred X error on shared
+        // data qubit 2, which is outside the readout chain {data 0}: the
+        // raw readout must pass through unflipped.
+        let code = RepetitionCode::bit_flip(5).build();
+        let dec = MwpmDecoder::new(&code);
+        let mut shot = ShotRecord::new(code.circuit.num_clbits());
+        for s in [1, 2] {
+            shot.set(code.stabilizers[s].cbit_round1, true);
+            shot.set(code.stabilizers[s].cbit_round2, true);
+        }
+        shot.set(code.readout_cbit, true); // raw parity untouched by the error
+        assert!(dec.decode_shot(&shot), "correction must not flip the readout");
+    }
+
+    #[test]
+    fn boundary_defect_flips_readout() {
+        // Stab 0 fires in both rounds => inferred X error on data 0 (the
+        // readout chain): the corrupted raw readout 0 must be flipped to 1.
+        let code = RepetitionCode::bit_flip(5).build();
+        let dec = MwpmDecoder::new(&code);
+        let mut shot = ShotRecord::new(code.circuit.num_clbits());
+        shot.set(code.stabilizers[0].cbit_round1, true);
+        shot.set(code.stabilizers[0].cbit_round2, true);
+        shot.set(code.readout_cbit, false); // data 0 flip corrupted the parity
+        assert!(dec.decode_shot(&shot), "boundary correction must restore logical 1");
+    }
+}

@@ -1,0 +1,177 @@
+//! Fig. 7 — spreading radiation fault vs. multi-qubit erasure faults.
+//!
+//! For each subset size `k`, connected subgraphs of the architecture are
+//! sampled and every qubit inside is erased (reset probability 1, `t = 0`);
+//! the median logical error per size is compared against the reference
+//! line: a single *spreading* radiation fault at impact time. Paper
+//! expectations (Obs. V–VI): the erasure curve grows monotonically and
+//! crosses the radiation line only once roughly half the qubits are erased.
+
+use crate::codes::CodeSpec;
+use crate::injection::InjectionEngine;
+use radqec_noise::{FaultSpec, NoiseSpec, RadiationModel};
+use radqec_topology::subgraph::sample_connected_subgraphs;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Configuration for the Fig. 7 comparison.
+pub struct Fig7Config {
+    /// Code under test (the paper uses rep-(15,1) and xxzz-(3,3)).
+    pub code: CodeSpec,
+    /// Subset sizes to evaluate (default: every size 1..=used qubits).
+    pub sizes: Option<Vec<usize>>,
+    /// Connected subgraphs sampled per size.
+    pub subgraphs_per_size: usize,
+    /// Intrinsic noise (default 1%).
+    pub noise: NoiseSpec,
+    /// Radiation model for the reference line.
+    pub model: RadiationModel,
+    /// Shots per subgraph.
+    pub shots: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Fig7Config {
+    /// Paper-default configuration for `code`.
+    pub fn new(code: CodeSpec) -> Self {
+        Fig7Config {
+            code,
+            sizes: None,
+            subgraphs_per_size: 16,
+            noise: NoiseSpec::paper_default(),
+            model: RadiationModel::default(),
+            shots: 400,
+            seed: 0x717,
+        }
+    }
+}
+
+/// Median logical error for one erased-subset size.
+#[derive(Debug, Clone)]
+pub struct Fig7Row {
+    /// Number of simultaneously corrupted qubits.
+    pub corrupted_qubits: usize,
+    /// Median logical error across sampled subgraphs.
+    pub median_logic_error: f64,
+    /// Number of subgraphs actually sampled.
+    pub samples: usize,
+}
+
+/// Result of the spreading-vs-erasure comparison.
+#[derive(Debug, Clone)]
+pub struct Fig7Result {
+    /// Code name.
+    pub code_name: String,
+    /// Erasure curve rows by subset size.
+    pub rows: Vec<Fig7Row>,
+    /// Reference: median over roots of the spreading radiation fault at
+    /// impact time (the paper's horizontal red line).
+    pub radiation_reference: f64,
+}
+
+impl Fig7Result {
+    /// The smallest erased-subset size whose median error exceeds the
+    /// radiation reference, if any (the paper's crossover point).
+    pub fn crossover_size(&self) -> Option<usize> {
+        self.rows
+            .iter()
+            .find(|r| r.median_logic_error > self.radiation_reference)
+            .map(|r| r.corrupted_qubits)
+    }
+
+    /// CSV rendering: `corrupted_qubits,median_logic_error,radiation_reference`.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("corrupted_qubits,median_logic_error,radiation_reference\n");
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{},{:.6},{:.6}\n",
+                r.corrupted_qubits, r.median_logic_error, self.radiation_reference
+            ));
+        }
+        out
+    }
+}
+
+/// Run the Fig. 7 comparison.
+pub fn run_fig7(cfg: &Fig7Config) -> Fig7Result {
+    let engine = InjectionEngine::builder(cfg.code).shots(cfg.shots).seed(cfg.seed).build();
+    let used = engine.used_physical_qubits();
+    // Restrict subgraph sampling to the qubits the routed circuit occupies
+    // (the paper's lattice is sized to the code, so all nodes are used).
+    let (used_topo, _) = engine
+        .topology()
+        .induced_subgraph(&used, format!("{}-used", engine.topology().name()));
+    let sizes: Vec<usize> = cfg
+        .sizes
+        .clone()
+        .unwrap_or_else(|| (1..=used.len()).collect());
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xF1F7);
+    let rows: Vec<Fig7Row> = sizes
+        .iter()
+        .map(|&k| {
+            let subs = sample_connected_subgraphs(&used_topo, k, cfg.subgraphs_per_size, &mut rng);
+            let errs: Vec<f64> = subs
+                .iter()
+                .map(|sub| {
+                    // map induced indices back to physical qubits
+                    let qubits: Vec<u32> = sub.iter().map(|&i| used[i as usize]).collect();
+                    let fault = FaultSpec::MultiReset { qubits, probability: 1.0 };
+                    engine.logical_error_at_sample(&fault, &cfg.noise, 0)
+                })
+                .collect();
+            Fig7Row {
+                corrupted_qubits: k,
+                median_logic_error: crate::stats::median(&errs),
+                samples: errs.len(),
+            }
+        })
+        .collect();
+
+    // Reference line: spreading radiation fault at impact, median over roots.
+    let ref_errs: Vec<f64> = used
+        .iter()
+        .map(|&root| {
+            let fault = FaultSpec::RadiationAtImpact { model: cfg.model, root };
+            engine.logical_error_at_sample(&fault, &cfg.noise, 0)
+        })
+        .collect();
+    Fig7Result {
+        code_name: engine.code().name.clone(),
+        rows,
+        radiation_reference: crate::stats::median(&ref_errs),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codes::RepetitionCode;
+
+    #[test]
+    fn erasure_curve_grows_and_crosses_radiation_line() {
+        let mut cfg = Fig7Config::new(RepetitionCode::bit_flip(5).into());
+        cfg.sizes = Some(vec![1, 5, 10]);
+        cfg.subgraphs_per_size = 6;
+        cfg.shots = 200;
+        let res = run_fig7(&cfg);
+        assert_eq!(res.rows.len(), 3);
+        let single = res.rows[0].median_logic_error;
+        let all = res.rows[2].median_logic_error;
+        assert!(
+            all > single,
+            "erasing everything ({all}) must beat a single erasure ({single})"
+        );
+        // A single erasure is milder than the spreading fault (Obs. V).
+        assert!(
+            single < res.radiation_reference,
+            "single {single} vs radiation {}",
+            res.radiation_reference
+        );
+        // Erasing all 10 qubits overwhelms the single radiation fault; the
+        // crossover needs more than one corrupted qubit (Obs. V).
+        assert!(all > res.radiation_reference);
+        let crossover = res.crossover_size().expect("curve must cross the reference");
+        assert!(crossover > 1, "crossover at {crossover}");
+    }
+}

@@ -1,0 +1,230 @@
+//! Fig. 8 — logical error by root injection qubit across hardware
+//! architectures.
+//!
+//! Each code is transpiled onto a set of device graphs; a full
+//! spatio-temporal radiation fault is injected at every used physical qubit
+//! in turn, and the per-qubit statistic is the median logical error over
+//! the fault's duration. Paper expectations (Obs. VII–VIII): per-qubit
+//! error correlates with circuit position (earlier = worse), the linear
+//! architecture wins for the repetition code, the mesh wins for XXZZ, and
+//! the linear architecture collapses for XXZZ under SWAP overhead.
+
+use crate::codes::{CodeSpec, QubitRole};
+use crate::injection::InjectionEngine;
+use radqec_noise::{FaultSpec, NoiseSpec, RadiationModel};
+use radqec_topology::Topology;
+
+/// Role of a *physical* qubit after layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PhysicalRole {
+    /// Hosts a code qubit (initial layout).
+    Code(QubitRole),
+    /// Used only transiently by routing SWAPs.
+    Routing,
+}
+
+/// Configuration for the Fig. 8 architecture sweep.
+pub struct Fig8Config {
+    /// Code under test.
+    pub code: CodeSpec,
+    /// Architectures to sweep.
+    pub architectures: Vec<Topology>,
+    /// Intrinsic noise (default 1%).
+    pub noise: NoiseSpec,
+    /// Radiation model.
+    pub model: RadiationModel,
+    /// Shots per (architecture, root, temporal sample).
+    pub shots: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Fig8Config {
+    /// The paper's repetition-(11,1) panel architectures.
+    pub fn repetition_panel(code: CodeSpec) -> Self {
+        use radqec_topology::devices;
+        use radqec_topology::generators::{linear, mesh};
+        Fig8Config {
+            code,
+            architectures: vec![
+                linear(22),
+                mesh(5, 6),
+                devices::brooklyn(),
+                devices::cairo(),
+                devices::cambridge(),
+            ],
+            noise: NoiseSpec::paper_default(),
+            model: RadiationModel::default(),
+            shots: 300,
+            seed: 0x818,
+        }
+    }
+
+    /// The paper's XXZZ-(3,3) panel architectures.
+    pub fn xxzz_panel(code: CodeSpec) -> Self {
+        use radqec_topology::devices;
+        use radqec_topology::generators::{complete, linear, mesh};
+        Fig8Config {
+            code,
+            architectures: vec![
+                complete(18),
+                linear(18),
+                mesh(5, 4),
+                devices::almaden(),
+                devices::brooklyn(),
+                devices::cambridge(),
+                devices::johannesburg(),
+            ],
+            noise: NoiseSpec::paper_default(),
+            model: RadiationModel::default(),
+            shots: 300,
+            seed: 0x818,
+        }
+    }
+}
+
+/// Per-root-qubit result.
+#[derive(Debug, Clone)]
+pub struct Fig8Qubit {
+    /// Physical qubit index on the device.
+    pub physical: u32,
+    /// Its role after initial layout.
+    pub role: PhysicalRole,
+    /// Median logical error over the fault's duration.
+    pub median_logic_error: f64,
+}
+
+/// Per-architecture results.
+#[derive(Debug, Clone)]
+pub struct Fig8Arch {
+    /// Architecture name.
+    pub arch_name: String,
+    /// Average node degree of the device graph (Obs. VIII statistic).
+    pub average_degree: f64,
+    /// SWAPs inserted by routing.
+    pub swap_count: usize,
+    /// Two-qubit gate count of the routed circuit.
+    pub two_qubit_gates: usize,
+    /// One entry per used physical qubit.
+    pub per_qubit: Vec<Fig8Qubit>,
+}
+
+impl Fig8Arch {
+    /// Median of the per-qubit medians (architecture summary statistic).
+    pub fn median_of_medians(&self) -> f64 {
+        crate::stats::median(
+            &self
+                .per_qubit
+                .iter()
+                .map(|q| q.median_logic_error)
+                .collect::<Vec<_>>(),
+        )
+    }
+}
+
+/// Result of the architecture sweep.
+#[derive(Debug, Clone)]
+pub struct Fig8Result {
+    /// Code name.
+    pub code_name: String,
+    /// One entry per architecture.
+    pub archs: Vec<Fig8Arch>,
+}
+
+impl Fig8Result {
+    /// CSV rendering: `arch,physical_qubit,role,median_logic_error`.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("arch,physical_qubit,role,median_logic_error\n");
+        for a in &self.archs {
+            for q in &a.per_qubit {
+                let role = match q.role {
+                    PhysicalRole::Code(QubitRole::Data) => "data",
+                    PhysicalRole::Code(QubitRole::StabilizerZ) => "mz",
+                    PhysicalRole::Code(QubitRole::StabilizerX) => "mx",
+                    PhysicalRole::Code(QubitRole::Readout) => "ancilla",
+                    PhysicalRole::Routing => "route",
+                };
+                out.push_str(&format!(
+                    "{},{},{},{:.6}\n",
+                    a.arch_name, q.physical, role, q.median_logic_error
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// Run the Fig. 8 sweep.
+pub fn run_fig8(cfg: &Fig8Config) -> Fig8Result {
+    let mut archs = Vec::new();
+    let mut code_name = String::new();
+    for topo in &cfg.architectures {
+        let engine = InjectionEngine::builder(cfg.code)
+            .topology(topo.clone())
+            .shots(cfg.shots)
+            .seed(cfg.seed)
+            .build();
+        code_name = engine.code().name.clone();
+        let initial = engine.transpiled().initial_layout.clone();
+        let code = engine.code().clone();
+        let per_qubit: Vec<Fig8Qubit> = engine
+            .used_physical_qubits()
+            .into_iter()
+            .map(|q| {
+                let role = match initial.logical(q) {
+                    Some(l) => PhysicalRole::Code(code.qubit_role(l)),
+                    None => PhysicalRole::Routing,
+                };
+                let fault = FaultSpec::Radiation { model: cfg.model, root: q };
+                let out = engine.run(&fault, &cfg.noise);
+                Fig8Qubit { physical: q, role, median_logic_error: out.median_logical_error() }
+            })
+            .collect();
+        archs.push(Fig8Arch {
+            arch_name: topo.name().to_string(),
+            average_degree: topo.average_degree(),
+            swap_count: engine.transpiled().swap_count,
+            two_qubit_gates: engine.transpiled().circuit.two_qubit_gate_count(),
+            per_qubit,
+        });
+    }
+    Fig8Result { code_name, archs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codes::RepetitionCode;
+    use radqec_topology::generators::{linear, mesh};
+
+    #[test]
+    fn small_architecture_sweep_runs() {
+        let cfg = Fig8Config {
+            code: RepetitionCode::bit_flip(3).into(),
+            architectures: vec![linear(6), mesh(3, 2)],
+            noise: NoiseSpec::paper_default(),
+            model: RadiationModel { num_samples: 4, ..Default::default() },
+            shots: 60,
+            seed: 5,
+        };
+        let res = run_fig8(&cfg);
+        assert_eq!(res.archs.len(), 2);
+        for a in &res.archs {
+            assert_eq!(a.per_qubit.len(), 6);
+            for q in &a.per_qubit {
+                assert!((0.0..=1.0).contains(&q.median_logic_error));
+            }
+            // roles must include data, stabilizer and readout qubits
+            assert!(a
+                .per_qubit
+                .iter()
+                .any(|q| q.role == PhysicalRole::Code(QubitRole::Data)));
+            assert!(a
+                .per_qubit
+                .iter()
+                .any(|q| q.role == PhysicalRole::Code(QubitRole::Readout)));
+        }
+        let csv = res.to_csv();
+        assert_eq!(csv.lines().count(), 1 + 12);
+    }
+}

@@ -1,0 +1,97 @@
+//! Analytic series for the paper's model figures: the temporal decay plot
+//! (Fig. 3) and the spatial decay heatmap (Fig. 4).
+
+use radqec_noise::{spatial_damping, temporal_decay, RadiationModel};
+use radqec_topology::generators::mesh;
+
+/// One point of the Fig. 3 series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig3Point {
+    /// Time, arbitrary units in `[0, 1]`.
+    pub t: f64,
+    /// Continuous decay `T(t)`.
+    pub continuous: f64,
+    /// Sampled step function `T̂(t)`.
+    pub stepped: f64,
+}
+
+/// The `T(t)` / `T̂(t)` curves of Fig. 3 at `resolution` points.
+pub fn fig3_series(model: &RadiationModel, resolution: usize) -> Vec<Fig3Point> {
+    assert!(resolution >= 2, "need at least two points");
+    let samples = model.temporal_samples();
+    let ns = samples.len();
+    (0..resolution)
+        .map(|i| {
+            let t = i as f64 / (resolution - 1) as f64;
+            // Step function: holds the last sampled value, i.e. T(t_k) for
+            // t ∈ [t_k, t_{k+1}), with t_k = k/(n_s − 1).
+            let k = ((t * (ns - 1) as f64) as usize).min(ns - 1);
+            Fig3Point {
+                t,
+                continuous: temporal_decay(t, model.gamma),
+                stepped: samples[k],
+            }
+        })
+        .collect()
+}
+
+/// The Fig. 4 spatial-decay grid: `S(d)` on a `(2·radius+1)²` lattice with
+/// the impact at the centre, distances measured on the mesh graph (the
+/// paper's unit-weight architecture-graph metric).
+pub fn fig4_grid(radius: u32, spatial_n: f64) -> Vec<Vec<f64>> {
+    let side = 2 * radius + 1;
+    let topo = mesh(side, side);
+    let centre = radius * side + radius;
+    let dist = topo.distances_from(centre);
+    (0..side)
+        .map(|r| {
+            (0..side)
+                .map(|c| spatial_damping(dist[(r * side + c) as usize], spatial_n))
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig3_endpoints_match_model() {
+        let m = RadiationModel::default();
+        let s = fig3_series(&m, 101);
+        assert_eq!(s.len(), 101);
+        assert!((s[0].continuous - 1.0).abs() < 1e-12);
+        assert!((s[0].stepped - 1.0).abs() < 1e-12);
+        assert!((s[100].continuous - (-10.0f64).exp()).abs() < 1e-12);
+        // step function is piecewise constant: exactly ns distinct values
+        let mut vals: Vec<f64> = s.iter().map(|p| p.stepped).collect();
+        vals.dedup();
+        assert_eq!(vals.len(), 10);
+    }
+
+    #[test]
+    fn fig3_step_tracks_continuous() {
+        let m = RadiationModel::default();
+        for p in fig3_series(&m, 50) {
+            assert!(p.stepped >= p.continuous - 1e-9, "step below curve at {}", p.t);
+            assert!(p.stepped <= 1.0);
+        }
+    }
+
+    #[test]
+    fn fig4_grid_peaks_at_centre() {
+        let g = fig4_grid(10, 1.0);
+        assert_eq!(g.len(), 21);
+        assert_eq!(g[10][10], 1.0);
+        // neighbours at 25%
+        assert_eq!(g[10][11], 0.25);
+        assert_eq!(g[9][10], 0.25);
+        // Manhattan-distance contours: corner at distance 20
+        assert!((g[0][0] - spatial_damping(20, 1.0)).abs() < 1e-12);
+        // monotone decay along a row from the centre
+        for c in 10..20 {
+            assert!(g[10][c] > g[10][c + 1]);
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! Small statistics helpers used by the experiment harnesses.
+
+/// Arithmetic mean; 0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Median (average of the two central elements for even lengths); 0 for an
+/// empty slice.
+pub fn median(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in medians"));
+    let n = v.len();
+    if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        (v[n / 2 - 1] + v[n / 2]) / 2.0
+    }
+}
+
+/// Wilson score interval for a binomial proportion at ~95% confidence.
+/// Returns `(low, high)`.
+pub fn wilson_interval(successes: usize, trials: usize) -> (f64, f64) {
+    if trials == 0 {
+        return (0.0, 1.0);
+    }
+    let z = 1.96f64;
+    let n = trials as f64;
+    let p = successes as f64 / n;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let centre = (p + z2 / (2.0 * n)) / denom;
+    let half = (z / denom) * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
+    ((centre - half).max(0.0), (centre + half).min(1.0))
+}
+
+/// Spearman rank correlation between two equal-length samples; `None` if
+/// fewer than 2 points or zero variance.
+pub fn spearman(a: &[f64], b: &[f64]) -> Option<f64> {
+    assert_eq!(a.len(), b.len(), "length mismatch");
+    let n = a.len();
+    if n < 2 {
+        return None;
+    }
+    let ra = ranks(a);
+    let rb = ranks(b);
+    pearson(&ra, &rb)
+}
+
+fn ranks(xs: &[f64]) -> Vec<f64> {
+    let mut idx: Vec<usize> = (0..xs.len()).collect();
+    idx.sort_by(|&i, &j| xs[i].partial_cmp(&xs[j]).expect("no NaNs in ranks"));
+    let mut r = vec![0.0; xs.len()];
+    let mut i = 0;
+    while i < idx.len() {
+        // average ranks over ties
+        let mut j = i;
+        while j + 1 < idx.len() && xs[idx[j + 1]] == xs[idx[i]] {
+            j += 1;
+        }
+        let avg = (i + j) as f64 / 2.0;
+        for &k in &idx[i..=j] {
+            r[k] = avg;
+        }
+        i = j + 1;
+    }
+    r
+}
+
+fn pearson(a: &[f64], b: &[f64]) -> Option<f64> {
+    let ma = mean(a);
+    let mb = mean(b);
+    let mut num = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        num += (x - ma) * (y - mb);
+        va += (x - ma) * (x - ma);
+        vb += (y - mb) * (y - mb);
+    }
+    if va == 0.0 || vb == 0.0 {
+        return None;
+    }
+    Some(num / (va.sqrt() * vb.sqrt()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_median_basics() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[1.0, 3.0]), 2.0);
+        assert_eq!(median(&[]), 0.0);
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+    }
+
+    #[test]
+    fn wilson_contains_point_estimate() {
+        let (lo, hi) = wilson_interval(30, 100);
+        assert!(lo < 0.3 && 0.3 < hi);
+        assert!(lo > 0.2 && hi < 0.41);
+        assert_eq!(wilson_interval(0, 0), (0.0, 1.0));
+        let (lo0, _) = wilson_interval(0, 50);
+        assert_eq!(lo0, 0.0);
+    }
+
+    #[test]
+    fn spearman_detects_monotone_relations() {
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let up = [2.0, 4.0, 5.0, 9.0, 20.0];
+        let down = [5.0, 4.0, 3.0, 2.0, 1.0];
+        assert!((spearman(&a, &up).unwrap() - 1.0).abs() < 1e-12);
+        assert!((spearman(&a, &down).unwrap() + 1.0).abs() < 1e-12);
+        assert!(spearman(&a, &[1.0; 5]).is_none());
+        assert!(spearman(&[1.0], &[1.0]).is_none());
+    }
+
+    #[test]
+    fn ranks_average_ties() {
+        let r = ranks(&[10.0, 20.0, 20.0, 30.0]);
+        assert_eq!(r, vec![0.0, 1.5, 1.5, 3.0]);
+    }
+}

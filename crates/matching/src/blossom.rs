@@ -1,0 +1,867 @@
+//! Maximum-weight matching in general graphs (Galil's blossom algorithm).
+//!
+//! This is a faithful port of Van Rantwijk's `mwmatching.py` (the
+//! implementation behind NetworkX's `max_weight_matching`, which the paper's
+//! decoding stack used through qtcodes). The algorithm is Galil's O(V³)
+//! primal–dual method ("Efficient algorithms for finding maximum matching in
+//! graphs", ACM Computing Surveys, 1986).
+//!
+//! Weights are `i64`; all dual updates stay integral (S–S edge slacks keep
+//! even parity), so the result is exact — no floating-point drift. The port
+//! intentionally mirrors the original's array layout and `-1` sentinels to
+//! stay reviewable against the reference; the public API wraps it in
+//! idiomatic types.
+
+/// An edge `(u, v, weight)` between distinct vertices.
+pub type WeightedEdge = (u32, u32, i64);
+
+const NONE: i32 = -1;
+
+/// Compute a maximum-weight matching on the graph with `num_vertices`
+/// vertices and the given weighted edges.
+///
+/// If `max_cardinality` is true, only maximum-cardinality matchings are
+/// considered (among which one of maximum weight is returned) — this is the
+/// mode used to obtain minimum-weight *perfect* matchings by weight
+/// reflection.
+///
+/// Returns `mate`, where `mate[v] = Some(w)` iff the edge `{v, w}` is
+/// matched.
+///
+/// # Panics
+/// Panics if an edge references a vertex `>= num_vertices` or is a
+/// self-loop.
+pub fn max_weight_matching(
+    num_vertices: usize,
+    edges: &[WeightedEdge],
+    max_cardinality: bool,
+) -> Vec<Option<usize>> {
+    for &(i, j, _) in edges {
+        assert!(
+            (i as usize) < num_vertices && (j as usize) < num_vertices,
+            "edge ({i},{j}) out of range"
+        );
+        assert_ne!(i, j, "self-loop on vertex {i}");
+    }
+    if edges.is_empty() || num_vertices == 0 {
+        return vec![None; num_vertices];
+    }
+    let mut m = Matcher::new(num_vertices, edges, max_cardinality);
+    m.solve();
+    m.mate
+        .iter()
+        .map(|&p| {
+            if p >= 0 {
+                Some(m.endpoint[p as usize] as usize)
+            } else {
+                None
+            }
+        })
+        .collect()
+}
+
+struct Matcher<'a> {
+    edges: &'a [WeightedEdge],
+    nvertex: usize,
+    maxcardinality: bool,
+    /// endpoint[p] = vertex at endpoint p (edge p/2, side p%2).
+    endpoint: Vec<u32>,
+    /// neighbend[v] = remote endpoints of edges incident to v.
+    neighbend: Vec<Vec<i32>>,
+    /// mate[v] = remote endpoint of matched edge, or -1.
+    mate: Vec<i32>,
+    /// label[b] ∈ {0 free, 1 S, 2 T, 5 breadcrumb} for vertex/blossom b.
+    label: Vec<i8>,
+    /// labelend[b] = endpoint through which b obtained its label, or -1.
+    labelend: Vec<i32>,
+    /// inblossom[v] = top-level blossom containing vertex v.
+    inblossom: Vec<i32>,
+    blossomparent: Vec<i32>,
+    blossomchilds: Vec<Option<Vec<i32>>>,
+    blossombase: Vec<i32>,
+    blossomendps: Vec<Option<Vec<i32>>>,
+    /// bestedge[b] = least-slack edge to a different S-blossom, or -1.
+    bestedge: Vec<i32>,
+    blossombestedges: Vec<Option<Vec<i32>>>,
+    unusedblossoms: Vec<i32>,
+    dualvar: Vec<i64>,
+    allowedge: Vec<bool>,
+    queue: Vec<i32>,
+}
+
+impl<'a> Matcher<'a> {
+    fn new(nvertex: usize, edges: &'a [WeightedEdge], maxcardinality: bool) -> Self {
+        let nedge = edges.len();
+        let maxweight = edges.iter().map(|e| e.2).max().unwrap_or(0).max(0);
+        let mut endpoint = Vec::with_capacity(2 * nedge);
+        for &(i, j, _) in edges {
+            endpoint.push(i);
+            endpoint.push(j);
+        }
+        let mut neighbend: Vec<Vec<i32>> = vec![Vec::new(); nvertex];
+        for (k, &(i, j, _)) in edges.iter().enumerate() {
+            neighbend[i as usize].push(2 * k as i32 + 1);
+            neighbend[j as usize].push(2 * k as i32);
+        }
+        let mut dualvar = vec![maxweight; nvertex];
+        dualvar.extend(std::iter::repeat_n(0, nvertex));
+        Matcher {
+            edges,
+            nvertex,
+            maxcardinality,
+            endpoint,
+            neighbend,
+            mate: vec![NONE; nvertex],
+            label: vec![0; 2 * nvertex],
+            labelend: vec![NONE; 2 * nvertex],
+            inblossom: (0..nvertex as i32).collect(),
+            blossomparent: vec![NONE; 2 * nvertex],
+            blossomchilds: vec![None; 2 * nvertex],
+            blossombase: (0..nvertex as i32)
+                .chain(std::iter::repeat_n(NONE, nvertex))
+                .collect(),
+            blossomendps: vec![None; 2 * nvertex],
+            bestedge: vec![NONE; 2 * nvertex],
+            blossombestedges: vec![None; 2 * nvertex],
+            unusedblossoms: (nvertex as i32..2 * nvertex as i32).collect(),
+            dualvar,
+            allowedge: vec![false; nedge],
+            queue: Vec::new(),
+        }
+    }
+
+    #[inline]
+    fn slack(&self, k: i32) -> i64 {
+        let (i, j, wt) = self.edges[k as usize];
+        self.dualvar[i as usize] + self.dualvar[j as usize] - 2 * wt
+    }
+
+    /// Leaf vertices of (possibly nested) blossom `b`.
+    fn blossom_leaves(&self, b: i32, out: &mut Vec<i32>) {
+        if (b as usize) < self.nvertex {
+            out.push(b);
+        } else if let Some(childs) = &self.blossomchilds[b as usize] {
+            // Clone to avoid borrow conflicts; blossoms are small.
+            for &t in childs.clone().iter() {
+                self.blossom_leaves(t, out);
+            }
+        }
+    }
+
+    fn leaves(&self, b: i32) -> Vec<i32> {
+        let mut out = Vec::new();
+        self.blossom_leaves(b, &mut out);
+        out
+    }
+
+    /// Assign label `t` to the top-level blossom containing vertex `w`,
+    /// coming through endpoint `p`.
+    fn assign_label(&mut self, w: i32, t: i8, p: i32) {
+        let b = self.inblossom[w as usize];
+        debug_assert!(self.label[w as usize] == 0 && self.label[b as usize] == 0);
+        self.label[w as usize] = t;
+        self.label[b as usize] = t;
+        self.labelend[w as usize] = p;
+        self.labelend[b as usize] = p;
+        self.bestedge[w as usize] = NONE;
+        self.bestedge[b as usize] = NONE;
+        if t == 1 {
+            let lv = self.leaves(b);
+            self.queue.extend(lv);
+        } else if t == 2 {
+            let base = self.blossombase[b as usize];
+            debug_assert!(self.mate[base as usize] >= 0, "T-vertex without mate");
+            let mb = self.mate[base as usize];
+            self.assign_label(self.endpoint[mb as usize] as i32, 1, mb ^ 1);
+        }
+    }
+
+    /// Trace back from vertices `v` and `w` to discover a new blossom or an
+    /// augmenting path. Returns the base vertex of the new blossom, or -1.
+    fn scan_blossom(&mut self, mut v: i32, mut w: i32) -> i32 {
+        let mut path: Vec<i32> = Vec::new();
+        let mut base = NONE;
+        while v != NONE || w != NONE {
+            let mut b = self.inblossom[v as usize];
+            if self.label[b as usize] & 4 != 0 {
+                base = self.blossombase[b as usize];
+                break;
+            }
+            debug_assert_eq!(self.label[b as usize], 1);
+            path.push(b);
+            self.label[b as usize] = 5;
+            debug_assert_eq!(
+                self.labelend[b as usize],
+                self.mate[self.blossombase[b as usize] as usize]
+            );
+            if self.labelend[b as usize] == NONE {
+                v = NONE;
+            } else {
+                v = self.endpoint[self.labelend[b as usize] as usize] as i32;
+                b = self.inblossom[v as usize];
+                debug_assert_eq!(self.label[b as usize], 2);
+                debug_assert!(self.labelend[b as usize] >= 0);
+                v = self.endpoint[self.labelend[b as usize] as usize] as i32;
+            }
+            if w != NONE {
+                std::mem::swap(&mut v, &mut w);
+            }
+        }
+        for b in path {
+            self.label[b as usize] = 1;
+        }
+        base
+    }
+
+    /// Construct a new blossom with base `base`, through S-vertices linked
+    /// by edge `k`.
+    fn add_blossom(&mut self, base: i32, k: i32) {
+        let (mut v, mut w, _) = self.edges[k as usize];
+        let bb = self.inblossom[base as usize];
+        let mut bv = self.inblossom[v as usize];
+        let mut bw = self.inblossom[w as usize];
+        let b = self.unusedblossoms.pop().expect("out of blossom slots");
+        self.blossombase[b as usize] = base;
+        self.blossomparent[b as usize] = NONE;
+        self.blossomparent[bb as usize] = b;
+        let mut path: Vec<i32> = Vec::new();
+        let mut endps: Vec<i32> = Vec::new();
+        // Trace from v back down to the base.
+        while bv != bb {
+            self.blossomparent[bv as usize] = b;
+            path.push(bv);
+            endps.push(self.labelend[bv as usize]);
+            debug_assert!(
+                self.label[bv as usize] == 2
+                    || (self.label[bv as usize] == 1
+                        && self.labelend[bv as usize]
+                            == self.mate[self.blossombase[bv as usize] as usize])
+            );
+            debug_assert!(self.labelend[bv as usize] >= 0);
+            v = self.endpoint[self.labelend[bv as usize] as usize];
+            bv = self.inblossom[v as usize];
+        }
+        path.push(bb);
+        path.reverse();
+        endps.reverse();
+        endps.push(2 * k);
+        // Trace from w back down to the base.
+        while bw != bb {
+            self.blossomparent[bw as usize] = b;
+            path.push(bw);
+            endps.push(self.labelend[bw as usize] ^ 1);
+            debug_assert!(
+                self.label[bw as usize] == 2
+                    || (self.label[bw as usize] == 1
+                        && self.labelend[bw as usize]
+                            == self.mate[self.blossombase[bw as usize] as usize])
+            );
+            debug_assert!(self.labelend[bw as usize] >= 0);
+            w = self.endpoint[self.labelend[bw as usize] as usize];
+            bw = self.inblossom[w as usize];
+        }
+        debug_assert_eq!(self.label[bb as usize], 1);
+        self.label[b as usize] = 1;
+        self.labelend[b as usize] = self.labelend[bb as usize];
+        self.dualvar[b as usize] = 0;
+        // Store structure now: leaves(b) below must see the children (the
+        // Python original aliases these lists before this point).
+        self.blossomchilds[b as usize] = Some(path.clone());
+        self.blossomendps[b as usize] = Some(endps);
+        // Relabel vertices.
+        for v in self.leaves(b) {
+            if self.label[self.inblossom[v as usize] as usize] == 2 {
+                self.queue.push(v);
+            }
+            self.inblossom[v as usize] = b;
+        }
+        // Compute the blossom's least-slack edges to other S-blossoms.
+        let mut bestedgeto: Vec<i32> = vec![NONE; 2 * self.nvertex];
+        for &bv in &path {
+            let nblists: Vec<Vec<i32>> = match &self.blossombestedges[bv as usize] {
+                None => self
+                    .leaves(bv)
+                    .iter()
+                    .map(|&v| {
+                        self.neighbend[v as usize]
+                            .iter()
+                            .map(|&p| p / 2)
+                            .collect()
+                    })
+                    .collect(),
+                Some(l) => vec![l.clone()],
+            };
+            for nblist in nblists {
+                for k in nblist {
+                    let (mut i, mut j, _) = self.edges[k as usize];
+                    if self.inblossom[j as usize] == b {
+                        std::mem::swap(&mut i, &mut j);
+                    }
+                    let _ = i;
+                    let bj = self.inblossom[j as usize];
+                    if bj != b
+                        && self.label[bj as usize] == 1
+                        && (bestedgeto[bj as usize] == NONE
+                            || self.slack(k) < self.slack(bestedgeto[bj as usize]))
+                    {
+                        bestedgeto[bj as usize] = k;
+                    }
+                }
+            }
+            self.blossombestedges[bv as usize] = None;
+            self.bestedge[bv as usize] = NONE;
+        }
+        let bbe: Vec<i32> = bestedgeto.into_iter().filter(|&k| k != NONE).collect();
+        self.bestedge[b as usize] = NONE;
+        for &k in &bbe {
+            if self.bestedge[b as usize] == NONE
+                || self.slack(k) < self.slack(self.bestedge[b as usize])
+            {
+                self.bestedge[b as usize] = k;
+            }
+        }
+        self.blossombestedges[b as usize] = Some(bbe);
+    }
+
+    /// Expand blossom `b` into its sub-blossoms.
+    fn expand_blossom(&mut self, b: i32, endstage: bool) {
+        let childs = self.blossomchilds[b as usize].clone().expect("expanding a leaf");
+        for &s in &childs {
+            self.blossomparent[s as usize] = NONE;
+            if (s as usize) < self.nvertex {
+                self.inblossom[s as usize] = s;
+            } else if endstage && self.dualvar[s as usize] == 0 {
+                self.expand_blossom(s, endstage);
+            } else {
+                for v in self.leaves(s) {
+                    self.inblossom[v as usize] = s;
+                }
+            }
+        }
+        if !endstage && self.label[b as usize] == 2 {
+            debug_assert!(self.labelend[b as usize] >= 0);
+            let entrychild = self.inblossom
+                [self.endpoint[(self.labelend[b as usize] ^ 1) as usize] as usize];
+            let childs = self.blossomchilds[b as usize].clone().unwrap();
+            let endps = self.blossomendps[b as usize].clone().unwrap();
+            let len = childs.len() as i32;
+            let mut j = childs.iter().position(|&c| c == entrychild).unwrap() as i32;
+            let (jstep, endptrick): (i32, i32) = if j & 1 != 0 {
+                j -= len;
+                (1, 0)
+            } else {
+                (-1, 1)
+            };
+            let idx = |j: i32| -> usize { (j.rem_euclid(len)) as usize };
+            let mut p = self.labelend[b as usize];
+            while j != 0 {
+                // Relabel the T-sub-blossom.
+                self.label[self.endpoint[(p ^ 1) as usize] as usize] = 0;
+                let q = endps[idx(j - endptrick)] ^ endptrick ^ 1;
+                self.label[self.endpoint[q as usize] as usize] = 0;
+                self.assign_label(self.endpoint[(p ^ 1) as usize] as i32, 2, p);
+                // Step to the next S-sub-blossom.
+                self.allowedge[(endps[idx(j - endptrick)] / 2) as usize] = true;
+                j += jstep;
+                p = endps[idx(j - endptrick)] ^ endptrick;
+                // Step to the next T-sub-blossom.
+                self.allowedge[(p / 2) as usize] = true;
+                j += jstep;
+            }
+            // Relabel the base T-sub-blossom without stepping to its mate.
+            let bv = childs[idx(j)];
+            let ep = self.endpoint[(p ^ 1) as usize] as usize;
+            self.label[ep] = 2;
+            self.label[bv as usize] = 2;
+            self.labelend[ep] = p;
+            self.labelend[bv as usize] = p;
+            self.bestedge[bv as usize] = NONE;
+            // Continue along the blossom until we get back to entrychild.
+            j += jstep;
+            while childs[idx(j)] != entrychild {
+                let bv = childs[idx(j)];
+                if self.label[bv as usize] == 1 {
+                    j += jstep;
+                    continue;
+                }
+                let leaves = self.leaves(bv);
+                let mut vfound = NONE;
+                for &v in &leaves {
+                    if self.label[v as usize] != 0 {
+                        vfound = v;
+                        break;
+                    }
+                }
+                if vfound != NONE {
+                    let v = vfound;
+                    debug_assert_eq!(self.label[v as usize], 2);
+                    debug_assert_eq!(self.inblossom[v as usize], bv);
+                    self.label[v as usize] = 0;
+                    let mb = self.mate[self.blossombase[bv as usize] as usize];
+                    self.label[self.endpoint[mb as usize] as usize] = 0;
+                    let le = self.labelend[v as usize];
+                    self.assign_label(v, 2, le);
+                }
+                j += jstep;
+            }
+        }
+        // Recycle the blossom slot.
+        self.label[b as usize] = -1;
+        self.labelend[b as usize] = NONE;
+        self.blossomchilds[b as usize] = None;
+        self.blossomendps[b as usize] = None;
+        self.blossombase[b as usize] = NONE;
+        self.blossombestedges[b as usize] = None;
+        self.bestedge[b as usize] = NONE;
+        self.unusedblossoms.push(b);
+    }
+
+    /// Swap matched/unmatched edges over an alternating path through
+    /// blossom `b` between vertex `v` and the base vertex.
+    fn augment_blossom(&mut self, b: i32, v: i32) {
+        let mut t = v;
+        while self.blossomparent[t as usize] != b {
+            t = self.blossomparent[t as usize];
+        }
+        if t >= self.nvertex as i32 {
+            self.augment_blossom(t, v);
+        }
+        let childs = self.blossomchilds[b as usize].clone().unwrap();
+        let endps = self.blossomendps[b as usize].clone().unwrap();
+        let len = childs.len() as i32;
+        let i = childs.iter().position(|&c| c == t).unwrap() as i32;
+        let mut j = i;
+        let (jstep, endptrick): (i32, i32) = if i & 1 != 0 {
+            j -= len;
+            (1, 0)
+        } else {
+            (-1, 1)
+        };
+        let idx = |j: i32| -> usize { (j.rem_euclid(len)) as usize };
+        while j != 0 {
+            j += jstep;
+            let t = childs[idx(j)];
+            let p = endps[idx(j - endptrick)] ^ endptrick;
+            if t >= self.nvertex as i32 {
+                self.augment_blossom(t, self.endpoint[p as usize] as i32);
+            }
+            j += jstep;
+            let t = childs[idx(j)];
+            if t >= self.nvertex as i32 {
+                self.augment_blossom(t, self.endpoint[(p ^ 1) as usize] as i32);
+            }
+            self.mate[self.endpoint[p as usize] as usize] = p ^ 1;
+            self.mate[self.endpoint[(p ^ 1) as usize] as usize] = p;
+        }
+        // Rotate the sub-blossom list to put the new base at the front.
+        let i = i as usize;
+        let mut nc = childs.clone();
+        nc.rotate_left(i);
+        let mut ne = endps.clone();
+        ne.rotate_left(i);
+        self.blossombase[b as usize] = self.blossombase[nc[0] as usize];
+        self.blossomchilds[b as usize] = Some(nc);
+        self.blossomendps[b as usize] = Some(ne);
+        debug_assert_eq!(self.blossombase[b as usize], v);
+    }
+
+    /// Swap matched/unmatched edges along the augmenting path through
+    /// edge `k`.
+    fn augment_matching(&mut self, k: i32) {
+        let (v, w, _) = self.edges[k as usize];
+        for (s0, p0) in [(v as i32, 2 * k + 1), (w as i32, 2 * k)] {
+            let mut s = s0;
+            let mut p = p0;
+            loop {
+                let bs = self.inblossom[s as usize];
+                debug_assert_eq!(self.label[bs as usize], 1);
+                debug_assert_eq!(
+                    self.labelend[bs as usize],
+                    self.mate[self.blossombase[bs as usize] as usize]
+                );
+                if bs >= self.nvertex as i32 {
+                    self.augment_blossom(bs, s);
+                }
+                self.mate[s as usize] = p;
+                if self.labelend[bs as usize] == NONE {
+                    break;
+                }
+                let t = self.endpoint[self.labelend[bs as usize] as usize] as i32;
+                let bt = self.inblossom[t as usize];
+                debug_assert_eq!(self.label[bt as usize], 2);
+                debug_assert!(self.labelend[bt as usize] >= 0);
+                s = self.endpoint[self.labelend[bt as usize] as usize] as i32;
+                let j = self.endpoint[(self.labelend[bt as usize] ^ 1) as usize] as i32;
+                debug_assert_eq!(self.blossombase[bt as usize], t);
+                if bt >= self.nvertex as i32 {
+                    self.augment_blossom(bt, j);
+                }
+                self.mate[j as usize] = self.labelend[bt as usize];
+                p = self.labelend[bt as usize] ^ 1;
+            }
+        }
+    }
+
+    fn solve(&mut self) {
+        let nvertex = self.nvertex;
+        for _ in 0..nvertex {
+            self.label.fill(0);
+            self.bestedge.fill(NONE);
+            for b in nvertex..2 * nvertex {
+                self.blossombestedges[b] = None;
+            }
+            self.allowedge.fill(false);
+            self.queue.clear();
+            for v in 0..nvertex as i32 {
+                if self.mate[v as usize] == NONE
+                    && self.label[self.inblossom[v as usize] as usize] == 0
+                {
+                    self.assign_label(v, 1, NONE);
+                }
+            }
+            let mut augmented = false;
+            loop {
+                'queue: while let Some(v) = self.queue.pop() {
+                    debug_assert_eq!(self.label[self.inblossom[v as usize] as usize], 1);
+                    let nbe = self.neighbend[v as usize].clone();
+                    for p in nbe {
+                        let k = p / 2;
+                        let w = self.endpoint[p as usize] as i32;
+                        if self.inblossom[v as usize] == self.inblossom[w as usize] {
+                            continue;
+                        }
+                        let mut kslack = 0;
+                        if !self.allowedge[k as usize] {
+                            kslack = self.slack(k);
+                            if kslack <= 0 {
+                                self.allowedge[k as usize] = true;
+                            }
+                        }
+                        if self.allowedge[k as usize] {
+                            if self.label[self.inblossom[w as usize] as usize] == 0 {
+                                self.assign_label(w, 2, p ^ 1);
+                            } else if self.label[self.inblossom[w as usize] as usize] == 1 {
+                                let base = self.scan_blossom(v, w);
+                                if base >= 0 {
+                                    self.add_blossom(base, k);
+                                } else {
+                                    self.augment_matching(k);
+                                    augmented = true;
+                                    break 'queue;
+                                }
+                            } else if self.label[w as usize] == 0 {
+                                debug_assert_eq!(
+                                    self.label[self.inblossom[w as usize] as usize],
+                                    2
+                                );
+                                self.label[w as usize] = 2;
+                                self.labelend[w as usize] = p ^ 1;
+                            }
+                        } else if self.label[self.inblossom[w as usize] as usize] == 1 {
+                            let b = self.inblossom[v as usize];
+                            if self.bestedge[b as usize] == NONE
+                                || kslack < self.slack(self.bestedge[b as usize])
+                            {
+                                self.bestedge[b as usize] = k;
+                            }
+                        } else if self.label[w as usize] == 0
+                            && (self.bestedge[w as usize] == NONE
+                                || kslack < self.slack(self.bestedge[w as usize]))
+                        {
+                            self.bestedge[w as usize] = k;
+                        }
+                    }
+                }
+                if augmented {
+                    break;
+                }
+                // No augmenting path; compute the dual update.
+                let mut deltatype = -1i32;
+                let mut delta = 0i64;
+                let mut deltaedge = NONE;
+                let mut deltablossom = NONE;
+                if !self.maxcardinality {
+                    deltatype = 1;
+                    delta = *self.dualvar[..nvertex].iter().min().unwrap();
+                }
+                for v in 0..nvertex {
+                    if self.label[self.inblossom[v] as usize] == 0 && self.bestedge[v] != NONE {
+                        let d = self.slack(self.bestedge[v]);
+                        if deltatype == -1 || d < delta {
+                            delta = d;
+                            deltatype = 2;
+                            deltaedge = self.bestedge[v];
+                        }
+                    }
+                }
+                for b in 0..2 * nvertex {
+                    if self.blossomparent[b] == NONE
+                        && self.label[b] == 1
+                        && self.bestedge[b] != NONE
+                    {
+                        let kslack = self.slack(self.bestedge[b]);
+                        debug_assert_eq!(kslack % 2, 0, "odd S-S slack breaks integrality");
+                        let d = kslack / 2;
+                        if deltatype == -1 || d < delta {
+                            delta = d;
+                            deltatype = 3;
+                            deltaedge = self.bestedge[b];
+                        }
+                    }
+                }
+                for b in nvertex..2 * nvertex {
+                    if self.blossombase[b] >= 0
+                        && self.blossomparent[b] == NONE
+                        && self.label[b] == 2
+                        && (deltatype == -1 || self.dualvar[b] < delta)
+                    {
+                        delta = self.dualvar[b];
+                        deltatype = 4;
+                        deltablossom = b as i32;
+                    }
+                }
+                if deltatype == -1 {
+                    // No further improvement possible; max-cardinality optimum
+                    // reached. Do a final dual update to make the optimum
+                    // verifiable.
+                    deltatype = 1;
+                    delta = self.dualvar[..nvertex].iter().min().unwrap().max(&0).to_owned();
+                }
+                // Update dual variables.
+                for v in 0..nvertex {
+                    match self.label[self.inblossom[v] as usize] {
+                        1 => self.dualvar[v] -= delta,
+                        2 => self.dualvar[v] += delta,
+                        _ => {}
+                    }
+                }
+                for b in nvertex..2 * nvertex {
+                    if self.blossombase[b] >= 0 && self.blossomparent[b] == NONE {
+                        match self.label[b] {
+                            1 => self.dualvar[b] += delta,
+                            2 => self.dualvar[b] -= delta,
+                            _ => {}
+                        }
+                    }
+                }
+                match deltatype {
+                    1 => break,
+                    2 => {
+                        self.allowedge[deltaedge as usize] = true;
+                        let (mut i, j, _) = self.edges[deltaedge as usize];
+                        if self.label[self.inblossom[i as usize] as usize] == 0 {
+                            i = j;
+                        }
+                        debug_assert_eq!(self.label[self.inblossom[i as usize] as usize], 1);
+                        self.queue.push(i as i32);
+                    }
+                    3 => {
+                        self.allowedge[deltaedge as usize] = true;
+                        let (i, _, _) = self.edges[deltaedge as usize];
+                        debug_assert_eq!(self.label[self.inblossom[i as usize] as usize], 1);
+                        self.queue.push(i as i32);
+                    }
+                    4 => self.expand_blossom(deltablossom, false),
+                    _ => unreachable!(),
+                }
+            }
+            if !augmented {
+                break;
+            }
+            // End of stage: expand all S-blossoms with zero dual.
+            for b in nvertex as i32..2 * nvertex as i32 {
+                if self.blossomparent[b as usize] == NONE
+                    && self.blossombase[b as usize] >= 0
+                    && self.label[b as usize] == 1
+                    && self.dualvar[b as usize] == 0
+                {
+                    self.expand_blossom(b, true);
+                }
+            }
+        }
+    }
+}
+
+/// Total weight of a matching returned by [`max_weight_matching`].
+pub fn matching_weight(edges: &[WeightedEdge], mate: &[Option<usize>]) -> i64 {
+    edges
+        .iter()
+        .filter(|&&(i, j, _)| mate[i as usize] == Some(j as usize))
+        .map(|&(_, _, w)| w)
+        .sum()
+}
+
+/// Number of matched pairs.
+pub fn matching_size(mate: &[Option<usize>]) -> usize {
+    mate.iter().flatten().count() / 2
+}
+
+/// Validate structural consistency: symmetry and edge existence.
+pub fn is_valid_matching(num_vertices: usize, edges: &[WeightedEdge], mate: &[Option<usize>]) -> bool {
+    if mate.len() != num_vertices {
+        return false;
+    }
+    let edge_set: std::collections::HashSet<(usize, usize)> = edges
+        .iter()
+        .flat_map(|&(i, j, _)| [(i as usize, j as usize), (j as usize, i as usize)])
+        .collect();
+    for (v, &m) in mate.iter().enumerate() {
+        if let Some(w) = m {
+            if w >= num_vertices || mate[w] != Some(v) || !edge_set.contains(&(v, w)) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mates(n: usize, edges: &[WeightedEdge], maxcard: bool) -> Vec<Option<usize>> {
+        let m = max_weight_matching(n, edges, maxcard);
+        assert!(is_valid_matching(n, edges, &m));
+        m
+    }
+
+    #[test]
+    fn empty_graph() {
+        assert_eq!(max_weight_matching(3, &[], false), vec![None, None, None]);
+    }
+
+    #[test]
+    fn single_edge() {
+        let m = mates(2, &[(0, 1, 5)], false);
+        assert_eq!(m, vec![Some(1), Some(0)]);
+    }
+
+    #[test]
+    fn negative_edge_ignored_without_maxcardinality() {
+        let m = mates(2, &[(0, 1, -3)], false);
+        assert_eq!(m, vec![None, None]);
+    }
+
+    #[test]
+    fn negative_edge_taken_with_maxcardinality() {
+        let m = mates(2, &[(0, 1, -3)], true);
+        assert_eq!(m, vec![Some(1), Some(0)]);
+    }
+
+    #[test]
+    fn path_prefers_heavier_middle() {
+        // 0-1 (2), 1-2 (5), 2-3 (2): best is the middle edge alone (5 > 4).
+        let m = mates(4, &[(0, 1, 2), (1, 2, 5), (2, 3, 2)], false);
+        assert_eq!(m[1], Some(2));
+        assert_eq!(m[0], None);
+        // with maxcardinality, take the two outer edges (weight 4, size 2)
+        let m2 = mates(4, &[(0, 1, 2), (1, 2, 5), (2, 3, 2)], true);
+        assert_eq!(m2[0], Some(1));
+        assert_eq!(m2[2], Some(3));
+    }
+
+    #[test]
+    fn triangle_with_pendant() {
+        // Classic blossom case: odd cycle 0-1-2 plus pendant 2-3.
+        let edges = [(0, 1, 6), (0, 2, 10), (1, 2, 5), (2, 3, 4)];
+        let m = mates(4, &edges, false);
+        // Optimum: (0,1) + (2,3) = 10  vs (0,2)=10 alone -> same weight but
+        // the algorithm prefers... both are weight 10; accept either valid
+        // optimum of weight 10.
+        assert_eq!(matching_weight(&edges, &m), 10);
+    }
+
+    #[test]
+    fn nested_blossom_s_to_expand() {
+        // From van Rantwijk's test suite (test24: nested S-blossom, relabel as S).
+        let edges = [
+            (1, 2, 40),
+            (1, 3, 40),
+            (2, 3, 60),
+            (2, 4, 55),
+            (3, 5, 55),
+            (4, 5, 50),
+            (1, 8, 15),
+            (5, 7, 30),
+            (7, 6, 10),
+            (8, 10, 10),
+            (4, 9, 30),
+        ];
+        let m = mates(11, &edges, false);
+        assert_eq!(m[1], Some(2));
+        assert_eq!(m[3], Some(5));
+        assert_eq!(m[4], Some(9));
+        assert_eq!(m[7], Some(6));
+        assert_eq!(m[8], Some(10));
+    }
+
+    #[test]
+    fn s_blossom_relabel_expand() {
+        // van Rantwijk test30: create blossom, relabel as T in more than one way, expand.
+        let edges = [
+            (1, 2, 45),
+            (1, 5, 45),
+            (2, 3, 50),
+            (3, 4, 45),
+            (4, 5, 50),
+            (1, 6, 30),
+            (3, 9, 35),
+            (4, 8, 35),
+            (5, 7, 26),
+            (9, 10, 5),
+        ];
+        let m = mates(11, &edges, false);
+        assert_eq!(m[1], Some(6));
+        assert_eq!(m[2], Some(3));
+        assert_eq!(m[4], Some(8));
+        assert_eq!(m[5], Some(7));
+        assert_eq!(m[9], Some(10));
+    }
+
+    #[test]
+    fn nasty_expand_case() {
+        // van Rantwijk test34: nest, relabel, expand in place.
+        let edges = [
+            (1, 2, 40),
+            (1, 3, 40),
+            (2, 3, 60),
+            (2, 4, 55),
+            (3, 5, 55),
+            (4, 5, 50),
+            (1, 8, 15),
+            (5, 7, 30),
+            (7, 6, 10),
+            (8, 10, 10),
+            (4, 9, 30),
+        ];
+        let m = mates(11, &edges, false);
+        assert!(is_valid_matching(11, &edges, &m));
+    }
+
+    #[test]
+    fn maxcardinality_perfect_on_even_cycle() {
+        let edges = [(0, 1, 1), (1, 2, 1), (2, 3, 1), (3, 0, 1)];
+        let m = mates(4, &edges, true);
+        assert_eq!(matching_size(&m), 2);
+    }
+
+    #[test]
+    fn weight_helper() {
+        let edges = [(0, 1, 3), (2, 3, 7)];
+        let m = mates(4, &edges, false);
+        assert_eq!(matching_weight(&edges, &m), 10);
+        assert_eq!(matching_size(&m), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn rejects_self_loop() {
+        max_weight_matching(2, &[(1, 1, 4)], false);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range() {
+        max_weight_matching(2, &[(0, 2, 4)], false);
+    }
+}

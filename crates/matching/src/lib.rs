@@ -1,0 +1,35 @@
+//! # radqec-matching
+//!
+//! Exact matching algorithms for surface-code decoding:
+//!
+//! * [`max_weight_matching`] — Galil's blossom algorithm (port of Van
+//!   Rantwijk's reference implementation, the engine behind NetworkX's
+//!   `max_weight_matching` used by the paper via qtcodes), with integer
+//!   weights and exact integral duals;
+//! * [`min_weight_perfect_matching`] — MWPM by weight reflection;
+//! * [`match_defects`] — the virtual-boundary reduction that pairs
+//!   surface-code defects with each other or the lattice boundary;
+//! * [`min_weight_perfect_matching_dp`] — an independent `O(2ⁿ·n)` oracle
+//!   used to validate the blossom solver in property tests.
+//!
+//! ```
+//! use radqec_matching::min_weight_perfect_matching;
+//!
+//! let edges = [(0, 1, 5), (1, 2, 1), (2, 3, 5), (0, 3, 1)];
+//! let mate = min_weight_perfect_matching(4, &edges).unwrap();
+//! assert_eq!(mate[0], 3); // picks the two weight-1 edges
+//! assert_eq!(mate[1], 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod blossom;
+mod dp;
+mod mwpm;
+
+pub use blossom::{
+    is_valid_matching, matching_size, matching_weight, max_weight_matching, WeightedEdge,
+};
+pub use dp::min_weight_perfect_matching_dp;
+pub use mwpm::{match_defects, min_weight_perfect_matching, DefectMatch};

@@ -1,0 +1,162 @@
+//! Minimum-weight perfect matching (MWPM) on top of the blossom solver,
+//! including the virtual-boundary reduction used by surface-code decoders.
+
+use crate::blossom::{matching_size, max_weight_matching, WeightedEdge};
+
+/// Minimum-weight perfect matching via weight reflection.
+///
+/// Transforms weights as `w' = (max_w + 1) − w` and runs maximum-weight
+/// matching in max-cardinality mode: cardinality dominates, so the perfect
+/// matching of minimum original weight is selected.
+///
+/// Returns `mate` or `None` when the graph admits no perfect matching.
+pub fn min_weight_perfect_matching(
+    num_vertices: usize,
+    edges: &[WeightedEdge],
+) -> Option<Vec<usize>> {
+    if num_vertices == 0 {
+        return Some(Vec::new());
+    }
+    if !num_vertices.is_multiple_of(2) {
+        return None;
+    }
+    let maxw = edges.iter().map(|e| e.2).max().unwrap_or(0);
+    let reflected: Vec<WeightedEdge> = edges
+        .iter()
+        .map(|&(i, j, w)| (i, j, maxw + 1 - w))
+        .collect();
+    let mate = max_weight_matching(num_vertices, &reflected, true);
+    if matching_size(&mate) * 2 != num_vertices {
+        return None;
+    }
+    Some(mate.into_iter().map(|m| m.expect("perfect")).collect())
+}
+
+/// Pair up `defects` against each other or a boundary, minimising total
+/// weight — the core operation of an MWPM surface-code decoder.
+///
+/// * `pair_weight(a, b)` — cost of matching defects `a` and `b` together;
+/// * `boundary_weight(a)` — cost of matching defect `a` to the boundary.
+///
+/// Uses the standard reduction: one virtual boundary node per defect, with
+/// zero-weight edges between virtual nodes, so the matching is always
+/// perfect. Returns, per defect index, [`DefectMatch::Peer`] or
+/// [`DefectMatch::Boundary`].
+pub fn match_defects(
+    num_defects: usize,
+    mut pair_weight: impl FnMut(usize, usize) -> i64,
+    mut boundary_weight: impl FnMut(usize) -> i64,
+) -> Vec<DefectMatch> {
+    if num_defects == 0 {
+        return Vec::new();
+    }
+    let n = 2 * num_defects; // defects 0..d, virtual boundary d..2d
+    let mut edges: Vec<WeightedEdge> = Vec::with_capacity(num_defects * num_defects);
+    for a in 0..num_defects {
+        for b in a + 1..num_defects {
+            edges.push((a as u32, b as u32, pair_weight(a, b)));
+        }
+        edges.push((a as u32, (num_defects + a) as u32, boundary_weight(a)));
+    }
+    for a in 0..num_defects {
+        for b in a + 1..num_defects {
+            edges.push(((num_defects + a) as u32, (num_defects + b) as u32, 0));
+        }
+    }
+    let mate = min_weight_perfect_matching(n, &edges)
+        .expect("defect graph with per-defect boundary is always perfectly matchable");
+    (0..num_defects)
+        .map(|a| {
+            let m = mate[a];
+            if m >= num_defects {
+                DefectMatch::Boundary
+            } else {
+                DefectMatch::Peer(m)
+            }
+        })
+        .collect()
+}
+
+/// Outcome of [`match_defects`] for one defect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DefectMatch {
+    /// Matched with another defect (by defect index).
+    Peer(usize),
+    /// Matched to the boundary.
+    Boundary,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_matching_minimises_weight() {
+        // K4 with distinct pairing costs
+        let edges = [
+            (0u32, 1u32, 10i64),
+            (2, 3, 10),
+            (0, 2, 1),
+            (1, 3, 1),
+            (0, 3, 6),
+            (1, 2, 6),
+        ];
+        let m = min_weight_perfect_matching(4, &edges).unwrap();
+        assert_eq!(m[0], 2);
+        assert_eq!(m[1], 3);
+    }
+
+    #[test]
+    fn no_perfect_matching_returns_none() {
+        assert_eq!(min_weight_perfect_matching(4, &[(0, 1, 1)]), None);
+        assert_eq!(min_weight_perfect_matching(3, &[(0, 1, 1), (1, 2, 1)]), None);
+    }
+
+    #[test]
+    fn zero_defects() {
+        assert!(match_defects(0, |_, _| 0, |_| 0).is_empty());
+    }
+
+    #[test]
+    fn single_defect_goes_to_boundary() {
+        let m = match_defects(1, |_, _| unreachable!(), |_| 3);
+        assert_eq!(m, vec![DefectMatch::Boundary]);
+    }
+
+    #[test]
+    fn close_pair_matches_together() {
+        // two defects, pair cost 1, boundary cost 10 each
+        let m = match_defects(2, |_, _| 1, |_| 10);
+        assert_eq!(m, vec![DefectMatch::Peer(1), DefectMatch::Peer(0)]);
+    }
+
+    #[test]
+    fn far_pair_prefers_boundary() {
+        let m = match_defects(2, |_, _| 30, |_| 2);
+        assert_eq!(m, vec![DefectMatch::Boundary, DefectMatch::Boundary]);
+    }
+
+    #[test]
+    fn odd_defect_count_mixes() {
+        // 3 defects in a line: 0 and 1 close (1), 2 far from both (20),
+        // boundary costs: 0:9, 1:9, 2:2
+        let m = match_defects(
+            3,
+            |a, b| if (a, b) == (0, 1) || (a, b) == (1, 0) { 1 } else { 20 },
+            |d| if d == 2 { 2 } else { 9 },
+        );
+        assert_eq!(m[0], DefectMatch::Peer(1));
+        assert_eq!(m[1], DefectMatch::Peer(0));
+        assert_eq!(m[2], DefectMatch::Boundary);
+    }
+
+    #[test]
+    fn symmetry_of_peer_matches() {
+        let m = match_defects(4, |a, b| ((a as i64) - (b as i64)).abs(), |_| 100);
+        for (i, &dm) in m.iter().enumerate() {
+            if let DefectMatch::Peer(j) = dm {
+                assert_eq!(m[j], DefectMatch::Peer(i));
+            }
+        }
+    }
+}

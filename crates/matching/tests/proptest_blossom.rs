@@ -1,0 +1,149 @@
+//! Property tests: the blossom solver must agree with the exact bitmask-DP
+//! oracle on every random instance (weights, densities, parities).
+
+use proptest::prelude::*;
+use radqec_matching::{
+    is_valid_matching, matching_size, matching_weight, max_weight_matching,
+    min_weight_perfect_matching, min_weight_perfect_matching_dp, WeightedEdge,
+};
+
+/// Strategy: a random simple graph on `n ≤ 12` vertices with i64 weights in
+/// a small range (keeps DP exact and instances adversarial).
+fn graph_strategy() -> impl Strategy<Value = (usize, Vec<WeightedEdge>)> {
+    (2usize..=12).prop_flat_map(|n| {
+        let pairs: Vec<(u32, u32)> = (0..n as u32)
+            .flat_map(|a| ((a + 1)..n as u32).map(move |b| (a, b)))
+            .collect();
+        let m = pairs.len();
+        (
+            Just(n),
+            proptest::collection::vec(any::<bool>(), m),
+            proptest::collection::vec(-20i64..=20, m),
+        )
+            .prop_map(move |(n, present, weights)| {
+                let edges: Vec<WeightedEdge> = pairs
+                    .iter()
+                    .zip(present.iter().zip(weights.iter()))
+                    .filter(|(_, (p, _))| **p)
+                    .map(|(&(a, b), (_, &w))| (a, b, w))
+                    .collect();
+                (n, edges)
+            })
+    })
+}
+
+/// Brute-force maximum weight matching by recursion (n ≤ 12).
+fn brute_force_max_weight(n: usize, edges: &[WeightedEdge], max_cardinality: bool) -> (usize, i64) {
+    fn rec(
+        edges: &[WeightedEdge],
+        used: &mut Vec<bool>,
+        from: usize,
+        size: usize,
+        weight: i64,
+        best: &mut Vec<(usize, i64)>,
+    ) {
+        best.push((size, weight));
+        for (k, &(i, j, w)) in edges.iter().enumerate().skip(from) {
+            if !used[i as usize] && !used[j as usize] {
+                used[i as usize] = true;
+                used[j as usize] = true;
+                rec(edges, used, k + 1, size + 1, weight + w, best);
+                used[i as usize] = false;
+                used[j as usize] = false;
+            }
+        }
+    }
+    let mut best = Vec::new();
+    rec(edges, &mut vec![false; n], 0, 0, 0, &mut best);
+    if max_cardinality {
+        let maxsize = best.iter().map(|&(s, _)| s).max().unwrap_or(0);
+        (
+            maxsize,
+            best.iter()
+                .filter(|&&(s, _)| s == maxsize)
+                .map(|&(_, w)| w)
+                .max()
+                .unwrap_or(0),
+        )
+    } else {
+        let w = best.iter().map(|&(_, w)| w).max().unwrap_or(0);
+        // size of the best-weight matching is not unique; only weight matters
+        (0, w)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    #[test]
+    fn blossom_matches_brute_force_weight((n, edges) in graph_strategy()) {
+        let mate = max_weight_matching(n, &edges, false);
+        prop_assert!(is_valid_matching(n, &edges, &mate));
+        let w = matching_weight(&edges, &mate);
+        let (_, bw) = brute_force_max_weight(n, &edges, false);
+        prop_assert_eq!(w, bw, "blossom weight {} != brute force {}", w, bw);
+    }
+
+    #[test]
+    fn blossom_maxcardinality_matches_brute_force((n, edges) in graph_strategy()) {
+        let mate = max_weight_matching(n, &edges, true);
+        prop_assert!(is_valid_matching(n, &edges, &mate));
+        let (bs, bw) = brute_force_max_weight(n, &edges, true);
+        prop_assert_eq!(matching_size(&mate), bs);
+        prop_assert_eq!(matching_weight(&edges, &mate), bw);
+    }
+
+    #[test]
+    fn mwpm_agrees_with_dp((n, edges) in graph_strategy()) {
+        // Shift weights positive: MWPM semantics identical under shift for
+        // perfect matchings (all have n/2 edges).
+        let shifted: Vec<WeightedEdge> = edges.iter().map(|&(a, b, w)| (a, b, w + 25)).collect();
+        let blossom = min_weight_perfect_matching(n, &shifted);
+        let dp = min_weight_perfect_matching_dp(n, &shifted);
+        match (blossom, dp) {
+            (None, None) => {}
+            (Some(mate), Some((dpw, _))) => {
+                let w: i64 = shifted
+                    .iter()
+                    .filter(|&&(i, j, _)| mate[i as usize] == j as usize && mate[j as usize] == i as usize)
+                    .map(|e| e.2)
+                    .sum();
+                // Parallel edges: blossom may pick either copy; compare weights.
+                prop_assert_eq!(w, dpw, "blossom mwpm {} != dp {}", w, dpw);
+            }
+            (b, d) => prop_assert!(false, "feasibility disagreement: blossom={:?} dp={:?}", b.is_some(), d.is_some()),
+        }
+    }
+}
+
+#[test]
+fn large_random_instances_are_consistent() {
+    // Beyond DP reach: check validity + local optimality smoke on n=60.
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(99);
+    for _ in 0..10 {
+        let n = 60usize;
+        let mut edges = Vec::new();
+        for a in 0..n as u32 {
+            for b in a + 1..n as u32 {
+                if rng.gen_bool(0.15) {
+                    edges.push((a, b, rng.gen_range(1..100)));
+                }
+            }
+        }
+        let mate = max_weight_matching(n, &edges, false);
+        assert!(is_valid_matching(n, &edges, &mate));
+        // augmenting a single unmatched edge should never improve:
+        // (sanity: every positive-weight edge between two unmatched vertices
+        // would contradict optimality)
+        for &(a, b, w) in &edges {
+            if w > 0 {
+                assert!(
+                    !(mate[a as usize].is_none() && mate[b as usize].is_none()),
+                    "edge ({a},{b},{w}) left both endpoints free"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,206 @@
+//! Fault specifications: what kind of radiation-style event is injected
+//! into a run, and its per-shot resolution into concrete probabilities.
+
+use crate::radiation::{RadiationEvent, RadiationModel};
+use radqec_topology::Topology;
+
+/// Basis of the injected non-unitary reset.
+///
+/// The paper models radiation as computational-basis (Z) resets and
+/// explains the bit-flip-protection advantage (Obs. IV) by exactly that
+/// choice; the X-basis variant (projective reset to |+⟩) is provided as an
+/// ablation that inverts the prediction — see
+/// `cargo run -p radqec-bench --bin ablation_reset_basis`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ResetBasis {
+    /// Reset to |0⟩ (the paper's model).
+    #[default]
+    Z,
+    /// Reset to |+⟩ (H · reset · H).
+    X,
+}
+
+/// Declarative description of the injected fault for a whole experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultSpec {
+    /// No fault — intrinsic noise only.
+    None,
+    /// A full spatio-temporal radiation strike at `root` (paper Sec. III-B):
+    /// shots are distributed across the model's `n_s` temporal samples, and
+    /// the fault spreads to neighbours with `S(d)`.
+    Radiation {
+        /// Fault model parameters.
+        model: RadiationModel,
+        /// Struck physical qubit.
+        root: u32,
+    },
+    /// A radiation strike frozen at the moment of impact (`t = 0`), with
+    /// spatial spread — the paper's Fig. 7 reference line.
+    RadiationAtImpact {
+        /// Fault model parameters.
+        model: RadiationModel,
+        /// Struck physical qubit.
+        root: u32,
+    },
+    /// Simultaneous non-spreading erasure: each listed qubit independently
+    /// gets a reset after each of its gates with `probability` (the paper's
+    /// Fig. 6/7 "erasure error" injections, probability 1 at `t = 0`).
+    MultiReset {
+        /// Affected physical qubits.
+        qubits: Vec<u32>,
+        /// Per-gate reset probability on those qubits.
+        probability: f64,
+    },
+}
+
+impl FaultSpec {
+    /// Number of distinct temporal samples this fault evolves over (shots
+    /// are split evenly across them).
+    pub fn num_samples(&self) -> usize {
+        match self {
+            FaultSpec::Radiation { model, .. } => model.num_samples,
+            _ => 1,
+        }
+    }
+
+    /// Resolve the per-qubit, per-gate reset probabilities at temporal
+    /// sample `sample` on `topo`.
+    pub fn activate(&self, topo: &Topology, sample: usize) -> ActiveFault {
+        let n = topo.num_qubits() as usize;
+        match self {
+            FaultSpec::None => ActiveFault::none(n),
+            FaultSpec::Radiation { model, root } => {
+                let ev: RadiationEvent = model.strike(topo, *root);
+                ActiveFault::from_probs(ev.probabilities_at(sample))
+            }
+            FaultSpec::RadiationAtImpact { model, root } => {
+                assert_eq!(sample, 0, "impact-frozen fault has a single sample");
+                let ev = model.strike(topo, *root);
+                ActiveFault::from_probs(ev.probabilities_at(0))
+            }
+            FaultSpec::MultiReset { qubits, probability } => {
+                assert_eq!(sample, 0, "multi-reset fault has a single sample");
+                let mut probs = vec![0.0; n];
+                for &q in qubits {
+                    assert!((q as usize) < n, "fault qubit {q} outside topology");
+                    probs[q as usize] = *probability;
+                }
+                ActiveFault::from_probs(probs)
+            }
+        }
+    }
+}
+
+/// Per-shot fault activity: probability of appending a reset after each gate
+/// that touches each qubit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActiveFault {
+    probs: Vec<f64>,
+    any: bool,
+    basis: ResetBasis,
+}
+
+impl ActiveFault {
+    /// No fault on an `n`-qubit device.
+    pub fn none(n: usize) -> Self {
+        ActiveFault { probs: vec![0.0; n], any: false, basis: ResetBasis::Z }
+    }
+
+    /// From explicit per-qubit probabilities (Z-basis resets).
+    pub fn from_probs(probs: Vec<f64>) -> Self {
+        for &p in &probs {
+            assert!((0.0..=1.0).contains(&p), "probability {p} out of range");
+        }
+        let any = probs.iter().any(|&p| p > 0.0);
+        ActiveFault { probs, any, basis: ResetBasis::Z }
+    }
+
+    /// Switch the reset basis (builder style).
+    pub fn with_basis(mut self, basis: ResetBasis) -> Self {
+        self.basis = basis;
+        self
+    }
+
+    /// The reset basis of this fault.
+    #[inline]
+    pub fn basis(&self) -> ResetBasis {
+        self.basis
+    }
+
+    /// Reset probability for `qubit`.
+    #[inline]
+    pub fn prob(&self, qubit: u32) -> f64 {
+        self.probs[qubit as usize]
+    }
+
+    /// Fast check: does this fault do anything at all?
+    #[inline]
+    pub fn is_active(&self) -> bool {
+        self.any
+    }
+
+    /// Per-qubit probabilities.
+    pub fn probs(&self) -> &[f64] {
+        &self.probs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use radqec_topology::generators::linear;
+
+    #[test]
+    fn none_is_inactive() {
+        let f = FaultSpec::None.activate(&linear(4), 0);
+        assert!(!f.is_active());
+        assert_eq!(f.prob(2), 0.0);
+    }
+
+    #[test]
+    fn radiation_fault_spreads() {
+        let spec = FaultSpec::Radiation { model: RadiationModel::default(), root: 1 };
+        assert_eq!(spec.num_samples(), 10);
+        let f = spec.activate(&linear(4), 0);
+        assert!(f.is_active());
+        assert_eq!(f.prob(1), 1.0);
+        assert_eq!(f.prob(0), 0.25);
+        assert_eq!(f.prob(2), 0.25);
+        // later sample shrinks
+        let f5 = spec.activate(&linear(4), 5);
+        assert!(f5.prob(1) < 0.01);
+    }
+
+    #[test]
+    fn impact_frozen_fault_is_sample_zero() {
+        let spec_full = FaultSpec::Radiation { model: RadiationModel::default(), root: 0 };
+        let spec_frozen =
+            FaultSpec::RadiationAtImpact { model: RadiationModel::default(), root: 0 };
+        assert_eq!(spec_frozen.num_samples(), 1);
+        assert_eq!(
+            spec_full.activate(&linear(4), 0),
+            spec_frozen.activate(&linear(4), 0)
+        );
+    }
+
+    #[test]
+    fn multi_reset_touches_only_listed_qubits() {
+        let spec = FaultSpec::MultiReset { qubits: vec![0, 3], probability: 1.0 };
+        let f = spec.activate(&linear(4), 0);
+        assert_eq!(f.prob(0), 1.0);
+        assert_eq!(f.prob(1), 0.0);
+        assert_eq!(f.prob(3), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "single sample")]
+    fn multi_reset_rejects_later_samples() {
+        FaultSpec::MultiReset { qubits: vec![0], probability: 1.0 }.activate(&linear(2), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn active_fault_validates_probabilities() {
+        ActiveFault::from_probs(vec![1.5]);
+    }
+}

@@ -1,0 +1,37 @@
+//! # radqec-noise
+//!
+//! The two stochastic models of the paper, plus the executor that weaves
+//! them into circuit execution:
+//!
+//! * **Intrinsic noise** ([`NoiseSpec`]) — the depolarizing Pauli channel of
+//!   Eq. 4: after each gate with probability `p`, an X/Y/Z is appended
+//!   (each `p/3`); two-qubit gates receive `E ⊗ E`.
+//! * **Radiation faults** ([`RadiationModel`], [`FaultSpec`]) — the
+//!   transient fault of Eq. 5–7: a strike at a root qubit appends
+//!   probabilistic resets after every gate, with probability
+//!   `F(t, d) = e^(−γt) · 1/(d+1)²` decaying over the event's `n_s`
+//!   temporal samples and with graph distance from the impact.
+//! * [`run_noisy_shot`] — executes one shot with both models active.
+//!
+//! ```
+//! use radqec_noise::{temporal_decay, spatial_damping};
+//!
+//! // Paper Fig. 3 / Fig. 4 anchor points:
+//! assert_eq!(temporal_decay(0.0, 10.0), 1.0);
+//! assert_eq!(spatial_damping(1, 1.0), 0.25);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod depolarizing;
+mod executor;
+mod fault;
+mod radiation;
+
+pub use depolarizing::NoiseSpec;
+pub use executor::run_noisy_shot;
+pub use fault::{ActiveFault, FaultSpec, ResetBasis};
+pub use radiation::{
+    spatial_damping, temporal_decay, transient_decay, RadiationEvent, RadiationModel,
+};

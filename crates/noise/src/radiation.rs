@@ -1,0 +1,227 @@
+//! The radiation-induced transient fault model (paper Sec. III-B).
+//!
+//! A particle strike at a *root* qubit deposits energy that decays
+//! exponentially in time (Eq. 5) and spreads isotropically through the chip,
+//! damped with graph distance (Eq. 6). The product `F(t, d) = T(t)·S(d)`
+//! (Eq. 7) gives the probability that a non-unitary reset is appended after
+//! each gate acting on a qubit at distance `d`, at time `t` of the event.
+
+use radqec_topology::Topology;
+
+/// Temporal decay `T(t) = e^(−γ·t)`, `t ∈ [0, 1]` (Eq. 5). The paper fixes
+/// `γ = 10` from the quasiparticle decay rates observed in the literature.
+#[inline]
+pub fn temporal_decay(t: f64, gamma: f64) -> f64 {
+    (-gamma * t).exp()
+}
+
+/// Spatial damping `S(d) = n² / (d + n)²` (Eq. 6) with `n = 1`: 100% at the
+/// impact point, 25% one hop away, ~11% two hops away.
+///
+/// `d == u32::MAX` (unreachable) damps to 0.
+#[inline]
+pub fn spatial_damping(d: u32, n: f64) -> f64 {
+    if d == u32::MAX {
+        return 0.0;
+    }
+    let dn = d as f64 + n;
+    (n * n) / (dn * dn)
+}
+
+/// The transient error decay function `F(t, d) = T(t) · S(d)` (Eq. 7).
+#[inline]
+pub fn transient_decay(t: f64, d: u32, gamma: f64, n: f64) -> f64 {
+    temporal_decay(t, gamma) * spatial_damping(d, n)
+}
+
+/// Parameters of the radiation fault model. Defaults are the paper's:
+/// `γ = 10`, `n_s = 10` temporal samples, spatial constant `n = 1`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RadiationModel {
+    /// Temporal decay constant γ of Eq. 5.
+    pub gamma: f64,
+    /// Number of equidistant samples of `T(t)` over `[0, 1]` (the paper's
+    /// `n_s`; its Fig. 3 shows the resulting step function `T̂`).
+    pub num_samples: usize,
+    /// Spatial constant `n` of Eq. 6.
+    pub spatial_n: f64,
+}
+
+impl Default for RadiationModel {
+    fn default() -> Self {
+        RadiationModel { gamma: 10.0, num_samples: 10, spatial_n: 1.0 }
+    }
+}
+
+impl RadiationModel {
+    /// The sampling instants `t_k = k / (n_s − 1)`, `k = 0 … n_s−1`.
+    pub fn sample_times(&self) -> Vec<f64> {
+        let ns = self.num_samples;
+        assert!(ns >= 1);
+        if ns == 1 {
+            return vec![0.0];
+        }
+        (0..ns).map(|k| k as f64 / (ns - 1) as f64).collect()
+    }
+
+    /// The step function `T̂`: `T(t_k)` at each sampling instant.
+    pub fn temporal_samples(&self) -> Vec<f64> {
+        self.sample_times()
+            .into_iter()
+            .map(|t| temporal_decay(t, self.gamma))
+            .collect()
+    }
+
+    /// Materialise a strike at `root` on `topo`: computes the per-qubit
+    /// spatial damping from BFS distances.
+    pub fn strike(&self, topo: &Topology, root: u32) -> RadiationEvent {
+        assert!(root < topo.num_qubits(), "root {root} outside topology");
+        let spatial: Vec<f64> = topo
+            .distances_from(root)
+            .into_iter()
+            .map(|d| spatial_damping(d, self.spatial_n))
+            .collect();
+        RadiationEvent { root, spatial, temporal: self.temporal_samples() }
+    }
+}
+
+/// A concrete radiation strike: root qubit, per-qubit spatial damping and
+/// the temporal sample ladder.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RadiationEvent {
+    root: u32,
+    spatial: Vec<f64>,
+    temporal: Vec<f64>,
+}
+
+impl RadiationEvent {
+    /// The struck qubit.
+    pub fn root(&self) -> u32 {
+        self.root
+    }
+
+    /// Number of temporal samples (`n_s`).
+    pub fn num_samples(&self) -> usize {
+        self.temporal.len()
+    }
+
+    /// `S(d_q)` for every qubit.
+    pub fn spatial_profile(&self) -> &[f64] {
+        &self.spatial
+    }
+
+    /// `T̂(t_k)` ladder.
+    pub fn temporal_profile(&self) -> &[f64] {
+        &self.temporal
+    }
+
+    /// Per-gate reset probability for `qubit` at temporal sample `sample`:
+    /// `p_q = T̂(t_k) · S(d_q)`.
+    #[inline]
+    pub fn probability(&self, qubit: u32, sample: usize) -> f64 {
+        self.temporal[sample] * self.spatial[qubit as usize]
+    }
+
+    /// All per-qubit probabilities at `sample`.
+    pub fn probabilities_at(&self, sample: usize) -> Vec<f64> {
+        let t = self.temporal[sample];
+        self.spatial.iter().map(|s| t * s).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use radqec_topology::generators::{linear, mesh};
+
+    #[test]
+    fn temporal_decay_endpoints() {
+        assert!((temporal_decay(0.0, 10.0) - 1.0).abs() < 1e-12);
+        assert!((temporal_decay(1.0, 10.0) - (-10.0f64).exp()).abs() < 1e-15);
+        // monotone decreasing
+        assert!(temporal_decay(0.2, 10.0) > temporal_decay(0.3, 10.0));
+    }
+
+    #[test]
+    fn spatial_damping_values() {
+        assert_eq!(spatial_damping(0, 1.0), 1.0);
+        assert_eq!(spatial_damping(1, 1.0), 0.25);
+        assert!((spatial_damping(2, 1.0) - 1.0 / 9.0).abs() < 1e-12);
+        assert!((spatial_damping(3, 1.0) - 1.0 / 16.0).abs() < 1e-12);
+        assert_eq!(spatial_damping(u32::MAX, 1.0), 0.0);
+    }
+
+    #[test]
+    fn transient_decay_is_product() {
+        let f = transient_decay(0.5, 2, 10.0, 1.0);
+        assert!((f - temporal_decay(0.5, 10.0) * spatial_damping(2, 1.0)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn default_model_matches_paper() {
+        let m = RadiationModel::default();
+        assert_eq!(m.gamma, 10.0);
+        assert_eq!(m.num_samples, 10);
+        assert_eq!(m.spatial_n, 1.0);
+        let ts = m.sample_times();
+        assert_eq!(ts.len(), 10);
+        assert_eq!(ts[0], 0.0);
+        assert_eq!(ts[9], 1.0);
+        let th = m.temporal_samples();
+        assert_eq!(th[0], 1.0);
+        assert!((th[9] - (-10.0f64).exp()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn strike_probabilities_decay_with_distance_and_time() {
+        let topo = mesh(5, 6);
+        let ev = RadiationModel::default().strike(&topo, 0);
+        assert_eq!(ev.root(), 0);
+        // root at impact: 100%
+        assert_eq!(ev.probability(0, 0), 1.0);
+        // direct neighbour (qubit 1): 25%
+        assert_eq!(ev.probability(1, 0), 0.25);
+        // diagonal (distance 2): 1/9
+        assert!((ev.probability(7, 0) - 1.0 / 9.0).abs() < 1e-12);
+        // later samples damp everything
+        assert!(ev.probability(0, 5) < ev.probability(0, 1));
+        assert!(ev.probability(1, 3) < ev.probability(1, 0));
+    }
+
+    #[test]
+    fn strike_on_line_matches_manual_distances() {
+        let topo = linear(5);
+        let ev = RadiationModel::default().strike(&topo, 2);
+        let profile = ev.spatial_profile();
+        assert!((profile[2] - 1.0).abs() < 1e-12);
+        assert!((profile[1] - 0.25).abs() < 1e-12);
+        assert!((profile[3] - 0.25).abs() < 1e-12);
+        assert!((profile[0] - 1.0 / 9.0).abs() < 1e-12);
+        assert!((profile[4] - 1.0 / 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn probabilities_at_returns_scaled_profile() {
+        let topo = linear(3);
+        let ev = RadiationModel::default().strike(&topo, 0);
+        let p0 = ev.probabilities_at(0);
+        let p1 = ev.probabilities_at(1);
+        let t1 = ev.temporal_profile()[1];
+        for (a, b) in p0.iter().zip(&p1) {
+            assert!((b - a * t1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn single_sample_model() {
+        let m = RadiationModel { num_samples: 1, ..Default::default() };
+        assert_eq!(m.sample_times(), vec![0.0]);
+        assert_eq!(m.temporal_samples(), vec![1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside topology")]
+    fn strike_root_validated() {
+        RadiationModel::default().strike(&linear(3), 5);
+    }
+}

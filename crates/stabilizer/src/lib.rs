@@ -1,0 +1,44 @@
+//! # radqec-stabilizer
+//!
+//! Bit-packed Aaronson–Gottesman (CHP) stabilizer simulator.
+//!
+//! Every circuit in the reproduced paper — repetition and XXZZ surface codes
+//! under depolarizing Pauli noise and radiation-induced reset faults — is a
+//! Clifford circuit, so this backend simulates them *exactly*, with `O(n)`
+//! cost per gate and `O(n²)` per measurement. This is the substitution for
+//! the Qiskit Aer simulator used by the paper (see `DESIGN.md` §1).
+//!
+//! The crate exposes:
+//! * [`Tableau`] — the raw CHP tableau with per-gate methods;
+//! * [`StabilizerBackend`] — the [`radqec_circuit::Backend`] adapter used by
+//!   the execution and fault-injection layers;
+//! * [`PauliString`] — sign-tracked Pauli operators used by the code layer
+//!   to express and verify stabilizer generators.
+//!
+//! ```
+//! use radqec_circuit::{execute, Circuit};
+//! use radqec_stabilizer::StabilizerBackend;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut ghz = Circuit::new(3, 3);
+//! ghz.h(0).cx(0, 1).cx(1, 2);
+//! for q in 0..3 {
+//!     ghz.measure(q, q);
+//! }
+//! let mut backend = StabilizerBackend::new(3);
+//! let mut rng = StdRng::seed_from_u64(42);
+//! let shot = execute(&ghz, &mut backend, &mut rng);
+//! assert_eq!(shot.get(0), shot.get(1));
+//! assert_eq!(shot.get(1), shot.get(2));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod backend;
+mod pauli;
+mod tableau;
+
+pub use backend::StabilizerBackend;
+pub use pauli::PauliString;
+pub use tableau::Tableau;

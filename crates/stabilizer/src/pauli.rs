@@ -1,0 +1,213 @@
+//! Dense-bitmask Pauli strings with sign tracking.
+//!
+//! Used by the code-construction layer to express stabilizer generators and
+//! logical operators, and to verify their commutation relations (every
+//! stabilizer group the codes build is checked for pairwise commutation in
+//! debug builds and in tests).
+
+/// A Pauli operator on `n` qubits, stored as X/Z bit masks plus a sign.
+///
+/// The operator on qubit `q` is `X^x_q Z^z_q` (so `x=z=1` is `Y` up to the
+/// global phase tracked in `sign`); `sign = true` means an overall `-1`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PauliString {
+    n: usize,
+    x: Vec<u64>,
+    z: Vec<u64>,
+    /// True for a leading minus sign.
+    pub sign: bool,
+}
+
+#[inline]
+fn words_for(n: usize) -> usize {
+    n.div_ceil(64)
+}
+
+impl PauliString {
+    /// The identity on `n` qubits.
+    pub fn identity(n: usize) -> Self {
+        let w = words_for(n);
+        PauliString { n, x: vec![0; w], z: vec![0; w], sign: false }
+    }
+
+    /// Build from sparse single-qubit factors, e.g. `[(0,'Z'), (1,'Z')]`.
+    ///
+    /// # Panics
+    /// Panics on out-of-range qubits, duplicate qubits, or letters other
+    /// than `I`, `X`, `Y`, `Z`.
+    pub fn from_sparse(n: usize, factors: &[(usize, char)]) -> Self {
+        let mut p = Self::identity(n);
+        for &(q, c) in factors {
+            assert!(q < n, "qubit {q} out of range");
+            assert!(
+                !p.get_x(q) && !p.get_z(q),
+                "duplicate qubit {q} in Pauli string"
+            );
+            match c {
+                'I' => {}
+                'X' => p.set_x(q, true),
+                'Z' => p.set_z(q, true),
+                'Y' => {
+                    p.set_x(q, true);
+                    p.set_z(q, true);
+                }
+                _ => panic!("unknown Pauli letter {c:?}"),
+            }
+        }
+        p
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.n
+    }
+
+    #[inline]
+    fn get_bit(v: &[u64], q: usize) -> bool {
+        v[q / 64] >> (q % 64) & 1 == 1
+    }
+    #[inline]
+    fn set_bit(v: &mut [u64], q: usize, b: bool) {
+        let m = 1u64 << (q % 64);
+        if b {
+            v[q / 64] |= m;
+        } else {
+            v[q / 64] &= !m;
+        }
+    }
+
+    /// X component on qubit `q`.
+    pub fn get_x(&self, q: usize) -> bool {
+        Self::get_bit(&self.x, q)
+    }
+    /// Z component on qubit `q`.
+    pub fn get_z(&self, q: usize) -> bool {
+        Self::get_bit(&self.z, q)
+    }
+    /// Set the X component on qubit `q`.
+    pub fn set_x(&mut self, q: usize, b: bool) {
+        Self::set_bit(&mut self.x, q, b);
+    }
+    /// Set the Z component on qubit `q`.
+    pub fn set_z(&mut self, q: usize, b: bool) {
+        Self::set_bit(&mut self.z, q, b);
+    }
+
+    /// Number of qubits with a non-identity factor.
+    pub fn weight(&self) -> usize {
+        self.x
+            .iter()
+            .zip(&self.z)
+            .map(|(&a, &b)| (a | b).count_ones() as usize)
+            .sum()
+    }
+
+    /// True iff `self` and `other` commute (symplectic inner product is 0).
+    pub fn commutes_with(&self, other: &PauliString) -> bool {
+        assert_eq!(self.n, other.n, "qubit-count mismatch");
+        let mut acc = 0u32;
+        for w in 0..self.x.len() {
+            acc ^= (self.x[w] & other.z[w]).count_ones() & 1;
+            acc ^= (self.z[w] & other.x[w]).count_ones() & 1;
+        }
+        acc == 0
+    }
+
+    /// The single-qubit letter at `q` (`'I'`, `'X'`, `'Y'` or `'Z'`).
+    pub fn letter(&self, q: usize) -> char {
+        match (self.get_x(q), self.get_z(q)) {
+            (false, false) => 'I',
+            (true, false) => 'X',
+            (true, true) => 'Y',
+            (false, true) => 'Z',
+        }
+    }
+
+    /// Qubits with a non-identity factor, ascending.
+    pub fn support(&self) -> Vec<usize> {
+        (0..self.n).filter(|&q| self.get_x(q) || self.get_z(q)).collect()
+    }
+}
+
+impl std::fmt::Display for PauliString {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.sign {
+            write!(f, "-")?;
+        } else {
+            write!(f, "+")?;
+        }
+        for q in 0..self.n {
+            write!(f, "{}", self.letter(q))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_has_zero_weight() {
+        let p = PauliString::identity(70);
+        assert_eq!(p.weight(), 0);
+        assert_eq!(p.support(), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn sparse_construction_and_letters() {
+        let p = PauliString::from_sparse(4, &[(0, 'X'), (1, 'Y'), (3, 'Z')]);
+        assert_eq!(p.letter(0), 'X');
+        assert_eq!(p.letter(1), 'Y');
+        assert_eq!(p.letter(2), 'I');
+        assert_eq!(p.letter(3), 'Z');
+        assert_eq!(p.weight(), 3);
+        assert_eq!(p.support(), vec![0, 1, 3]);
+        assert_eq!(p.to_string(), "+XYIZ");
+    }
+
+    #[test]
+    fn anticommuting_pairs() {
+        let x = PauliString::from_sparse(1, &[(0, 'X')]);
+        let z = PauliString::from_sparse(1, &[(0, 'Z')]);
+        let y = PauliString::from_sparse(1, &[(0, 'Y')]);
+        assert!(!x.commutes_with(&z));
+        assert!(!x.commutes_with(&y));
+        assert!(!y.commutes_with(&z));
+        assert!(x.commutes_with(&x));
+    }
+
+    #[test]
+    fn overlapping_two_qubit_strings_commute() {
+        // ZZ and XX share two qubits -> commute
+        let zz = PauliString::from_sparse(2, &[(0, 'Z'), (1, 'Z')]);
+        let xx = PauliString::from_sparse(2, &[(0, 'X'), (1, 'X')]);
+        assert!(zz.commutes_with(&xx));
+        // ZI and XX anticommute (one overlap)
+        let zi = PauliString::from_sparse(2, &[(0, 'Z')]);
+        assert!(!zi.commutes_with(&xx));
+    }
+
+    #[test]
+    fn surface_code_style_plaquettes_commute() {
+        // weight-4 Z plaquette and weight-4 X plaquette sharing 2 qubits
+        let zp = PauliString::from_sparse(6, &[(0, 'Z'), (1, 'Z'), (2, 'Z'), (3, 'Z')]);
+        let xp = PauliString::from_sparse(6, &[(2, 'X'), (3, 'X'), (4, 'X'), (5, 'X')]);
+        assert!(zp.commutes_with(&xp));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate qubit")]
+    fn duplicate_qubits_rejected() {
+        PauliString::from_sparse(2, &[(0, 'X'), (0, 'Z')]);
+    }
+
+    #[test]
+    fn cross_word_boundary() {
+        let p = PauliString::from_sparse(130, &[(63, 'X'), (64, 'Z'), (129, 'Y')]);
+        assert_eq!(p.letter(63), 'X');
+        assert_eq!(p.letter(64), 'Z');
+        assert_eq!(p.letter(129), 'Y');
+        assert_eq!(p.weight(), 3);
+    }
+}

@@ -1,0 +1,598 @@
+//! Aaronson–Gottesman CHP stabilizer tableau.
+//!
+//! State of `n` qubits is tracked as `2n` Pauli rows (destabilizers then
+//! stabilizers) over bit-packed X/Z planes, plus a scratch row used during
+//! deterministic measurement. All gates in the `radqec` set are Clifford, so
+//! this simulator is an *exact* model of every circuit in the paper, at
+//! `O(n)` per gate and `O(n^2)` per measurement — comfortably fast for the
+//! ≤ 65-qubit devices studied (Brooklyn).
+//!
+//! Reference: S. Aaronson and D. Gottesman, "Improved simulation of
+//! stabilizer circuits", Phys. Rev. A 70, 052328 (2004). The row-product
+//! phase accumulation below is the word-parallel form of their `rowsum`.
+
+use crate::pauli::PauliString;
+use rand::RngCore;
+
+/// CHP tableau over `n` qubits.
+#[derive(Debug, Clone)]
+pub struct Tableau {
+    n: usize,
+    /// Words per row half (x or z plane).
+    w: usize,
+    /// X bit-planes, `(2n + 1)` rows of `w` words (last row is scratch).
+    xs: Vec<u64>,
+    /// Z bit-planes, same shape.
+    zs: Vec<u64>,
+    /// Phase bit per row (`true` = −1).
+    rs: Vec<bool>,
+}
+
+impl Tableau {
+    /// A fresh tableau in the |0…0⟩ state.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "tableau needs at least one qubit");
+        let w = n.div_ceil(64);
+        let rows = 2 * n + 1;
+        let mut t = Tableau { n, w, xs: vec![0; rows * w], zs: vec![0; rows * w], rs: vec![false; rows] };
+        for i in 0..n {
+            t.set_x(i, i, true); // destabilizer i = X_i
+            t.set_z(n + i, i, true); // stabilizer i = Z_i
+        }
+        t
+    }
+
+    /// Number of qubits.
+    #[inline]
+    pub fn num_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// Re-initialise to |0…0⟩ without reallocating.
+    pub fn clear(&mut self) {
+        self.xs.fill(0);
+        self.zs.fill(0);
+        self.rs.fill(false);
+        for i in 0..self.n {
+            self.set_x(i, i, true);
+            self.set_z(self.n + i, i, true);
+        }
+    }
+
+    // --- bit accessors ----------------------------------------------------------
+
+    #[inline]
+    fn x_bit(&self, row: usize, col: usize) -> bool {
+        self.xs[row * self.w + col / 64] >> (col % 64) & 1 == 1
+    }
+    #[inline]
+    fn z_bit(&self, row: usize, col: usize) -> bool {
+        self.zs[row * self.w + col / 64] >> (col % 64) & 1 == 1
+    }
+    #[inline]
+    fn set_x(&mut self, row: usize, col: usize, b: bool) {
+        let m = 1u64 << (col % 64);
+        let idx = row * self.w + col / 64;
+        if b {
+            self.xs[idx] |= m;
+        } else {
+            self.xs[idx] &= !m;
+        }
+    }
+    #[inline]
+    fn set_z(&mut self, row: usize, col: usize, b: bool) {
+        let m = 1u64 << (col % 64);
+        let idx = row * self.w + col / 64;
+        if b {
+            self.zs[idx] |= m;
+        } else {
+            self.zs[idx] &= !m;
+        }
+    }
+
+    // --- Clifford gates ----------------------------------------------------------
+
+    /// Hadamard on `a`: swaps X/Z, phase flips on Y.
+    pub fn h(&mut self, a: usize) {
+        let (w, m, sh) = (a / 64, 1u64 << (a % 64), a % 64);
+        for row in 0..2 * self.n {
+            let xi = row * self.w + w;
+            let xb = self.xs[xi] & m;
+            let zb = self.zs[xi] & m;
+            if xb != 0 && zb != 0 {
+                self.rs[row] = !self.rs[row];
+            }
+            self.xs[xi] = (self.xs[xi] & !m) | (zb >> sh << sh);
+            self.zs[xi] = (self.zs[xi] & !m) | (xb >> sh << sh);
+        }
+    }
+
+    /// Phase gate S on `a` (X→Y, Z→Z).
+    pub fn s(&mut self, a: usize) {
+        let (w, m) = (a / 64, 1u64 << (a % 64));
+        for row in 0..2 * self.n {
+            let xi = row * self.w + w;
+            let xb = self.xs[xi] & m;
+            let zb = self.zs[xi] & m;
+            if xb != 0 && zb != 0 {
+                self.rs[row] = !self.rs[row];
+            }
+            self.zs[xi] ^= xb;
+        }
+    }
+
+    /// Inverse phase gate S† on `a` (X→−Y, Z→Z).
+    pub fn sdg(&mut self, a: usize) {
+        let (w, m) = (a / 64, 1u64 << (a % 64));
+        for row in 0..2 * self.n {
+            let xi = row * self.w + w;
+            let xb = self.xs[xi] & m;
+            let zb = self.zs[xi] & m;
+            if xb != 0 && zb == 0 {
+                self.rs[row] = !self.rs[row];
+            }
+            self.zs[xi] ^= xb;
+        }
+    }
+
+    /// Pauli X on `a` (phase flips rows with a Z component).
+    pub fn x(&mut self, a: usize) {
+        let (w, m) = (a / 64, 1u64 << (a % 64));
+        for row in 0..2 * self.n {
+            if self.zs[row * self.w + w] & m != 0 {
+                self.rs[row] = !self.rs[row];
+            }
+        }
+    }
+
+    /// Pauli Z on `a` (phase flips rows with an X component).
+    pub fn z(&mut self, a: usize) {
+        let (w, m) = (a / 64, 1u64 << (a % 64));
+        for row in 0..2 * self.n {
+            if self.xs[row * self.w + w] & m != 0 {
+                self.rs[row] = !self.rs[row];
+            }
+        }
+    }
+
+    /// Pauli Y on `a` (phase flips rows with X or Z but not both).
+    pub fn y(&mut self, a: usize) {
+        let (w, m) = (a / 64, 1u64 << (a % 64));
+        for row in 0..2 * self.n {
+            let xi = row * self.w + w;
+            if (self.xs[xi] & m != 0) != (self.zs[xi] & m != 0) {
+                self.rs[row] = !self.rs[row];
+            }
+        }
+    }
+
+    /// CNOT with control `c` and target `t`.
+    pub fn cx(&mut self, c: usize, t: usize) {
+        assert_ne!(c, t, "cx with control == target");
+        let (wc, mc) = (c / 64, 1u64 << (c % 64));
+        let (wt, mt) = (t / 64, 1u64 << (t % 64));
+        for row in 0..2 * self.n {
+            let base = row * self.w;
+            let xc = self.xs[base + wc] & mc != 0;
+            let zc = self.zs[base + wc] & mc != 0;
+            let xt = self.xs[base + wt] & mt != 0;
+            let zt = self.zs[base + wt] & mt != 0;
+            if xc && zt && !(xt ^ zc) {
+                self.rs[row] = !self.rs[row];
+            }
+            if xc {
+                self.xs[base + wt] ^= mt;
+            }
+            if zt {
+                self.zs[base + wc] ^= mc;
+            }
+        }
+    }
+
+    /// Controlled-Z on `a`, `b` (symmetric).
+    pub fn cz(&mut self, a: usize, b: usize) {
+        self.h(b);
+        self.cx(a, b);
+        self.h(b);
+    }
+
+    /// SWAP of qubits `a` and `b` — pure column relabelling, no phases.
+    pub fn swap(&mut self, a: usize, b: usize) {
+        assert_ne!(a, b, "swap with identical qubits");
+        for row in 0..2 * self.n {
+            let xa = self.x_bit(row, a);
+            let xb = self.x_bit(row, b);
+            let za = self.z_bit(row, a);
+            let zb = self.z_bit(row, b);
+            self.set_x(row, a, xb);
+            self.set_x(row, b, xa);
+            self.set_z(row, a, zb);
+            self.set_z(row, b, za);
+        }
+    }
+
+    // --- row product -------------------------------------------------------------
+
+    /// `row_h := row_i * row_h` with exact phase tracking (CHP `rowsum`).
+    ///
+    /// Word-parallel: the per-column phase contribution g ∈ {−1, 0, +1} is
+    /// evaluated as two bitmasks (positions contributing +1 / −1) and summed
+    /// with popcounts.
+    fn rowsum(&mut self, h: usize, i: usize) {
+        let mut acc: i64 = 2 * (self.rs[h] as i64) + 2 * (self.rs[i] as i64);
+        let (bh, bi) = (h * self.w, i * self.w);
+        for w in 0..self.w {
+            let x1 = self.xs[bi + w];
+            let z1 = self.zs[bi + w];
+            let x2 = self.xs[bh + w];
+            let z2 = self.zs[bh + w];
+            let pos = (x1 & !z1 & x2 & z2) | (x1 & z1 & z2 & !x2) | (!x1 & z1 & x2 & !z2);
+            let neg = (x1 & !z1 & z2 & !x2) | (x1 & z1 & x2 & !z2) | (!x1 & z1 & x2 & z2);
+            acc += pos.count_ones() as i64 - neg.count_ones() as i64;
+            self.xs[bh + w] ^= x1;
+            self.zs[bh + w] ^= z1;
+        }
+        // For stabilizer/scratch rows the accumulated i-exponent is provably
+        // even (the rows commute); destabilizer rows may yield an odd
+        // exponent, but their phases are never read — mirror CHP and keep
+        // only the relevant bit.
+        self.rs[h] = acc.rem_euclid(4) >= 2;
+    }
+
+    fn copy_row(&mut self, dst: usize, src: usize) {
+        let (bd, bs) = (dst * self.w, src * self.w);
+        for w in 0..self.w {
+            self.xs[bd + w] = self.xs[bs + w];
+            self.zs[bd + w] = self.zs[bs + w];
+        }
+        self.rs[dst] = self.rs[src];
+    }
+
+    fn zero_row(&mut self, row: usize) {
+        let b = row * self.w;
+        self.xs[b..b + self.w].fill(0);
+        self.zs[b..b + self.w].fill(0);
+        self.rs[row] = false;
+    }
+
+    // --- measurement -------------------------------------------------------------
+
+    /// Z-basis measurement of qubit `a`, collapsing the state.
+    pub fn measure(&mut self, a: usize, rng: &mut dyn RngCore) -> bool {
+        let n = self.n;
+        // A stabilizer row with an X component on `a` anticommutes with Z_a:
+        // outcome is random.
+        let p = (n..2 * n).find(|&row| self.x_bit(row, a));
+        match p {
+            Some(p) => {
+                for row in 0..2 * n {
+                    if row != p && self.x_bit(row, a) {
+                        self.rowsum(row, p);
+                    }
+                }
+                self.copy_row(p - n, p);
+                self.zero_row(p);
+                self.set_z(p, a, true);
+                let outcome = rng.next_u32() & 1 == 1;
+                self.rs[p] = outcome;
+                outcome
+            }
+            None => {
+                // Deterministic: accumulate the stabilizer combination whose
+                // product is ±Z_a into the scratch row.
+                let scratch = 2 * n;
+                self.zero_row(scratch);
+                for i in 0..n {
+                    if self.x_bit(i, a) {
+                        self.rowsum(scratch, i + n);
+                    }
+                }
+                self.rs[scratch]
+            }
+        }
+    }
+
+    /// Whether measuring `a` would give a deterministic outcome, and if so
+    /// which. Does not collapse the state.
+    pub fn peek_z(&mut self, a: usize) -> Option<bool> {
+        let n = self.n;
+        if (n..2 * n).any(|row| self.x_bit(row, a)) {
+            return None;
+        }
+        let scratch = 2 * n;
+        self.zero_row(scratch);
+        for i in 0..n {
+            if self.x_bit(i, a) {
+                self.rowsum(scratch, i + n);
+            }
+        }
+        Some(self.rs[scratch])
+    }
+
+    /// Reset qubit `a` to |0⟩ (measure, then correct).
+    pub fn reset(&mut self, a: usize, rng: &mut dyn RngCore) {
+        if self.measure(a, rng) {
+            self.x(a);
+        }
+    }
+
+    /// The `i`-th stabilizer generator as a [`PauliString`] (for inspection
+    /// and tests).
+    pub fn stabilizer(&self, i: usize) -> PauliString {
+        assert!(i < self.n, "stabilizer index out of range");
+        let row = self.n + i;
+        let mut p = PauliString::identity(self.n);
+        for q in 0..self.n {
+            p.set_x(q, self.x_bit(row, q));
+            p.set_z(q, self.z_bit(row, q));
+        }
+        p.sign = self.rs[row];
+        p
+    }
+
+    /// Sanity check: stabilizer rows pairwise commute and are independent
+    /// of each other via the destabilizer pairing (each destabilizer
+    /// anticommutes with its stabilizer only). Used in tests.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for i in 0..self.n {
+            for j in 0..self.n {
+                let si = self.stabilizer(i);
+                let sj = self.stabilizer(j);
+                if !si.commutes_with(&sj) {
+                    return Err(format!("stabilizers {i} and {j} anticommute"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xDECAF)
+    }
+
+    #[test]
+    fn fresh_state_measures_zero() {
+        let mut t = Tableau::new(3);
+        let mut r = rng();
+        for q in 0..3 {
+            assert!(!t.measure(q, &mut r));
+        }
+    }
+
+    #[test]
+    fn x_flips_measurement() {
+        let mut t = Tableau::new(2);
+        let mut r = rng();
+        t.x(0);
+        assert!(t.measure(0, &mut r));
+        assert!(!t.measure(1, &mut r));
+    }
+
+    #[test]
+    fn hzh_equals_x() {
+        let mut t = Tableau::new(1);
+        let mut r = rng();
+        t.h(0);
+        t.z(0);
+        t.h(0);
+        assert_eq!(t.peek_z(0), Some(true));
+        assert!(t.measure(0, &mut r));
+    }
+
+    #[test]
+    fn hsssh_is_not_x_but_hssh_is() {
+        // S^2 = Z, so H S S H = H Z H = X.
+        let mut t = Tableau::new(1);
+        t.h(0);
+        t.s(0);
+        t.s(0);
+        t.h(0);
+        assert_eq!(t.peek_z(0), Some(true));
+    }
+
+    #[test]
+    fn sdg_inverts_s() {
+        let mut t = Tableau::new(1);
+        t.h(0); // |+>
+        t.s(0);
+        t.sdg(0);
+        t.h(0); // back to |0>
+        assert_eq!(t.peek_z(0), Some(false));
+    }
+
+    #[test]
+    fn y_equals_ixz_up_to_global_phase() {
+        let mut t1 = Tableau::new(1);
+        t1.y(0);
+        let mut t2 = Tableau::new(1);
+        t2.z(0);
+        t2.x(0);
+        // Both give |1> with some global phase
+        assert_eq!(t1.peek_z(0), Some(true));
+        assert_eq!(t2.peek_z(0), Some(true));
+    }
+
+    #[test]
+    fn plus_state_is_random_then_stable() {
+        let mut t = Tableau::new(1);
+        let mut r = rng();
+        t.h(0);
+        assert_eq!(t.peek_z(0), None);
+        let m1 = t.measure(0, &mut r);
+        // collapsed: now deterministic and repeatable
+        assert_eq!(t.peek_z(0), Some(m1));
+        assert_eq!(t.measure(0, &mut r), m1);
+    }
+
+    #[test]
+    fn plus_state_outcomes_are_roughly_uniform() {
+        let mut r = rng();
+        let mut ones = 0;
+        for _ in 0..2000 {
+            let mut t = Tableau::new(1);
+            t.h(0);
+            if t.measure(0, &mut r) {
+                ones += 1;
+            }
+        }
+        assert!((800..1200).contains(&ones), "ones={ones}");
+    }
+
+    #[test]
+    fn bell_pair_is_correlated() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let mut t = Tableau::new(2);
+            t.h(0);
+            t.cx(0, 1);
+            let a = t.measure(0, &mut r);
+            let b = t.measure(1, &mut r);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn ghz_state_is_fully_correlated() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let mut t = Tableau::new(5);
+            t.h(0);
+            for q in 1..5 {
+                t.cx(0, q);
+            }
+            let m0 = t.measure(0, &mut r);
+            for q in 1..5 {
+                assert_eq!(t.measure(q, &mut r), m0);
+            }
+        }
+    }
+
+    #[test]
+    fn cz_phase_kickback() {
+        // CZ between |+>|1> flips the first qubit's phase: H CZ(0,1) with q1=|1>
+        // sends |+> to |->, so a final H gives |1>.
+        let mut t = Tableau::new(2);
+        t.x(1);
+        t.h(0);
+        t.cz(0, 1);
+        t.h(0);
+        assert_eq!(t.peek_z(0), Some(true));
+        assert_eq!(t.peek_z(1), Some(true));
+    }
+
+    #[test]
+    fn swap_moves_state() {
+        let mut t = Tableau::new(2);
+        t.x(0);
+        t.swap(0, 1);
+        assert_eq!(t.peek_z(0), Some(false));
+        assert_eq!(t.peek_z(1), Some(true));
+    }
+
+    #[test]
+    fn swap_equals_three_cx() {
+        let mut a = Tableau::new(2);
+        a.h(0);
+        a.s(1);
+        a.swap(0, 1);
+        let mut b = Tableau::new(2);
+        b.h(0);
+        b.s(1);
+        b.cx(0, 1);
+        b.cx(1, 0);
+        b.cx(0, 1);
+        for i in 0..2 {
+            assert_eq!(a.stabilizer(i).to_string(), b.stabilizer(i).to_string());
+        }
+    }
+
+    #[test]
+    fn reset_forces_zero() {
+        let mut r = rng();
+        for _ in 0..50 {
+            let mut t = Tableau::new(2);
+            t.h(0);
+            t.cx(0, 1);
+            t.reset(0, &mut r);
+            assert_eq!(t.peek_z(0), Some(false));
+        }
+    }
+
+    #[test]
+    fn reset_breaks_entanglement_partner_random() {
+        let mut r = rng();
+        let mut ones = 0;
+        for _ in 0..1000 {
+            let mut t = Tableau::new(2);
+            t.h(0);
+            t.cx(0, 1);
+            t.reset(0, &mut r);
+            if t.measure(1, &mut r) {
+                ones += 1;
+            }
+        }
+        // Partner of a measured-and-reset Bell qubit is classical 0/1 uniform.
+        assert!((350..650).contains(&ones), "ones={ones}");
+    }
+
+    #[test]
+    fn stabilizers_commute_after_random_circuit() {
+        let mut t = Tableau::new(6);
+        let mut r = rng();
+        for step in 0..200 {
+            match step % 5 {
+                0 => t.h(step % 6),
+                1 => t.s((step + 1) % 6),
+                2 => t.cx(step % 6, (step + 3) % 6),
+                3 => t.x((step + 2) % 6),
+                _ => {
+                    t.measure(step % 6, &mut r);
+                }
+            }
+        }
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn clear_restores_fresh_state() {
+        let mut t = Tableau::new(3);
+        let mut r = rng();
+        t.h(0);
+        t.cx(0, 1);
+        t.x(2);
+        t.clear();
+        for q in 0..3 {
+            assert_eq!(t.peek_z(q), Some(false), "qubit {q}");
+        }
+        assert!(!t.measure(0, &mut r));
+    }
+
+    #[test]
+    fn initial_stabilizers_are_single_z() {
+        let t = Tableau::new(3);
+        assert_eq!(t.stabilizer(0).to_string(), "+ZII");
+        assert_eq!(t.stabilizer(1).to_string(), "+IZI");
+        assert_eq!(t.stabilizer(2).to_string(), "+IIZ");
+    }
+
+    #[test]
+    fn works_across_word_boundaries() {
+        // 70 qubits: exercise the second u64 word.
+        let mut t = Tableau::new(70);
+        let mut r = rng();
+        t.h(65);
+        t.cx(65, 3);
+        let a = t.measure(65, &mut r);
+        let b = t.measure(3, &mut r);
+        assert_eq!(a, b);
+        t.x(69);
+        assert!(t.measure(69, &mut r));
+    }
+}

@@ -1,0 +1,107 @@
+//! Minimal complex arithmetic for the dense simulator.
+//!
+//! A tiny purpose-built type (rather than an external crate) keeps the
+//! validation backend dependency-free; only the operations the Clifford set
+//! needs are provided.
+
+/// A complex number with `f64` parts.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct C64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl C64 {
+    /// 0 + 0i.
+    pub const ZERO: C64 = C64 { re: 0.0, im: 0.0 };
+    /// 1 + 0i.
+    pub const ONE: C64 = C64 { re: 1.0, im: 0.0 };
+    /// 0 + 1i.
+    pub const I: C64 = C64 { re: 0.0, im: 1.0 };
+
+    /// Construct from parts.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        C64 { re, im }
+    }
+
+    /// Squared magnitude |z|².
+    #[inline]
+    pub fn norm_sqr(&self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Multiply by a real scalar.
+    #[inline]
+    pub fn scale(&self, s: f64) -> C64 {
+        C64::new(self.re * s, self.im * s)
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(&self) -> C64 {
+        C64::new(self.re, -self.im)
+    }
+}
+
+impl std::ops::Add for C64 {
+    type Output = C64;
+    #[inline]
+    fn add(self, o: C64) -> C64 {
+        C64::new(self.re + o.re, self.im + o.im)
+    }
+}
+
+impl std::ops::Sub for C64 {
+    type Output = C64;
+    #[inline]
+    fn sub(self, o: C64) -> C64 {
+        C64::new(self.re - o.re, self.im - o.im)
+    }
+}
+
+impl std::ops::Mul for C64 {
+    type Output = C64;
+    #[inline]
+    fn mul(self, o: C64) -> C64 {
+        C64::new(self.re * o.re - self.im * o.im, self.re * o.im + self.im * o.re)
+    }
+}
+
+impl std::ops::Neg for C64 {
+    type Output = C64;
+    #[inline]
+    fn neg(self) -> C64 {
+        C64::new(-self.re, -self.im)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let a = C64::new(1.0, 2.0);
+        let b = C64::new(3.0, -1.0);
+        assert_eq!(a + b, C64::new(4.0, 1.0));
+        assert_eq!(a - b, C64::new(-2.0, 3.0));
+        assert_eq!(a * b, C64::new(5.0, 5.0));
+        assert_eq!(-a, C64::new(-1.0, -2.0));
+    }
+
+    #[test]
+    fn i_squared_is_minus_one() {
+        assert_eq!(C64::I * C64::I, C64::new(-1.0, 0.0));
+    }
+
+    #[test]
+    fn norm_and_conj() {
+        let z = C64::new(3.0, 4.0);
+        assert_eq!(z.norm_sqr(), 25.0);
+        assert_eq!(z.conj(), C64::new(3.0, -4.0));
+        assert_eq!(z.scale(2.0), C64::new(6.0, 8.0));
+    }
+}

@@ -1,0 +1,28 @@
+//! # radqec-statevector
+//!
+//! Dense state-vector simulator for the `radqec` gate set.
+//!
+//! This backend is exponential in qubit count and exists purely as the
+//! *reference implementation* against which the production stabilizer
+//! backend is cross-validated (tests and property tests run random Clifford
+//! circuits on both backends and compare measurement statistics and
+//! deterministic outcomes).
+//!
+//! ```
+//! use radqec_circuit::{Backend, Gate};
+//! use radqec_statevector::StateVector;
+//!
+//! let mut sv = StateVector::new(2);
+//! sv.apply_unitary(&Gate::H(0));
+//! sv.apply_unitary(&Gate::Cx { control: 0, target: 1 });
+//! assert!((sv.prob_one(1) - 0.5).abs() < 1e-12);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod complex;
+mod state;
+
+pub use complex::C64;
+pub use state::StateVector;

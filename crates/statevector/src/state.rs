@@ -1,0 +1,291 @@
+//! Dense state-vector simulation of the `radqec` gate set.
+//!
+//! Exact (up to f64 rounding) for any circuit, exponential in qubit count —
+//! this backend exists to cross-validate the stabilizer tableau on small
+//! systems (≤ ~16 qubits) in tests and property tests.
+
+use crate::complex::C64;
+use radqec_circuit::{Backend, Gate, Qubit};
+use rand::Rng;
+use rand::RngCore;
+
+const SQRT_HALF: f64 = std::f64::consts::FRAC_1_SQRT_2;
+
+/// Dense state vector over `n` qubits (little-endian: qubit 0 is the least
+/// significant index bit).
+#[derive(Debug, Clone)]
+pub struct StateVector {
+    n: u32,
+    amps: Vec<C64>,
+}
+
+impl StateVector {
+    /// |0…0⟩ on `n` qubits.
+    ///
+    /// # Panics
+    /// Panics for `n > 24` to protect against accidental exponential blowup.
+    pub fn new(n: u32) -> Self {
+        assert!((1..=24).contains(&n), "state-vector backend supports 1..=24 qubits, got {n}");
+        let mut amps = vec![C64::ZERO; 1usize << n];
+        amps[0] = C64::ONE;
+        StateVector { n, amps }
+    }
+
+    /// The raw amplitudes.
+    pub fn amplitudes(&self) -> &[C64] {
+        &self.amps
+    }
+
+    /// Probability of measuring basis state `idx`.
+    pub fn probability(&self, idx: usize) -> f64 {
+        self.amps[idx].norm_sqr()
+    }
+
+    /// Probability that qubit `q` reads 1.
+    pub fn prob_one(&self, q: Qubit) -> f64 {
+        let mask = 1usize << q;
+        self.amps
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i & mask != 0)
+            .map(|(_, a)| a.norm_sqr())
+            .sum()
+    }
+
+    /// Inner-product magnitude |⟨self|other⟩| — 1.0 for equal states up to
+    /// global phase.
+    pub fn fidelity(&self, other: &StateVector) -> f64 {
+        assert_eq!(self.n, other.n);
+        let mut acc = C64::ZERO;
+        for (a, b) in self.amps.iter().zip(&other.amps) {
+            acc = acc + a.conj() * *b;
+        }
+        acc.norm_sqr().sqrt()
+    }
+
+    fn apply_1q(&mut self, q: Qubit, m: [[C64; 2]; 2]) {
+        let mask = 1usize << q;
+        for i in 0..self.amps.len() {
+            if i & mask == 0 {
+                let j = i | mask;
+                let a0 = self.amps[i];
+                let a1 = self.amps[j];
+                self.amps[i] = m[0][0] * a0 + m[0][1] * a1;
+                self.amps[j] = m[1][0] * a0 + m[1][1] * a1;
+            }
+        }
+    }
+
+    fn renormalise(&mut self) {
+        let norm: f64 = self.amps.iter().map(|a| a.norm_sqr()).sum::<f64>().sqrt();
+        debug_assert!(norm > 0.0, "state collapsed to zero vector");
+        let inv = 1.0 / norm;
+        for a in &mut self.amps {
+            *a = a.scale(inv);
+        }
+    }
+
+    /// Project qubit `q` onto `value` and renormalise.
+    fn project(&mut self, q: Qubit, value: bool) {
+        let mask = 1usize << q;
+        for (i, a) in self.amps.iter_mut().enumerate() {
+            if ((i & mask) != 0) != value {
+                *a = C64::ZERO;
+            }
+        }
+        self.renormalise();
+    }
+}
+
+impl Backend for StateVector {
+    fn num_qubits(&self) -> u32 {
+        self.n
+    }
+
+    fn reset_all(&mut self) {
+        self.amps.fill(C64::ZERO);
+        self.amps[0] = C64::ONE;
+    }
+
+    fn apply_unitary(&mut self, gate: &Gate) {
+        let o = C64::ONE;
+        let i = C64::I;
+        let z = C64::ZERO;
+        let h = C64::new(SQRT_HALF, 0.0);
+        match *gate {
+            Gate::I(_) => {}
+            Gate::X(q) => self.apply_1q(q, [[z, o], [o, z]]),
+            Gate::Y(q) => self.apply_1q(q, [[z, -i], [i, z]]),
+            Gate::Z(q) => self.apply_1q(q, [[o, z], [z, -o]]),
+            Gate::H(q) => self.apply_1q(q, [[h, h], [h, -h]]),
+            Gate::S(q) => self.apply_1q(q, [[o, z], [z, i]]),
+            Gate::Sdg(q) => self.apply_1q(q, [[o, z], [z, -i]]),
+            Gate::Cx { control, target } => {
+                let (cm, tm) = (1usize << control, 1usize << target);
+                for idx in 0..self.amps.len() {
+                    if idx & cm != 0 && idx & tm == 0 {
+                        self.amps.swap(idx, idx | tm);
+                    }
+                }
+            }
+            Gate::Cz { a, b } => {
+                let (am, bm) = (1usize << a, 1usize << b);
+                for (idx, amp) in self.amps.iter_mut().enumerate() {
+                    if idx & am != 0 && idx & bm != 0 {
+                        *amp = -*amp;
+                    }
+                }
+            }
+            Gate::Swap { a, b } => {
+                let (am, bm) = (1usize << a, 1usize << b);
+                for idx in 0..self.amps.len() {
+                    if idx & am != 0 && idx & bm == 0 {
+                        self.amps.swap(idx, idx ^ am ^ bm);
+                    }
+                }
+            }
+            Gate::Measure { .. } | Gate::Reset(_) | Gate::Barrier => {
+                panic!("apply_unitary called with non-unitary gate {gate:?}")
+            }
+        }
+    }
+
+    fn measure(&mut self, qubit: Qubit, rng: &mut dyn RngCore) -> bool {
+        let p1 = self.prob_one(qubit);
+        let outcome = rng.gen_bool(p1.clamp(0.0, 1.0));
+        self.project(qubit, outcome);
+        outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use radqec_circuit::{execute, Circuit};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xBEEF)
+    }
+
+    #[test]
+    fn fresh_state_is_zero() {
+        let sv = StateVector::new(2);
+        assert_eq!(sv.probability(0), 1.0);
+        assert_eq!(sv.prob_one(0), 0.0);
+    }
+
+    #[test]
+    fn x_flips() {
+        let mut sv = StateVector::new(1);
+        sv.apply_unitary(&Gate::X(0));
+        assert!((sv.prob_one(0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn h_gives_half_probability() {
+        let mut sv = StateVector::new(1);
+        sv.apply_unitary(&Gate::H(0));
+        assert!((sv.prob_one(0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bell_correlations() {
+        let mut c = Circuit::new(2, 2);
+        c.h(0).cx(0, 1).measure(0, 0).measure(1, 1);
+        let mut r = rng();
+        for _ in 0..100 {
+            let mut sv = StateVector::new(2);
+            let rec = execute(&c, &mut sv, &mut r);
+            assert_eq!(rec.get(0), rec.get(1));
+        }
+    }
+
+    #[test]
+    fn s_gate_phases() {
+        // HSH |0> should give |0>,|1> with probability 1/2 each (S adds i phase)
+        let mut sv = StateVector::new(1);
+        sv.apply_unitary(&Gate::H(0));
+        sv.apply_unitary(&Gate::S(0));
+        sv.apply_unitary(&Gate::H(0));
+        assert!((sv.prob_one(0) - 0.5).abs() < 1e-12);
+        // but H S S H = H Z H = X
+        let mut sv2 = StateVector::new(1);
+        for g in [Gate::H(0), Gate::S(0), Gate::S(0), Gate::H(0)] {
+            sv2.apply_unitary(&g);
+        }
+        assert!((sv2.prob_one(0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sdg_undoes_s() {
+        let mut sv = StateVector::new(1);
+        sv.apply_unitary(&Gate::H(0));
+        sv.apply_unitary(&Gate::S(0));
+        sv.apply_unitary(&Gate::Sdg(0));
+        sv.apply_unitary(&Gate::H(0));
+        assert!(sv.prob_one(0) < 1e-12);
+    }
+
+    #[test]
+    fn cz_is_symmetric_and_phases() {
+        let mut a = StateVector::new(2);
+        a.apply_unitary(&Gate::H(0));
+        a.apply_unitary(&Gate::H(1));
+        a.apply_unitary(&Gate::Cz { a: 0, b: 1 });
+        let mut b = StateVector::new(2);
+        b.apply_unitary(&Gate::H(0));
+        b.apply_unitary(&Gate::H(1));
+        b.apply_unitary(&Gate::Cz { a: 1, b: 0 });
+        assert!((a.fidelity(&b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn swap_exchanges() {
+        let mut sv = StateVector::new(2);
+        sv.apply_unitary(&Gate::X(0));
+        sv.apply_unitary(&Gate::Swap { a: 0, b: 1 });
+        assert!(sv.prob_one(0) < 1e-12);
+        assert!((sv.prob_one(1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_via_backend_trait() {
+        let mut sv = StateVector::new(2);
+        let mut r = rng();
+        sv.apply_unitary(&Gate::H(0));
+        sv.apply_unitary(&Gate::Cx { control: 0, target: 1 });
+        sv.reset(0, &mut r);
+        assert!(sv.prob_one(0) < 1e-12);
+    }
+
+    #[test]
+    fn measurement_collapses() {
+        let mut r = rng();
+        let mut sv = StateVector::new(1);
+        sv.apply_unitary(&Gate::H(0));
+        let m = sv.measure(0, &mut r);
+        assert_eq!(sv.measure(0, &mut r), m);
+        assert!((sv.prob_one(0) - if m { 1.0 } else { 0.0 }).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ghz_probabilities() {
+        let mut sv = StateVector::new(3);
+        sv.apply_unitary(&Gate::H(0));
+        sv.apply_unitary(&Gate::Cx { control: 0, target: 1 });
+        sv.apply_unitary(&Gate::Cx { control: 1, target: 2 });
+        assert!((sv.probability(0) - 0.5).abs() < 1e-12);
+        assert!((sv.probability(7) - 0.5).abs() < 1e-12);
+        for idx in 1..7 {
+            assert!(sv.probability(idx) < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=24")]
+    fn size_guard() {
+        StateVector::new(25);
+    }
+}

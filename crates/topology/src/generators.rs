@@ -1,0 +1,197 @@
+//! Parametric architecture-graph generators: linear, ring, complete, 2-D
+//! mesh (the paper's lattices) and a heavy-hex generator in the style of the
+//! IBM Falcon/Hummingbird devices.
+
+use crate::graph::Topology;
+
+/// Linear (path) topology of `n` qubits: `0—1—…—(n−1)`.
+pub fn linear(n: u32) -> Topology {
+    let edges: Vec<(u32, u32)> = (0..n.saturating_sub(1)).map(|i| (i, i + 1)).collect();
+    Topology::from_edges(format!("linear{n}"), n, &edges)
+}
+
+/// Ring topology of `n ≥ 3` qubits.
+pub fn ring(n: u32) -> Topology {
+    assert!(n >= 3, "ring needs at least 3 nodes");
+    let mut edges: Vec<(u32, u32)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+    edges.push((n - 1, 0));
+    Topology::from_edges(format!("ring{n}"), n, &edges)
+}
+
+/// Complete (all-to-all) topology of `n` qubits — the paper's idealised
+/// "complete" architecture for the XXZZ code.
+pub fn complete(n: u32) -> Topology {
+    let mut edges = Vec::with_capacity((n as usize * (n as usize - 1)) / 2);
+    for a in 0..n {
+        for b in a + 1..n {
+            edges.push((a, b));
+        }
+    }
+    Topology::from_edges(format!("complete{n}"), n, &edges)
+}
+
+/// 2-D mesh (grid) of `rows × cols` qubits with 4-neighbour connectivity.
+/// Node `(r, c)` has index `r * cols + c`.
+///
+/// The paper's reference architecture is the 5×6 mesh; Fig. 5 uses 5×2 and
+/// 5×4 sub-lattices.
+pub fn mesh(rows: u32, cols: u32) -> Topology {
+    assert!(rows >= 1 && cols >= 1, "mesh needs positive dimensions");
+    let mut edges = Vec::new();
+    for r in 0..rows {
+        for c in 0..cols {
+            let v = r * cols + c;
+            if c + 1 < cols {
+                edges.push((v, v + 1));
+            }
+            if r + 1 < rows {
+                edges.push((v, v + cols));
+            }
+        }
+    }
+    Topology::from_edges(format!("mesh{rows}x{cols}"), rows * cols, &edges)
+}
+
+/// Index of mesh node `(r, c)` for a `cols`-wide mesh.
+pub fn mesh_index(r: u32, c: u32, cols: u32) -> u32 {
+    r * cols + c
+}
+
+/// Smallest `5×k` sub-lattice of the paper's reference 5×6 mesh that fits
+/// `q` qubits (Sec. V-B/V-C: "a lattice of size 5×6, scaled down according
+/// to the qubit requirements of each code").
+///
+/// Matches the paper's explicitly stated choices: 10 qubits → 5×2,
+/// 18 qubits → 5×4, 30 qubits → 5×6.
+pub fn fitting_mesh(q: u32) -> Topology {
+    assert!((1..=30).contains(&q), "fitting_mesh supports 1..=30 qubits, got {q}");
+    let cols = q.div_ceil(5).max(1);
+    mesh(5, cols)
+}
+
+/// Heavy-hex lattice in the IBM style: rows of `row_len` qubits joined by
+/// vertical connector qubits every `spacing` columns, with the connector
+/// attachment offset alternating by one `spacing` per row pair.
+///
+/// With `(row_len, rows, spacing) = (10, 5, 4)` this generates a 65-qubit
+/// Hummingbird-class lattice; the named device graphs in
+/// [`crate::devices`] use explicit published edge lists instead, this
+/// generator exists for synthetic scaling studies.
+pub fn heavy_hex(rows: u32, row_len: u32, spacing: u32) -> Topology {
+    assert!(rows >= 1 && row_len >= 2 && spacing >= 2);
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    let mut next = 0u32;
+    let mut row_start = Vec::new();
+    // Lay out the qubit rows first.
+    for _ in 0..rows {
+        row_start.push(next);
+        for c in 0..row_len - 1 {
+            edges.push((next + c, next + c + 1));
+        }
+        next += row_len;
+    }
+    // Connector qubits between adjacent rows.
+    for r in 0..rows - 1 {
+        let offset = (r % 2) * (spacing / 2);
+        let mut c = offset;
+        while c < row_len {
+            let top = row_start[r as usize] + c;
+            let bottom = row_start[(r + 1) as usize] + c;
+            let conn = next;
+            next += 1;
+            edges.push((top, conn));
+            edges.push((conn, bottom));
+            c += spacing;
+        }
+    }
+    Topology::from_edges(
+        format!("heavyhex{rows}x{row_len}s{spacing}"),
+        next,
+        &edges,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_structure() {
+        let t = linear(5);
+        assert_eq!(t.num_qubits(), 5);
+        assert_eq!(t.edges().len(), 4);
+        assert_eq!(t.degree(0), 1);
+        assert_eq!(t.degree(2), 2);
+        assert!(t.is_connected());
+        assert_eq!(t.distances_from(0)[4], 4);
+    }
+
+    #[test]
+    fn ring_structure() {
+        let t = ring(6);
+        assert_eq!(t.edges().len(), 6);
+        assert!((t.average_degree() - 2.0).abs() < 1e-12);
+        assert_eq!(t.distances_from(0)[3], 3);
+        assert_eq!(t.distances_from(0)[5], 1);
+    }
+
+    #[test]
+    fn complete_structure() {
+        let t = complete(6);
+        assert_eq!(t.edges().len(), 15);
+        assert!(t.distances_from(0).iter().skip(1).all(|&d| d == 1));
+        assert!((t.average_degree() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mesh_structure() {
+        let t = mesh(5, 6);
+        assert_eq!(t.num_qubits(), 30);
+        // edges: 5*5 horizontal per row * ... = rows*(cols-1) + cols*(rows-1)
+        assert_eq!(t.edges().len() as u32, 5 * 5 + 6 * 4);
+        assert!(t.is_connected());
+        // Manhattan distance across the grid
+        assert_eq!(t.distances_from(0)[29], 4 + 5);
+        // interior node degree 4, corner degree 2
+        assert_eq!(t.degree(mesh_index(2, 3, 6)), 4);
+        assert_eq!(t.degree(0), 2);
+    }
+
+    #[test]
+    fn mesh_index_roundtrip() {
+        assert_eq!(mesh_index(1, 2, 6), 8);
+        assert_eq!(mesh_index(0, 0, 6), 0);
+        assert_eq!(mesh_index(4, 5, 6), 29);
+    }
+
+    #[test]
+    fn fitting_mesh_matches_paper_choices() {
+        assert_eq!(fitting_mesh(10).name(), "mesh5x2");
+        assert_eq!(fitting_mesh(18).name(), "mesh5x4");
+        assert_eq!(fitting_mesh(30).name(), "mesh5x6");
+        assert_eq!(fitting_mesh(6).name(), "mesh5x2");
+        assert_eq!(fitting_mesh(22).name(), "mesh5x5");
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=30")]
+    fn fitting_mesh_guard() {
+        fitting_mesh(31);
+    }
+
+    #[test]
+    fn heavy_hex_is_connected_and_sparse() {
+        let t = heavy_hex(5, 10, 4);
+        assert!(t.is_connected());
+        // connector qubits have degree 2; row qubits at most 3
+        assert!(t.average_degree() < 3.0);
+        assert!((50..=70).contains(&t.num_qubits()), "n={}", t.num_qubits());
+    }
+
+    #[test]
+    fn heavy_hex_max_degree_is_three() {
+        let t = heavy_hex(3, 8, 4);
+        let max_deg = (0..t.num_qubits()).map(|q| t.degree(q)).max().unwrap();
+        assert!(max_deg <= 3, "heavy-hex degree should be ≤ 3, got {max_deg}");
+    }
+}

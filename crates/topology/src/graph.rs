@@ -1,0 +1,258 @@
+//! The [`Topology`] type: an undirected, unweighted architecture graph plus
+//! the graph algorithms the fault model and the transpiler need.
+//!
+//! The paper (Sec. III-B) treats the quantum chip's qubit-interconnection
+//! pattern as an undirected graph with unit edge weights; radiation spreads
+//! along it with the spatial damping `S(d)` of the *graph distance* `d` from
+//! the impact point.
+
+/// An undirected architecture graph over `n` qubit sites.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Topology {
+    name: String,
+    adj: Vec<Vec<u32>>,
+}
+
+impl Topology {
+    /// Build from an explicit edge list over `n` nodes.
+    ///
+    /// Self-loops are rejected; duplicate edges are deduplicated.
+    pub fn from_edges(name: impl Into<String>, n: u32, edges: &[(u32, u32)]) -> Self {
+        let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n as usize];
+        for &(a, b) in edges {
+            assert!(a < n && b < n, "edge ({a},{b}) out of range for n={n}");
+            assert_ne!(a, b, "self-loop on node {a}");
+            if !adj[a as usize].contains(&b) {
+                adj[a as usize].push(b);
+                adj[b as usize].push(a);
+            }
+        }
+        for l in &mut adj {
+            l.sort_unstable();
+        }
+        Topology { name: name.into(), adj }
+    }
+
+    /// Human-readable name (e.g. `"mesh5x6"`, `"brooklyn"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of nodes.
+    pub fn num_qubits(&self) -> u32 {
+        self.adj.len() as u32
+    }
+
+    /// Neighbours of node `q`, ascending.
+    pub fn neighbors(&self, q: u32) -> &[u32] {
+        &self.adj[q as usize]
+    }
+
+    /// Degree of node `q`.
+    pub fn degree(&self, q: u32) -> usize {
+        self.adj[q as usize].len()
+    }
+
+    /// Mean node degree — the connectivity statistic behind the paper's
+    /// Observation VIII.
+    pub fn average_degree(&self) -> f64 {
+        if self.adj.is_empty() {
+            return 0.0;
+        }
+        self.adj.iter().map(|l| l.len()).sum::<usize>() as f64 / self.adj.len() as f64
+    }
+
+    /// All edges `(a, b)` with `a < b`.
+    pub fn edges(&self) -> Vec<(u32, u32)> {
+        let mut out = Vec::new();
+        for (a, l) in self.adj.iter().enumerate() {
+            for &b in l {
+                if (a as u32) < b {
+                    out.push((a as u32, b));
+                }
+            }
+        }
+        out
+    }
+
+    /// True if `a` and `b` share an edge.
+    pub fn are_adjacent(&self, a: u32, b: u32) -> bool {
+        self.adj[a as usize].binary_search(&b).is_ok()
+    }
+
+    /// Unit-weight BFS distances from `src`; `u32::MAX` for unreachable.
+    pub fn distances_from(&self, src: u32) -> Vec<u32> {
+        let n = self.adj.len();
+        let mut dist = vec![u32::MAX; n];
+        dist[src as usize] = 0;
+        let mut queue = std::collections::VecDeque::with_capacity(n);
+        queue.push_back(src);
+        while let Some(v) = queue.pop_front() {
+            let dv = dist[v as usize];
+            for &w in &self.adj[v as usize] {
+                if dist[w as usize] == u32::MAX {
+                    dist[w as usize] = dv + 1;
+                    queue.push_back(w);
+                }
+            }
+        }
+        dist
+    }
+
+    /// All-pairs BFS distances, `dist[a][b]`.
+    pub fn all_pairs_distances(&self) -> Vec<Vec<u32>> {
+        (0..self.num_qubits()).map(|s| self.distances_from(s)).collect()
+    }
+
+    /// One shortest path from `src` to `dst` (inclusive of both ends), or
+    /// `None` if unreachable. Deterministic: prefers lower-indexed nodes.
+    pub fn shortest_path(&self, src: u32, dst: u32) -> Option<Vec<u32>> {
+        if src == dst {
+            return Some(vec![src]);
+        }
+        let n = self.adj.len();
+        let mut prev = vec![u32::MAX; n];
+        let mut seen = vec![false; n];
+        seen[src as usize] = true;
+        let mut queue = std::collections::VecDeque::new();
+        queue.push_back(src);
+        while let Some(v) = queue.pop_front() {
+            for &w in &self.adj[v as usize] {
+                if !seen[w as usize] {
+                    seen[w as usize] = true;
+                    prev[w as usize] = v;
+                    if w == dst {
+                        let mut path = vec![dst];
+                        let mut cur = dst;
+                        while cur != src {
+                            cur = prev[cur as usize];
+                            path.push(cur);
+                        }
+                        path.reverse();
+                        return Some(path);
+                    }
+                    queue.push_back(w);
+                }
+            }
+        }
+        None
+    }
+
+    /// True when every node is reachable from node 0 (or the graph is empty).
+    pub fn is_connected(&self) -> bool {
+        if self.adj.is_empty() {
+            return true;
+        }
+        let d = self.distances_from(0);
+        d.iter().all(|&x| x != u32::MAX)
+    }
+
+    /// The induced subgraph on `nodes` (relabelled 0..len), plus the
+    /// old→new node mapping. Used to restrict device graphs to the qubits a
+    /// transpiled circuit actually occupies (paper Fig. 8 omits unused
+    /// qubits).
+    pub fn induced_subgraph(&self, nodes: &[u32], name: impl Into<String>) -> (Topology, Vec<u32>) {
+        let mut new_of_old = vec![u32::MAX; self.adj.len()];
+        for (new, &old) in nodes.iter().enumerate() {
+            assert!(new_of_old[old as usize] == u32::MAX, "duplicate node {old}");
+            new_of_old[old as usize] = new as u32;
+        }
+        let mut edges = Vec::new();
+        for &(a, b) in &self.edges() {
+            let (na, nb) = (new_of_old[a as usize], new_of_old[b as usize]);
+            if na != u32::MAX && nb != u32::MAX {
+                edges.push((na, nb));
+            }
+        }
+        (Topology::from_edges(name, nodes.len() as u32, &edges), new_of_old)
+    }
+
+    /// Nodes sorted by degree (descending), ties by index — used by the
+    /// greedy layout pass.
+    pub fn nodes_by_degree(&self) -> Vec<u32> {
+        let mut v: Vec<u32> = (0..self.num_qubits()).collect();
+        v.sort_by_key(|&q| (std::cmp::Reverse(self.degree(q)), q));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path4() -> Topology {
+        Topology::from_edges("p4", 4, &[(0, 1), (1, 2), (2, 3)])
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let t = path4();
+        assert_eq!(t.num_qubits(), 4);
+        assert_eq!(t.neighbors(1), &[0, 2]);
+        assert_eq!(t.degree(0), 1);
+        assert_eq!(t.edges(), vec![(0, 1), (1, 2), (2, 3)]);
+        assert!(t.are_adjacent(1, 2));
+        assert!(!t.are_adjacent(0, 3));
+        assert!((t.average_degree() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duplicate_edges_are_merged() {
+        let t = Topology::from_edges("d", 2, &[(0, 1), (1, 0), (0, 1)]);
+        assert_eq!(t.edges(), vec![(0, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn self_loops_rejected() {
+        Topology::from_edges("bad", 2, &[(1, 1)]);
+    }
+
+    #[test]
+    fn bfs_distances() {
+        let t = path4();
+        assert_eq!(t.distances_from(0), vec![0, 1, 2, 3]);
+        assert_eq!(t.distances_from(2), vec![2, 1, 0, 1]);
+    }
+
+    #[test]
+    fn unreachable_distance_is_max() {
+        let t = Topology::from_edges("split", 3, &[(0, 1)]);
+        assert_eq!(t.distances_from(0)[2], u32::MAX);
+        assert!(!t.is_connected());
+    }
+
+    #[test]
+    fn shortest_path_endpoints_inclusive() {
+        let t = path4();
+        assert_eq!(t.shortest_path(0, 3), Some(vec![0, 1, 2, 3]));
+        assert_eq!(t.shortest_path(2, 2), Some(vec![2]));
+        let s = Topology::from_edges("split", 3, &[(0, 1)]);
+        assert_eq!(s.shortest_path(0, 2), None);
+    }
+
+    #[test]
+    fn all_pairs_matches_single_source() {
+        let t = path4();
+        let ap = t.all_pairs_distances();
+        for s in 0..4 {
+            assert_eq!(ap[s as usize], t.distances_from(s));
+        }
+    }
+
+    #[test]
+    fn induced_subgraph_relabels() {
+        let t = path4();
+        let (sub, map) = t.induced_subgraph(&[1, 2, 3], "sub");
+        assert_eq!(sub.num_qubits(), 3);
+        assert_eq!(sub.edges(), vec![(0, 1), (1, 2)]);
+        assert_eq!(map[1], 0);
+        assert_eq!(map[0], u32::MAX);
+    }
+
+    #[test]
+    fn nodes_by_degree_ordering() {
+        let star = Topology::from_edges("star", 4, &[(0, 1), (0, 2), (0, 3)]);
+        assert_eq!(star.nodes_by_degree()[0], 0);
+    }
+}

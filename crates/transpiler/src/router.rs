@@ -1,0 +1,272 @@
+//! SWAP routing: rewrite a logical circuit so every two-qubit gate acts on
+//! adjacent physical qubits of the target topology.
+
+use crate::layout::Layout;
+use radqec_circuit::Circuit;
+use radqec_topology::Topology;
+
+/// Which routing algorithm to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RouterKind {
+    /// Deterministic shortest-path router (Qiskit `BasicSwap` equivalent):
+    /// moves the first operand along a BFS shortest path until adjacent.
+    #[default]
+    BasicShortestPath,
+    /// Greedy lookahead router: each inserted SWAP is chosen to minimise
+    /// the distance of the current gate plus a discounted distance of the
+    /// next few pending two-qubit gates.
+    Lookahead,
+}
+
+/// Result of routing: the physical circuit plus layout bookkeeping.
+#[derive(Debug, Clone)]
+pub struct RoutedCircuit {
+    /// The routed circuit over the device's physical register. Contains
+    /// `Swap` gates (not yet decomposed).
+    pub circuit: Circuit,
+    /// Layout after the last operation (logical → physical).
+    pub final_layout: Layout,
+    /// Number of SWAP gates inserted.
+    pub swap_count: usize,
+}
+
+/// Route `circuit` onto `topo` starting from `layout`.
+///
+/// # Panics
+/// Panics if two operands of a gate are mutually unreachable in `topo`.
+pub fn route(
+    circuit: &Circuit,
+    topo: &Topology,
+    layout: &Layout,
+    kind: RouterKind,
+) -> RoutedCircuit {
+    let mut lay = layout.clone();
+    let mut out = Circuit::new(topo.num_qubits(), circuit.num_clbits());
+    let mut swap_count = 0usize;
+    let dist = topo.all_pairs_distances();
+
+    // Pending two-qubit gate list for lookahead scoring.
+    let twoq_positions: Vec<(usize, u32, u32)> = circuit
+        .ops()
+        .iter()
+        .enumerate()
+        .filter(|(_, g)| g.is_two_qubit())
+        .map(|(i, g)| {
+            let qs = g.qubits();
+            (i, qs[0], qs[1])
+        })
+        .collect();
+    let mut next_twoq = 0usize;
+
+    for (op_idx, g) in circuit.ops().iter().enumerate() {
+        if g.is_two_qubit() {
+            while next_twoq < twoq_positions.len() && twoq_positions[next_twoq].0 <= op_idx {
+                next_twoq += 1;
+            }
+            let qs = g.qubits();
+            let (la, lb) = (qs[0], qs[1]);
+            match kind {
+                RouterKind::BasicShortestPath => {
+                    let pa = lay.physical(la);
+                    let pb = lay.physical(lb);
+                    if dist[pa as usize][pb as usize] == u32::MAX {
+                        panic!(
+                            "qubits {pa} and {pb} unreachable on topology {}",
+                            topo.name()
+                        );
+                    }
+                    let path = topo
+                        .shortest_path(pa, pb)
+                        .expect("checked reachable above");
+                    // Walk `la` down the path until adjacent to `pb`.
+                    for w in path.windows(2).take(path.len().saturating_sub(2)) {
+                        out.swap(w[0], w[1]);
+                        lay.swap_physical(w[0], w[1]);
+                        swap_count += 1;
+                    }
+                }
+                RouterKind::Lookahead => {
+                    // Greedily swap until the operands are adjacent.
+                    loop {
+                        let pa = lay.physical(la);
+                        let pb = lay.physical(lb);
+                        if topo.are_adjacent(pa, pb) {
+                            break;
+                        }
+                        let (sa, sb) = best_lookahead_swap(
+                            topo,
+                            &dist,
+                            &lay,
+                            (pa, pb),
+                            &twoq_positions[next_twoq..],
+                        );
+                        out.swap(sa, sb);
+                        lay.swap_physical(sa, sb);
+                        swap_count += 1;
+                    }
+                }
+            }
+            out.push(g.map_qubits(|q| lay.physical(q)));
+        } else {
+            out.push(g.map_qubits(|q| lay.physical(q)));
+        }
+    }
+    RoutedCircuit { circuit: out, final_layout: lay, swap_count }
+}
+
+/// Pick the swap (on an edge incident to either operand) that minimises the
+/// current gate's distance plus a discounted lookahead over pending gates.
+fn best_lookahead_swap(
+    topo: &Topology,
+    dist: &[Vec<u32>],
+    lay: &Layout,
+    (pa, pb): (u32, u32),
+    pending: &[(usize, u32, u32)],
+) -> (u32, u32) {
+    const LOOKAHEAD: usize = 4;
+    const DISCOUNT: f64 = 0.5;
+    let mut best: Option<((u32, u32), f64)> = None;
+    let mut consider = |x: u32, y: u32| {
+        // Simulate the swap by re-deriving the physical site of each logical.
+        let phys = |l: u32| -> u32 {
+            let p = lay.physical(l);
+            if p == x {
+                y
+            } else if p == y {
+                x
+            } else {
+                p
+            }
+        };
+        let cur = {
+            let (a, b) = (remap(pa, x, y), remap(pb, x, y));
+            dist[a as usize][b as usize] as f64
+        };
+        let mut score = cur;
+        let mut w = DISCOUNT;
+        for &(_, la, lb) in pending.iter().take(LOOKAHEAD) {
+            score += w * dist[phys(la) as usize][phys(lb) as usize] as f64;
+            w *= DISCOUNT;
+        }
+        if best.is_none_or(|(_, s)| score < s) {
+            best = Some(((x, y), score));
+        }
+    };
+    for &nb in topo.neighbors(pa) {
+        consider(pa, nb);
+    }
+    for &nb in topo.neighbors(pb) {
+        consider(pb, nb);
+    }
+    best.expect("operands have at least one neighbour each").0
+}
+
+#[inline]
+fn remap(p: u32, x: u32, y: u32) -> u32 {
+    if p == x {
+        y
+    } else if p == y {
+        x
+    } else {
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::{choose_layout, LayoutStrategy};
+    use radqec_circuit::Gate;
+    use radqec_topology::generators::{complete, linear, mesh};
+
+    fn all_twoq_adjacent(c: &Circuit, topo: &Topology) -> bool {
+        c.ops().iter().filter(|g| g.is_two_qubit()).all(|g| {
+            let qs = g.qubits();
+            topo.are_adjacent(qs[0], qs[1])
+        })
+    }
+
+    #[test]
+    fn adjacent_gate_needs_no_swaps() {
+        let mut c = Circuit::new(2, 0);
+        c.cx(0, 1);
+        let topo = linear(4);
+        let lay = choose_layout(&c, &topo, LayoutStrategy::Trivial);
+        let r = route(&c, &topo, &lay, RouterKind::BasicShortestPath);
+        assert_eq!(r.swap_count, 0);
+        assert!(all_twoq_adjacent(&r.circuit, &topo));
+    }
+
+    #[test]
+    fn distant_gate_gets_swapped_in() {
+        let mut c = Circuit::new(4, 0);
+        c.cx(0, 3);
+        let topo = linear(4);
+        let lay = choose_layout(&c, &topo, LayoutStrategy::Trivial);
+        let r = route(&c, &topo, &lay, RouterKind::BasicShortestPath);
+        assert_eq!(r.swap_count, 2);
+        assert!(all_twoq_adjacent(&r.circuit, &topo));
+        // logical 0 moved to physical 2
+        assert_eq!(r.final_layout.physical(0), 2);
+    }
+
+    #[test]
+    fn measurements_follow_the_moved_qubit() {
+        let mut c = Circuit::new(4, 1);
+        c.x(0).cx(0, 3).measure(0, 0);
+        let topo = linear(4);
+        let lay = choose_layout(&c, &topo, LayoutStrategy::Trivial);
+        let r = route(&c, &topo, &lay, RouterKind::BasicShortestPath);
+        // The measure gate must target logical 0's final physical home.
+        let m = r
+            .circuit
+            .ops()
+            .iter()
+            .find_map(|g| match g {
+                Gate::Measure { qubit, cbit } => Some((*qubit, *cbit)),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(m, (r.final_layout.physical(0), 0));
+    }
+
+    #[test]
+    fn complete_graph_never_needs_swaps() {
+        let mut c = Circuit::new(5, 0);
+        for a in 0..5u32 {
+            for b in 0..5u32 {
+                if a != b {
+                    c.cx(a, b);
+                }
+            }
+        }
+        let topo = complete(5);
+        let lay = choose_layout(&c, &topo, LayoutStrategy::Trivial);
+        for kind in [RouterKind::BasicShortestPath, RouterKind::Lookahead] {
+            let r = route(&c, &topo, &lay, kind);
+            assert_eq!(r.swap_count, 0, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn lookahead_routes_correctly_on_mesh() {
+        let mut c = Circuit::new(6, 0);
+        c.cx(0, 5).cx(1, 4).cx(0, 5).cx(2, 3);
+        let topo = mesh(3, 3);
+        let lay = choose_layout(&c, &topo, LayoutStrategy::Trivial);
+        for kind in [RouterKind::BasicShortestPath, RouterKind::Lookahead] {
+            let r = route(&c, &topo, &lay, kind);
+            assert!(all_twoq_adjacent(&r.circuit, &topo), "{kind:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unreachable")]
+    fn disconnected_topology_panics() {
+        let topo = radqec_topology::Topology::from_edges("split", 4, &[(0, 1), (2, 3)]);
+        let mut c = Circuit::new(4, 0);
+        c.cx(0, 2);
+        let lay = choose_layout(&c, &topo, LayoutStrategy::Trivial);
+        route(&c, &topo, &lay, RouterKind::BasicShortestPath);
+    }
+}

@@ -1,0 +1,54 @@
+//! Code tuning (the paper's headline): with a fixed qubit budget, picking
+//! the right code *orientation* buys up to ~10% more radiation resilience
+//! for free. Compares same-size code variants under identical faults.
+//!
+//! ```text
+//! cargo run --release --example code_tuning
+//! ```
+
+use radqec::prelude::*;
+use radqec_core::codes::CodeSpec;
+
+fn erasure_median(spec: CodeSpec) -> (String, u32, f64) {
+    let engine = InjectionEngine::builder(spec).shots(600).seed(11).build();
+    let sites = engine.used_physical_qubits();
+    let errs: Vec<f64> = sites
+        .iter()
+        .map(|&q| {
+            let fault = FaultSpec::MultiReset { qubits: vec![q], probability: 1.0 };
+            engine.logical_error_at_sample(&fault, &NoiseSpec::paper_default(), 0)
+        })
+        .collect();
+    let mut sorted = errs.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = sorted[sorted.len() / 2];
+    (engine.code().name.clone(), engine.code().total_qubits(), median)
+}
+
+fn main() {
+    println!("single-erasure fault at impact time, median over injection sites\n");
+    println!("{:>12} {:>8} {:>10}", "code", "qubits", "median err");
+    // 6-qubit budget: (3,1) vs (1,3) — bit-flip protection wins.
+    for spec in [
+        CodeSpec::from(XxzzCode::new(3, 1)),
+        CodeSpec::from(XxzzCode::new(1, 3)),
+    ] {
+        let (name, q, e) = erasure_median(spec);
+        println!("{name:>12} {q:>8} {:>9.1}%", 100.0 * e);
+    }
+    println!();
+    // 30-qubit budget: (5,3) vs (3,5) — same story at scale.
+    for spec in [
+        CodeSpec::from(XxzzCode::new(5, 3)),
+        CodeSpec::from(XxzzCode::new(3, 5)),
+    ] {
+        let (name, q, e) = erasure_median(spec);
+        println!("{name:>12} {q:>8} {:>9.1}%", 100.0 * e);
+    }
+    println!();
+    // 30-qubit budget: repetition-(15,1) — all-in on bit flips.
+    let (name, q, e) = erasure_median(CodeSpec::from(RepetitionCode::bit_flip(15)));
+    println!("{name:>12} {q:>8} {:>9.1}%", 100.0 * e);
+    println!("\nprioritise bit-flip protection against radiation (paper Obs. IV / RQ2):");
+    println!("reset-type faults act in the Z basis, so Z-checks catch them.");
+}

@@ -1,0 +1,36 @@
+//! Observation VII: qubits used earlier in the gate sequence are more
+//! critical — their first gate has more DAG descendants, so a strike there
+//! corrupts more downstream operations. This example prints the per-qubit
+//! criticality profile next to measured per-qubit radiation error.
+//!
+//! ```text
+//! cargo run --release --example dag_criticality
+//! ```
+
+use radqec::prelude::*;
+use radqec_core::analysis::{criticality_error_correlation, criticality_of};
+use radqec_core::codes::CodeSpec;
+use radqec_noise::RadiationModel;
+
+fn main() {
+    let engine = InjectionEngine::builder(CodeSpec::from(RepetitionCode::bit_flip(7)))
+        .shots(500)
+        .seed(21)
+        .build();
+    let used = engine.used_physical_qubits();
+    let crit = criticality_of(&engine.transpiled().circuit, &used);
+    let errs: Vec<f64> = used
+        .iter()
+        .map(|&q| {
+            let fault = FaultSpec::RadiationAtImpact { model: RadiationModel::default(), root: q };
+            engine.logical_error_at_sample(&fault, &NoiseSpec::paper_default(), 0)
+        })
+        .collect();
+    println!("{:>8} {:>12} {:>12}", "qubit", "criticality", "error@impact");
+    for ((q, c), e) in used.iter().zip(&crit).zip(&errs) {
+        println!("{q:>8} {c:>12} {:>11.1}%", 100.0 * e);
+    }
+    let rho = criticality_error_correlation(&engine.transpiled().circuit, &used, &errs);
+    println!("\nSpearman(criticality, error) = {:?}", rho.map(|r| (r * 1000.0).round() / 1000.0));
+    println!("(positive correlation supports paper Observation VII)");
+}

@@ -1,0 +1,135 @@
+//! Property tests: transpilation must preserve circuit semantics.
+//!
+//! For classical-reversible circuits (X/CX/SWAP + measurement) outcomes are
+//! deterministic, so the routed circuit must produce *identical* classical
+//! records. For general Clifford circuits, per-qubit outcome probabilities
+//! (via the state-vector backend and the final layout) must match.
+
+use proptest::prelude::*;
+use radqec_circuit::{execute, Backend, Circuit, Gate};
+use radqec_statevector::StateVector;
+use radqec_topology::generators::{linear, mesh};
+use radqec_transpiler::{transpile, TranspileOptions};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const N: u32 = 6;
+
+fn classical_ops() -> impl Strategy<Value = Vec<Gate>> {
+    let gate = (0u8..3, 0..N, 0..N).prop_filter_map("distinct", |(k, a, b)| {
+        Some(match k {
+            0 => Gate::X(a),
+            1 => {
+                if a == b {
+                    return None;
+                }
+                Gate::Cx { control: a, target: b }
+            }
+            _ => {
+                if a == b {
+                    return None;
+                }
+                Gate::Swap { a, b }
+            }
+        })
+    });
+    proptest::collection::vec(gate, 1..30)
+}
+
+fn clifford_ops() -> impl Strategy<Value = Vec<Gate>> {
+    let gate = (0u8..5, 0..N, 0..N).prop_filter_map("distinct", |(k, a, b)| {
+        Some(match k {
+            0 => Gate::H(a),
+            1 => Gate::S(a),
+            2 => Gate::X(a),
+            3 => {
+                if a == b {
+                    return None;
+                }
+                Gate::Cx { control: a, target: b }
+            }
+            _ => {
+                if a == b {
+                    return None;
+                }
+                Gate::Cz { a, b }
+            }
+        })
+    });
+    proptest::collection::vec(gate, 1..25)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(120))]
+
+    #[test]
+    fn classical_circuits_produce_identical_records(ops in classical_ops()) {
+        let mut c = Circuit::new(N, N);
+        for g in &ops {
+            c.push(*g);
+        }
+        for q in 0..N {
+            c.measure(q, q);
+        }
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut sv = StateVector::new(N);
+        let reference = execute(&c, &mut sv, &mut rng);
+
+        for topo in [linear(N), mesh(2, 3)] {
+            let t = transpile(&c, &topo, &TranspileOptions::auto());
+            let mut rng = StdRng::seed_from_u64(1);
+            let mut sv = StateVector::new(topo.num_qubits());
+            let routed = execute(&t.circuit, &mut sv, &mut rng);
+            prop_assert_eq!(
+                reference.bits(), routed.bits(),
+                "records differ on {}", topo.name()
+            );
+        }
+    }
+
+    #[test]
+    fn clifford_probabilities_survive_routing(ops in clifford_ops()) {
+        let mut c = Circuit::new(N, 0);
+        for g in &ops {
+            c.push(*g);
+        }
+        let mut sv_ref = StateVector::new(N);
+        for g in c.ops() {
+            sv_ref.apply_unitary(g);
+        }
+        let topo = mesh(2, 3);
+        let t = transpile(&c, &topo, &TranspileOptions::auto());
+        let mut sv = StateVector::new(topo.num_qubits());
+        for g in t.circuit.ops() {
+            sv.apply_unitary(g);
+        }
+        for l in 0..N {
+            let p = t.final_layout.physical(l);
+            prop_assert!(
+                (sv_ref.prob_one(l) - sv.prob_one(p)).abs() < 1e-9,
+                "logical {} (physical {}): {} vs {}",
+                l, p, sv_ref.prob_one(l), sv.prob_one(p)
+            );
+        }
+    }
+
+    #[test]
+    fn routed_gates_are_always_adjacent(ops in clifford_ops()) {
+        let mut c = Circuit::new(N, 0);
+        for g in &ops {
+            c.push(*g);
+        }
+        for topo in [linear(N), mesh(2, 3), mesh(3, 3)] {
+            let t = transpile(&c, &topo, &TranspileOptions::auto());
+            for g in t.circuit.ops() {
+                if g.is_two_qubit() {
+                    let qs = g.qubits();
+                    prop_assert!(
+                        topo.are_adjacent(qs[0], qs[1]),
+                        "{:?} not adjacent on {}", qs.as_slice(), topo.name()
+                    );
+                }
+            }
+        }
+    }
+}
