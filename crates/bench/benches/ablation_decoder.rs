@@ -37,17 +37,13 @@ fn bench_ablation(c: &mut Criterion) {
     let uf = UnionFindDecoder::new(&code);
     for &rate in &[0.05f64, 0.2, 0.5] {
         let shots = synthetic_shots(&code, rate, 32);
-        group.bench_with_input(
-            BenchmarkId::new("mwpm", format!("rate{rate}")),
-            &(),
-            |b, _| {
-                b.iter(|| {
-                    for s in &shots {
-                        black_box(mwpm.decode(s));
-                    }
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("mwpm", format!("rate{rate}")), &(), |b, _| {
+            b.iter(|| {
+                for s in &shots {
+                    black_box(mwpm.decode(s));
+                }
+            })
+        });
         group.bench_with_input(
             BenchmarkId::new("union_find", format!("rate{rate}")),
             &(),

@@ -1,27 +1,38 @@
 //! Criterion bench: cost of the temporal discretisation n_s — the paper's
 //! stated accuracy/performance trade-off ("increasing the number of samples
-//! comes at the expense of computational overhead", Sec. III-B).
+//! comes at the expense of computational overhead", Sec. III-B) — measured
+//! under both shot samplers, since the frame batch changes the slope of
+//! that trade-off by an order of magnitude.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use radqec_core::codes::{CodeSpec, RepetitionCode};
-use radqec_core::injection::InjectionEngine;
+use radqec_core::injection::{InjectionEngine, SamplerKind};
 use radqec_noise::{FaultSpec, NoiseSpec, RadiationModel};
 use std::hint::black_box;
 
 fn bench_sampling(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_sampling");
     group.sample_size(10);
-    let engine = InjectionEngine::builder(CodeSpec::from(RepetitionCode::bit_flip(5)))
-        .shots(64)
-        .seed(1)
-        .build();
     let noise = NoiseSpec::paper_default();
-    for &ns in &[2usize, 5, 10, 20] {
-        let model = RadiationModel { num_samples: ns, ..Default::default() };
-        let fault = FaultSpec::Radiation { model, root: 2 };
-        group.bench_with_input(BenchmarkId::new("full_event", ns), &(), |b, _| {
-            b.iter(|| black_box(engine.run(&fault, &noise)));
-        });
+    for (sampler_name, sampler) in
+        [("frame", SamplerKind::FrameBatch), ("tableau", SamplerKind::Tableau)]
+    {
+        let engine = InjectionEngine::builder(CodeSpec::from(RepetitionCode::bit_flip(5)))
+            .shots(64)
+            .seed(1)
+            .sampler(sampler)
+            .build();
+        for &ns in &[2usize, 5, 10, 20] {
+            let model = RadiationModel { num_samples: ns, ..Default::default() };
+            let fault = FaultSpec::Radiation { model, root: 2 };
+            group.bench_with_input(
+                BenchmarkId::new(&format!("full_event_{sampler_name}"), ns),
+                &(),
+                |b, _| {
+                    b.iter(|| black_box(engine.run(&fault, &noise)));
+                },
+            );
+        }
     }
     group.finish();
 }

@@ -3,8 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use radqec_matching::{
-    max_weight_matching, min_weight_perfect_matching, min_weight_perfect_matching_dp,
-    WeightedEdge,
+    max_weight_matching, min_weight_perfect_matching, min_weight_perfect_matching_dp, WeightedEdge,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};

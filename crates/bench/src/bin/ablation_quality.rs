@@ -15,10 +15,7 @@ fn main() {
     let shots: usize = arg_flag("shots", 300);
     let seed: u64 = arg_flag("seed", 0xAB1);
     header("Ablation — MWPM vs union-find decoder under radiation");
-    println!(
-        "{:>10} {:>10} {:>12} {:>12}",
-        "code", "fault", "mwpm", "union-find"
-    );
+    println!("{:>10} {:>10} {:>12} {:>12}", "code", "fault", "mwpm", "union-find");
     for spec in [
         CodeSpec::from(RepetitionCode::bit_flip(5)),
         CodeSpec::from(RepetitionCode::bit_flip(11)),
@@ -26,17 +23,11 @@ fn main() {
     ] {
         let mut rates = Vec::new();
         for kind in [DecoderKind::Mwpm, DecoderKind::UnionFind] {
-            let engine = InjectionEngine::builder(spec)
-                .decoder(kind)
-                .shots(shots)
-                .seed(seed)
-                .build();
+            let engine =
+                InjectionEngine::builder(spec).decoder(kind).shots(shots).seed(seed).build();
             let baseline =
                 engine.logical_error_at_sample(&FaultSpec::None, &NoiseSpec::paper_default(), 0);
-            let strike = FaultSpec::RadiationAtImpact {
-                model: RadiationModel::default(),
-                root: 2,
-            };
+            let strike = FaultSpec::RadiationAtImpact { model: RadiationModel::default(), root: 2 };
             let hit = engine.logical_error_at_sample(&strike, &NoiseSpec::paper_default(), 0);
             rates.push((baseline, hit));
         }

@@ -9,12 +9,20 @@
 
 use radqec_bench::{arg_flag, header, pct};
 use radqec_core::codes::CodeSpec;
-use radqec_core::injection::InjectionEngine;
+use radqec_core::injection::{InjectionEngine, SamplerKind};
 use radqec_core::stats::median;
 use radqec_noise::{FaultSpec, NoiseSpec, ResetBasis};
 
 fn erasure_median(spec: CodeSpec, shots: usize, seed: u64, basis: ResetBasis) -> f64 {
-    let engine = InjectionEngine::builder(spec).shots(shots).seed(seed).build();
+    // Pin the exact tableau sampler: this ablation *contrasts* reset bases
+    // on entangled XXZZ data qubits, which is precisely where the frame
+    // sampler's erasure approximation is basis-agnostic (it would flatten
+    // the asymmetry this binary exists to demonstrate).
+    let engine = InjectionEngine::builder(spec)
+        .shots(shots)
+        .seed(seed)
+        .sampler(SamplerKind::Tableau)
+        .build();
     let errs: Vec<f64> = engine
         .used_physical_qubits()
         .into_iter()
@@ -30,10 +38,7 @@ fn main() {
     let shots: usize = arg_flag("shots", 400);
     let seed: u64 = arg_flag("seed", 0xB515);
     header("Ablation — reset basis vs code orientation (single-site erasures, median)");
-    println!(
-        "{:>12} {:>14} {:>14}",
-        "code", "Z-basis reset", "X-basis reset"
-    );
+    println!("{:>12} {:>14} {:>14}", "code", "Z-basis reset", "X-basis reset");
     for spec in [
         CodeSpec::from(radqec_core::codes::XxzzCode::new(3, 1)),
         CodeSpec::from(radqec_core::codes::XxzzCode::new(1, 3)),

@@ -23,21 +23,14 @@ fn main() {
         let errs: Vec<f64> = used
             .iter()
             .map(|&q| {
-                let fault = FaultSpec::RadiationAtImpact {
-                    model: RadiationModel::default(),
-                    root: q,
-                };
+                let fault =
+                    FaultSpec::RadiationAtImpact { model: RadiationModel::default(), root: q };
                 engine.logical_error_at_sample(&fault, &NoiseSpec::paper_default(), 0)
             })
             .collect();
         let rho = criticality_error_correlation(&engine.transpiled().circuit, &used, &errs)
             .unwrap_or(f64::NAN);
-        println!(
-            "{:>10} {:>12} {:>10.3}",
-            engine.code().name,
-            engine.topology().name(),
-            rho
-        );
+        println!("{:>10} {:>12} {:>10.3}", engine.code().name, engine.topology().name(), rho);
     }
     println!("\n(positive rank correlation supports Observation VII)");
 }

@@ -30,10 +30,7 @@ fn run_panel(code: CodeSpec, shots: usize, seed: u64) {
         }
         println!();
     }
-    println!(
-        "mean logical error at impact: {}",
-        pct(res.mean_error_at_impact())
-    );
+    println!("mean logical error at impact: {}", pct(res.mean_error_at_impact()));
     println!("\ncsv:\n{}", res.to_csv());
 }
 

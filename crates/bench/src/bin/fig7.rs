@@ -15,10 +15,7 @@ fn run_panel(code: CodeSpec, shots: usize, seed: u64, subgraphs: usize) {
     cfg.seed = seed;
     cfg.subgraphs_per_size = subgraphs;
     let res = run_fig7(&cfg);
-    header(&format!(
-        "Fig. 7 — {} ({} shots, {} subgraphs/size)",
-        res.code_name, shots, subgraphs
-    ));
+    header(&format!("Fig. 7 — {} ({} shots, {} subgraphs/size)", res.code_name, shots, subgraphs));
     println!(
         "radiation reference (single spreading fault @ t=0): {}",
         pct(res.radiation_reference)

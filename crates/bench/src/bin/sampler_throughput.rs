@@ -1,0 +1,102 @@
+//! Frame-batch vs. tableau sampler: throughput and logical-error agreement
+//! on the paper's flagship workloads, emitting a `BENCH_sampler.json`
+//! trajectory entry.
+//!
+//! ```text
+//! cargo run --release -p radqec-bench --bin sampler_throughput [--shots N] [--seed N]
+//! ```
+
+use radqec_bench::arg_flag;
+use radqec_core::codes::{CodeSpec, RepetitionCode, XxzzCode};
+use radqec_core::injection::{InjectionEngine, SamplerKind};
+use radqec_noise::{FaultSpec, NoiseSpec, RadiationModel};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+struct Workload {
+    name: &'static str,
+    spec: CodeSpec,
+    fault: FaultSpec,
+    noise: NoiseSpec,
+}
+
+fn workloads() -> Vec<Workload> {
+    vec![
+        Workload {
+            name: "rep5_intrinsic",
+            spec: RepetitionCode::bit_flip(5).into(),
+            fault: FaultSpec::None,
+            noise: NoiseSpec::paper_default(),
+        },
+        Workload {
+            name: "rep5_radiation_impact",
+            spec: RepetitionCode::bit_flip(5).into(),
+            fault: FaultSpec::RadiationAtImpact { model: RadiationModel::default(), root: 2 },
+            noise: NoiseSpec::paper_default(),
+        },
+        Workload {
+            name: "xxzz33_intrinsic",
+            spec: XxzzCode::new(3, 3).into(),
+            fault: FaultSpec::None,
+            noise: NoiseSpec::paper_default(),
+        },
+        Workload {
+            name: "xxzz33_radiation_impact",
+            spec: XxzzCode::new(3, 3).into(),
+            fault: FaultSpec::RadiationAtImpact { model: RadiationModel::default(), root: 1 },
+            noise: NoiseSpec::paper_default(),
+        },
+    ]
+}
+
+fn main() {
+    let shots: usize = arg_flag("shots", 1000);
+    let seed: u64 = arg_flag("seed", 1);
+    let reps: usize = arg_flag("reps", 3);
+    let mut json = String::from("[\n");
+    println!(
+        "{:<26} {:>11} {:>11} {:>12} {:>12} {:>9}",
+        "workload", "frame_ler", "tableau_ler", "frame_sh/s", "tab_sh/s", "speedup"
+    );
+    let mut first = true;
+    for w in workloads() {
+        let mut rates = [0.0f64; 2];
+        let mut thpt = [0.0f64; 2];
+        for (i, sampler) in [SamplerKind::FrameBatch, SamplerKind::Tableau].into_iter().enumerate()
+        {
+            let engine =
+                InjectionEngine::builder(w.spec).shots(shots).seed(seed).sampler(sampler).build();
+            // Warm-up (builds the reference trace for the frame path).
+            let _ = engine.logical_error_at_sample(&w.fault, &w.noise, 0);
+            let start = Instant::now();
+            let mut rate = 0.0;
+            for _ in 0..reps {
+                rate = engine.logical_error_at_sample(&w.fault, &w.noise, 0);
+            }
+            let secs = start.elapsed().as_secs_f64() / reps as f64;
+            rates[i] = rate;
+            thpt[i] = shots as f64 / secs;
+        }
+        println!(
+            "{:<26} {:>11.4} {:>11.4} {:>12.0} {:>12.0} {:>8.1}x",
+            w.name,
+            rates[0],
+            rates[1],
+            thpt[0],
+            thpt[1],
+            thpt[0] / thpt[1]
+        );
+        if !first {
+            json.push_str(",\n");
+        }
+        first = false;
+        let _ = write!(
+            json,
+            "  {{\"workload\":\"{}\",\"shots\":{},\"seed\":{},\"frame_logical_error\":{:.6},\"tableau_logical_error\":{:.6},\"frame_shots_per_sec\":{:.1},\"tableau_shots_per_sec\":{:.1},\"speedup\":{:.2}}}",
+            w.name, shots, seed, rates[0], rates[1], thpt[0], thpt[1], thpt[0] / thpt[1]
+        );
+    }
+    json.push_str("\n]\n");
+    std::fs::write("BENCH_sampler.json", &json).expect("write BENCH_sampler.json");
+    println!("\nwrote BENCH_sampler.json");
+}

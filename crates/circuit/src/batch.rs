@@ -1,0 +1,211 @@
+//! Shot-major batched classical records.
+//!
+//! [`ShotBatch`] is the bit-packed, many-shot counterpart of
+//! [`ShotRecord`](crate::ShotRecord): one `u64` bit-plane row per classical
+//! bit, with shot `s` living at bit `s % 64` of word `s / 64`. Batch
+//! executors (the Pauli-frame sampler in `radqec-noise`) fill whole rows
+//! with single word operations; decoders either extract per-shot records or
+//! use [`ShotBatch::packed_shot`] as a compact memoisation key.
+
+use crate::backend::ShotRecord;
+use crate::gate::Clbit;
+
+/// Bit-packed classical records for a batch of shots.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShotBatch {
+    num_clbits: u32,
+    shots: usize,
+    /// Words per clbit row: `shots.div_ceil(64)`.
+    words: usize,
+    /// Clbit-major bit planes, `num_clbits` rows of `words` words.
+    bits: Vec<u64>,
+}
+
+impl ShotBatch {
+    /// All-zero batch of `shots` records with `num_clbits` classical bits.
+    pub fn new(num_clbits: u32, shots: usize) -> Self {
+        assert!(shots > 0, "batch needs at least one shot");
+        let words = shots.div_ceil(64);
+        ShotBatch { num_clbits, shots, words, bits: vec![0; num_clbits as usize * words] }
+    }
+
+    /// Number of classical bits per shot.
+    #[inline]
+    pub fn num_clbits(&self) -> u32 {
+        self.num_clbits
+    }
+
+    /// Number of shots in the batch.
+    #[inline]
+    pub fn shots(&self) -> usize {
+        self.shots
+    }
+
+    /// Words per clbit row.
+    #[inline]
+    pub fn words(&self) -> usize {
+        self.words
+    }
+
+    /// Mask selecting the valid shot bits of the last word of a row.
+    #[inline]
+    pub fn tail_mask(&self) -> u64 {
+        let rem = self.shots % 64;
+        if rem == 0 {
+            !0
+        } else {
+            (1u64 << rem) - 1
+        }
+    }
+
+    #[inline]
+    fn row_range(&self, cbit: Clbit) -> std::ops::Range<usize> {
+        let base = cbit as usize * self.words;
+        base..base + self.words
+    }
+
+    /// The bit-plane row of classical bit `cbit`.
+    #[inline]
+    pub fn row(&self, cbit: Clbit) -> &[u64] {
+        &self.bits[self.row_range(cbit)]
+    }
+
+    /// Overwrite `cbit`'s row with `base XOR flips`: every shot gets the
+    /// reference value `base`, flipped where `flips` has a 1 bit.
+    ///
+    /// Bits beyond the batch's shot count are kept zero.
+    pub fn set_row(&mut self, cbit: Clbit, base: bool, flips: &[u64]) {
+        assert_eq!(flips.len(), self.words, "flip plane has wrong width");
+        let tail = self.tail_mask();
+        let range = self.row_range(cbit);
+        let broadcast = if base { !0u64 } else { 0 };
+        for (i, (dst, &f)) in self.bits[range].iter_mut().zip(flips).enumerate() {
+            let mut v = broadcast ^ f;
+            if i + 1 == self.words {
+                v &= tail;
+            }
+            *dst = v;
+        }
+    }
+
+    /// XOR `flips` into `cbit`'s row (classical measurement-flip noise).
+    pub fn xor_row(&mut self, cbit: Clbit, flips: &[u64]) {
+        assert_eq!(flips.len(), self.words, "flip plane has wrong width");
+        let tail = self.tail_mask();
+        let range = self.row_range(cbit);
+        for (i, (dst, &f)) in self.bits[range].iter_mut().zip(flips).enumerate() {
+            let mut v = f;
+            if i + 1 == self.words {
+                v &= tail;
+            }
+            *dst ^= v;
+        }
+    }
+
+    /// Flip classical bit `cbit` of a single shot.
+    #[inline]
+    pub fn flip(&mut self, cbit: Clbit, shot: usize) {
+        debug_assert!(shot < self.shots);
+        let base = cbit as usize * self.words;
+        self.bits[base + shot / 64] ^= 1u64 << (shot % 64);
+    }
+
+    /// Value of classical bit `cbit` in shot `shot`.
+    #[inline]
+    pub fn get(&self, cbit: Clbit, shot: usize) -> bool {
+        debug_assert!(shot < self.shots);
+        let base = cbit as usize * self.words;
+        self.bits[base + shot / 64] >> (shot % 64) & 1 == 1
+    }
+
+    /// Copy shot `shot` into an existing [`ShotRecord`] (reusing its
+    /// allocation; the record must have the batch's clbit count).
+    pub fn fill_record(&self, shot: usize, record: &mut ShotRecord) {
+        assert_eq!(record.len(), self.num_clbits as usize, "record width mismatch");
+        for c in 0..self.num_clbits {
+            record.set(c, self.get(c, shot));
+        }
+    }
+
+    /// Extract shot `shot` as a fresh [`ShotRecord`].
+    pub fn record(&self, shot: usize) -> ShotRecord {
+        let mut r = ShotRecord::new(self.num_clbits);
+        self.fill_record(shot, &mut r);
+        r
+    }
+
+    /// All classical bits of one shot packed into a `u128` (bit `c` =
+    /// clbit `c`) — a cheap memoisation key for batch decoding.
+    ///
+    /// # Panics
+    /// Panics when the batch has more than 128 classical bits.
+    pub fn packed_shot(&self, shot: usize) -> u128 {
+        assert!(self.num_clbits <= 128, "too many clbits to pack");
+        let mut key = 0u128;
+        for c in 0..self.num_clbits {
+            if self.get(c, shot) {
+                key |= 1u128 << c;
+            }
+        }
+        key
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_row_broadcasts_and_flips() {
+        let mut b = ShotBatch::new(2, 70);
+        let mut flips = vec![0u64; 2];
+        flips[0] = 0b1010;
+        b.set_row(0, true, &flips);
+        assert!(b.get(0, 0));
+        assert!(!b.get(0, 1)); // flipped
+        assert!(b.get(0, 2));
+        assert!(!b.get(0, 3)); // flipped
+        assert!(b.get(0, 69));
+        // untouched row stays zero
+        assert!(!b.get(1, 5));
+    }
+
+    #[test]
+    fn tail_bits_stay_zero() {
+        let mut b = ShotBatch::new(1, 10);
+        b.set_row(0, true, &[0u64; 1]);
+        assert_eq!(b.row(0)[0], (1u64 << 10) - 1);
+        b.xor_row(0, &[!0u64]);
+        assert_eq!(b.row(0)[0], 0);
+    }
+
+    #[test]
+    fn record_extraction_roundtrips() {
+        let mut b = ShotBatch::new(3, 5);
+        b.flip(0, 1);
+        b.flip(2, 1);
+        b.flip(1, 4);
+        let r = b.record(1);
+        assert!(r.get(0) && !r.get(1) && r.get(2));
+        assert_eq!(b.packed_shot(1), 0b101);
+        assert_eq!(b.packed_shot(4), 0b010);
+        assert_eq!(b.packed_shot(0), 0);
+        let mut reuse = ShotRecord::new(3);
+        b.fill_record(4, &mut reuse);
+        assert_eq!(reuse, b.record(4));
+    }
+
+    #[test]
+    fn xor_row_accumulates() {
+        let mut b = ShotBatch::new(1, 64);
+        b.xor_row(0, &[0xFF]);
+        b.xor_row(0, &[0x0F]);
+        assert_eq!(b.row(0)[0], 0xF0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shot")]
+    fn zero_shots_rejected() {
+        ShotBatch::new(1, 0);
+    }
+}

@@ -165,13 +165,7 @@ impl Circuit {
                 continue;
             }
             let qs = g.qubits();
-            let next = qs
-                .as_slice()
-                .iter()
-                .map(|&q| level[q as usize])
-                .max()
-                .unwrap_or(0)
-                + 1;
+            let next = qs.as_slice().iter().map(|&q| level[q as usize]).max().unwrap_or(0) + 1;
             for &q in qs.as_slice() {
                 level[q as usize] = next;
             }

@@ -107,9 +107,7 @@ impl CircuitDag {
 
     /// Index of the first node acting on `qubit`, if any.
     pub fn first_node_on(&self, qubit: Qubit) -> Option<usize> {
-        self.nodes
-            .iter()
-            .position(|n| n.gate.qubits().as_slice().contains(&qubit))
+        self.nodes.iter().position(|n| n.gate.qubits().as_slice().contains(&qubit))
     }
 
     /// Criticality of a qubit: the number of DAG descendants of the first
@@ -133,13 +131,7 @@ impl CircuitDag {
         let mut dist = vec![0usize; self.nodes.len()];
         let mut best = 0;
         for v in 0..self.nodes.len() {
-            let d = self.nodes[v]
-                .preds
-                .iter()
-                .map(|&p| dist[p])
-                .max()
-                .unwrap_or(0)
-                + 1;
+            let d = self.nodes[v].preds.iter().map(|&p| dist[p]).max().unwrap_or(0) + 1;
             dist[v] = d;
             best = best.max(d);
         }

@@ -16,18 +16,12 @@ use std::fmt::Write as _;
 pub fn render(circuit: &Circuit, labels: &[String]) -> String {
     let n = circuit.num_qubits() as usize;
     assert!(labels.is_empty() || labels.len() == n, "need one label per qubit");
-    let names: Vec<String> = if labels.is_empty() {
-        (0..n).map(|i| format!("q{i}")).collect()
-    } else {
-        labels.to_vec()
-    };
+    let names: Vec<String> =
+        if labels.is_empty() { (0..n).map(|i| format!("q{i}")).collect() } else { labels.to_vec() };
     let width = names.iter().map(|s| s.len()).max().unwrap_or(2);
 
     // One cell column per op; each cell is 5 chars wide.
-    let mut rows: Vec<String> = names
-        .iter()
-        .map(|name| format!("{name:>width$}: "))
-        .collect();
+    let mut rows: Vec<String> = names.iter().map(|name| format!("{name:>width$}: ")).collect();
     let mut crow = format!("{:>width$}  ", "c");
 
     for g in circuit.ops() {

@@ -207,7 +207,16 @@ mod tests {
 
     #[test]
     fn qubits_of_single_qubit_gates() {
-        for g in [Gate::X(3), Gate::Y(3), Gate::Z(3), Gate::H(3), Gate::S(3), Gate::Sdg(3), Gate::I(3), Gate::Reset(3)] {
+        for g in [
+            Gate::X(3),
+            Gate::Y(3),
+            Gate::Z(3),
+            Gate::H(3),
+            Gate::S(3),
+            Gate::Sdg(3),
+            Gate::I(3),
+            Gate::Reset(3),
+        ] {
             assert_eq!(g.qubits().as_slice(), &[3]);
             assert_eq!(g.qubits().len(), 1);
         }

@@ -26,6 +26,7 @@
 #![warn(missing_docs)]
 
 mod backend;
+mod batch;
 mod circuit;
 mod dag;
 mod gate;
@@ -33,6 +34,7 @@ mod gate;
 pub mod display;
 
 pub use backend::{execute, execute_with, Backend, GateInterceptor, NoNoise, ShotRecord};
+pub use batch::ShotBatch;
 pub use circuit::Circuit;
 pub use dag::{CircuitDag, DagNode};
 pub use gate::{Clbit, Gate, GateQubits, Qubit};

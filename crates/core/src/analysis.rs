@@ -25,10 +25,7 @@ pub fn criticality_error_correlation(
     observed_error: &[f64],
 ) -> Option<f64> {
     assert_eq!(qubits.len(), observed_error.len(), "one observation per qubit");
-    let crit: Vec<f64> = criticality_of(circuit, qubits)
-        .into_iter()
-        .map(|c| c as f64)
-        .collect();
+    let crit: Vec<f64> = criticality_of(circuit, qubits).into_iter().map(|c| c as f64).collect();
     crate::stats::spearman(&crit, observed_error)
 }
 
@@ -66,10 +63,8 @@ mod tests {
     fn correlation_helper_computes() {
         let code = RepetitionCode::bit_flip(3).build();
         let qubits: Vec<u32> = (0..code.total_qubits()).collect();
-        let crit: Vec<f64> = criticality_of(&code.circuit, &qubits)
-            .into_iter()
-            .map(|c| c as f64)
-            .collect();
+        let crit: Vec<f64> =
+            criticality_of(&code.circuit, &qubits).into_iter().map(|c| c as f64).collect();
         // Perfectly correlated observation reproduces rho = 1.
         let rho = criticality_error_correlation(&code.circuit, &qubits, &crit).unwrap();
         assert!((rho - 1.0).abs() < 1e-12);

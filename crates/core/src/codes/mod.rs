@@ -150,8 +150,7 @@ impl CodeCircuit {
             StabKind::Z => 'Z',
             StabKind::X => 'X',
         };
-        let factors: Vec<(usize, char)> =
-            s.support.iter().map(|&d| (d as usize, letter)).collect();
+        let factors: Vec<(usize, char)> = s.support.iter().map(|&d| (d as usize, letter)).collect();
         PauliString::from_sparse(n, &factors)
     }
 
@@ -164,11 +163,7 @@ impl CodeCircuit {
         };
         PauliString::from_sparse(
             n,
-            &self
-                .logical_op_support
-                .iter()
-                .map(|&d| (d as usize, letter))
-                .collect::<Vec<_>>(),
+            &self.logical_op_support.iter().map(|&d| (d as usize, letter)).collect::<Vec<_>>(),
         )
     }
 
@@ -181,11 +176,7 @@ impl CodeCircuit {
         };
         PauliString::from_sparse(
             n,
-            &self
-                .logical_readout_support
-                .iter()
-                .map(|&d| (d as usize, letter))
-                .collect::<Vec<_>>(),
+            &self.logical_readout_support.iter().map(|&d| (d as usize, letter)).collect::<Vec<_>>(),
         )
     }
 

@@ -56,8 +56,7 @@ impl QecCode for RepetitionCode {
             RepetitionFlavor::PhaseFlip => StabKind::X,
         };
         // Nearest-neighbour parity checks along the chain.
-        let stabs: Vec<(StabKind, Vec<u32>)> =
-            (0..d - 1).map(|i| (kind, vec![i, i + 1])).collect();
+        let stabs: Vec<(StabKind, Vec<u32>)> = (0..d - 1).map(|i| (kind, vec![i, i + 1])).collect();
         let all: Vec<u32> = (0..d).collect();
         assemble(CodeLayout {
             name: self.name(),

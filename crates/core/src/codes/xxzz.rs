@@ -62,12 +62,7 @@ impl XxzzCode {
             // (fr, fc) ∈ [−1, rows−1] × [−1, cols−1].
             for fr in -1..rows {
                 for fc in -1..cols {
-                    let corners = [
-                        (fr, fc),
-                        (fr, fc + 1),
-                        (fr + 1, fc),
-                        (fr + 1, fc + 1),
-                    ];
+                    let corners = [(fr, fc), (fr, fc + 1), (fr + 1, fc), (fr + 1, fc + 1)];
                     let support: Vec<u32> = corners
                         .iter()
                         .filter(|&&(r, c)| r >= 0 && r < rows && c >= 0 && c < cols)
@@ -115,10 +110,7 @@ impl XxzzCode {
         } else {
             // X̄: vertical X-chain down column 0; Z̄: horizontal Z-chain
             // along row 0.
-            (
-                (0..rows).map(|r| r * cols).collect(),
-                (0..cols).collect(),
-            )
+            ((0..rows).map(|r| r * cols).collect(), (0..cols).collect())
         }
     }
 }
@@ -172,11 +164,7 @@ mod tests {
     fn stabilizer_count_is_data_minus_one() {
         for (dz, dx) in [(3, 3), (3, 5), (5, 3), (5, 5), (3, 1), (1, 3), (5, 1), (1, 5)] {
             let code = XxzzCode::new(dz, dx).build();
-            assert_eq!(
-                code.num_stabilizers() as u32,
-                dz * dx - 1,
-                "({dz},{dx})"
-            );
+            assert_eq!(code.num_stabilizers() as u32, dz * dx - 1, "({dz},{dx})");
             assert_eq!(code.total_qubits(), 2 * dz * dx, "({dz},{dx})");
             code.validate().unwrap();
         }

@@ -14,7 +14,9 @@ pub use graph::{DetectorGraph, DetectorNode};
 pub use mwpm::MwpmDecoder;
 pub use union_find::UnionFindDecoder;
 
-use radqec_circuit::ShotRecord;
+use radqec_circuit::{ShotBatch, ShotRecord};
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
 
 /// A syndrome decoder: maps one shot's classical record to the corrected
 /// logical readout value.
@@ -25,6 +27,37 @@ pub trait Decoder: Send + Sync {
 
     /// Decoder display name.
     fn name(&self) -> &str;
+
+    /// Decode every shot of a batch, memoising by syndrome pattern.
+    ///
+    /// Decoders are pure functions of the classical record (enforced by the
+    /// decoder-invariant property tests), and realistic noise rates produce
+    /// heavily repeated syndromes across a batch, so matching runs once per
+    /// *distinct* record instead of once per shot. Falls back to per-shot
+    /// decoding for records wider than 128 bits (none of the paper's codes
+    /// come close).
+    fn decode_batch(&self, batch: &ShotBatch) -> Vec<bool> {
+        let mut out = Vec::with_capacity(batch.shots());
+        if batch.num_clbits() <= 128 {
+            let mut cache: HashMap<u128, bool> = HashMap::new();
+            let mut scratch = ShotRecord::new(batch.num_clbits());
+            for s in 0..batch.shots() {
+                let v = match cache.entry(batch.packed_shot(s)) {
+                    Entry::Occupied(e) => *e.get(),
+                    Entry::Vacant(e) => {
+                        batch.fill_record(s, &mut scratch);
+                        *e.insert(self.decode(&scratch))
+                    }
+                };
+                out.push(v);
+            }
+        } else {
+            for s in 0..batch.shots() {
+                out.push(self.decode(&batch.record(s)));
+            }
+        }
+        out
+    }
 }
 
 /// Which decoder the injection engine instantiates.

@@ -180,10 +180,7 @@ mod tests {
     fn repetition_corrects_any_single_data_flip() {
         let code = RepetitionCode::bit_flip(5).build();
         for d in 0..5 {
-            assert!(
-                single_data_error_corrected(&code, d),
-                "uncorrected flip on data {d}"
-            );
+            assert!(single_data_error_corrected(&code, d), "uncorrected flip on data {d}");
         }
     }
 
@@ -191,10 +188,7 @@ mod tests {
     fn xxzz_corrects_any_single_data_flip() {
         let code = XxzzCode::new(3, 3).build();
         for d in 0..9 {
-            assert!(
-                single_data_error_corrected(&code, d),
-                "uncorrected flip on data {d}"
-            );
+            assert!(single_data_error_corrected(&code, d), "uncorrected flip on data {d}");
         }
     }
 
@@ -202,10 +196,7 @@ mod tests {
     fn xxzz_5x5_corrects_any_single_data_flip() {
         let code = XxzzCode::new(5, 5).build();
         for d in 0..25 {
-            assert!(
-                single_data_error_corrected(&code, d),
-                "uncorrected flip on data {d}"
-            );
+            assert!(single_data_error_corrected(&code, d), "uncorrected flip on data {d}");
         }
     }
 

@@ -122,9 +122,8 @@ impl UnionFindDecoder {
                 break;
             }
             // Grow every active cluster by one edge step.
-            let members: Vec<usize> = (0..n)
-                .filter(|&v| visited[v] && active.contains(&uf.find(v)))
-                .collect();
+            let members: Vec<usize> =
+                (0..n).filter(|&v| visited[v] && active.contains(&uf.find(v))).collect();
             for v in members {
                 for &(w, _) in g.neighbors(v) {
                     let w = w as usize;
@@ -149,11 +148,7 @@ impl UnionFindDecoder {
         }
         for (_, nodes) in cluster_nodes {
             let inside: std::collections::HashSet<usize> = nodes.iter().copied().collect();
-            let root = if inside.contains(&boundary) {
-                boundary
-            } else {
-                nodes[0]
-            };
+            let root = if inside.contains(&boundary) { boundary } else { nodes[0] };
             // BFS tree.
             let mut order = vec![root];
             let mut parent: std::collections::HashMap<usize, (usize, bool)> = Default::default();
@@ -258,11 +253,7 @@ mod tests {
             shot.set(code.stabilizers[s].cbit_round1, true);
             shot.set(code.stabilizers[s].cbit_round2, true);
             shot.set(code.readout_cbit, true);
-            assert_eq!(
-                uf.decode_shot(&shot),
-                mwpm.decode_shot(&shot),
-                "stab {s}"
-            );
+            assert_eq!(uf.decode_shot(&shot), mwpm.decode_shot(&shot), "stab {s}");
         }
     }
 }

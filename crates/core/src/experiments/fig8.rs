@@ -10,7 +10,7 @@
 //! the linear architecture collapses for XXZZ under SWAP overhead.
 
 use crate::codes::{CodeSpec, QubitRole};
-use crate::injection::InjectionEngine;
+use crate::injection::{InjectionEngine, SamplerKind};
 use radqec_noise::{FaultSpec, NoiseSpec, RadiationModel};
 use radqec_topology::Topology;
 
@@ -37,6 +37,10 @@ pub struct Fig8Config {
     pub shots: usize,
     /// Master seed.
     pub seed: u64,
+    /// Shot sampler. Default: the exact tableau — per-qubit medians feed
+    /// the paper's qubit-criticality ranking, so the entangled-strike
+    /// approximation is kept out of it.
+    pub sampler: SamplerKind,
 }
 
 impl Fig8Config {
@@ -57,6 +61,7 @@ impl Fig8Config {
             model: RadiationModel::default(),
             shots: 300,
             seed: 0x818,
+            sampler: SamplerKind::Tableau,
         }
     }
 
@@ -79,6 +84,7 @@ impl Fig8Config {
             model: RadiationModel::default(),
             shots: 300,
             seed: 0x818,
+            sampler: SamplerKind::Tableau,
         }
     }
 }
@@ -113,11 +119,7 @@ impl Fig8Arch {
     /// Median of the per-qubit medians (architecture summary statistic).
     pub fn median_of_medians(&self) -> f64 {
         crate::stats::median(
-            &self
-                .per_qubit
-                .iter()
-                .map(|q| q.median_logic_error)
-                .collect::<Vec<_>>(),
+            &self.per_qubit.iter().map(|q| q.median_logic_error).collect::<Vec<_>>(),
         )
     }
 }
@@ -163,6 +165,7 @@ pub fn run_fig8(cfg: &Fig8Config) -> Fig8Result {
             .topology(topo.clone())
             .shots(cfg.shots)
             .seed(cfg.seed)
+            .sampler(cfg.sampler)
             .build();
         code_name = engine.code().name.clone();
         let initial = engine.transpiled().initial_layout.clone();
@@ -206,6 +209,7 @@ mod tests {
             model: RadiationModel { num_samples: 4, ..Default::default() },
             shots: 60,
             seed: 5,
+            sampler: SamplerKind::FrameBatch, // exact for repetition codes
         };
         let res = run_fig8(&cfg);
         assert_eq!(res.archs.len(), 2);
@@ -215,14 +219,8 @@ mod tests {
                 assert!((0.0..=1.0).contains(&q.median_logic_error));
             }
             // roles must include data, stabilizer and readout qubits
-            assert!(a
-                .per_qubit
-                .iter()
-                .any(|q| q.role == PhysicalRole::Code(QubitRole::Data)));
-            assert!(a
-                .per_qubit
-                .iter()
-                .any(|q| q.role == PhysicalRole::Code(QubitRole::Readout)));
+            assert!(a.per_qubit.iter().any(|q| q.role == PhysicalRole::Code(QubitRole::Data)));
+            assert!(a.per_qubit.iter().any(|q| q.role == PhysicalRole::Code(QubitRole::Readout)));
         }
         let csv = res.to_csv();
         assert_eq!(csv.lines().count(), 1 + 12);

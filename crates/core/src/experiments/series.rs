@@ -26,11 +26,7 @@ pub fn fig3_series(model: &RadiationModel, resolution: usize) -> Vec<Fig3Point> 
             // Step function: holds the last sampled value, i.e. T(t_k) for
             // t ∈ [t_k, t_{k+1}), with t_k = k/(n_s − 1).
             let k = ((t * (ns - 1) as f64) as usize).min(ns - 1);
-            Fig3Point {
-                t,
-                continuous: temporal_decay(t, model.gamma),
-                stepped: samples[k],
-            }
+            Fig3Point { t, continuous: temporal_decay(t, model.gamma), stepped: samples[k] }
         })
         .collect()
 }
@@ -45,9 +41,7 @@ pub fn fig4_grid(radius: u32, spatial_n: f64) -> Vec<Vec<f64>> {
     let dist = topo.distances_from(centre);
     (0..side)
         .map(|r| {
-            (0..side)
-                .map(|c| spatial_damping(dist[(r * side + c) as usize], spatial_n))
-                .collect()
+            (0..side).map(|c| spatial_damping(dist[(r * side + c) as usize], spatial_n)).collect()
         })
         .collect()
 }

@@ -5,13 +5,40 @@
 
 use crate::codes::{CodeCircuit, CodeSpec};
 use crate::decoder::{Decoder, DecoderKind};
-use radqec_noise::{run_noisy_shot, FaultSpec, NoiseSpec, ResetBasis};
-use radqec_stabilizer::StabilizerBackend;
+use radqec_circuit::Backend;
+use radqec_noise::{
+    run_noisy_batch, run_noisy_shot, ActiveFault, FaultSpec, NoiseSpec, ResetBasis,
+};
+use radqec_stabilizer::{PauliFrameBatch, ReferenceTrace, StabilizerBackend};
 use radqec_topology::{generators::fitting_mesh, Topology};
-use radqec_transpiler::{transpile, Transpiled, TranspileOptions};
+use radqec_transpiler::{transpile, TranspileOptions, Transpiled};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rayon::prelude::*;
+use std::sync::OnceLock;
+
+/// Which Monte-Carlo sampler backs [`InjectionEngine`] shots.
+///
+/// See `radqec_stabilizer`'s crate docs for the full comparison; in short:
+/// the frame batch is 1–3 orders of magnitude faster and exact wherever
+/// fault resets hit reference-eigenstate points (all repetition-code
+/// workloads, all intrinsic-noise-only runs), while the per-shot tableau is
+/// exact everywhere and serves as the oracle for cross-validation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SamplerKind {
+    /// Bit-packed Pauli-frame batch sampler (64 shots per word) — default.
+    #[default]
+    FrameBatch,
+    /// One CHP tableau replay per shot — the exact reference path.
+    Tableau,
+}
+
+/// Shots per Pauli-frame batch. Fixed (rather than derived from the core
+/// count) so a seed's results are identical on every machine. 256 splits
+/// the default 1000-shot campaign into four parallel work items while
+/// keeping the per-chunk decode memo effective — smaller chunks buy more
+/// cores at the price of re-decoding syndromes repeated across chunks.
+const FRAME_CHUNK: usize = 256;
 
 /// Fluent configuration for [`InjectionEngine`].
 pub struct InjectionEngineBuilder {
@@ -19,6 +46,7 @@ pub struct InjectionEngineBuilder {
     topology: Option<Topology>,
     transpile_opts: TranspileOptions,
     decoder: DecoderKind,
+    sampler: SamplerKind,
     shots: usize,
     seed: u64,
 }
@@ -43,6 +71,12 @@ impl InjectionEngineBuilder {
         self
     }
 
+    /// Select the shot sampler (default [`SamplerKind::FrameBatch`]).
+    pub fn sampler(mut self, kind: SamplerKind) -> Self {
+        self.sampler = kind;
+        self
+    }
+
     /// Shots per temporal sample (default 1000).
     pub fn shots(mut self, shots: usize) -> Self {
         assert!(shots > 0, "need at least one shot");
@@ -60,9 +94,7 @@ impl InjectionEngineBuilder {
     /// Build the engine (runs the transpiler once).
     pub fn build(self) -> InjectionEngine {
         let code = self.spec.build();
-        let topology = self
-            .topology
-            .unwrap_or_else(|| fitting_mesh(code.total_qubits()));
+        let topology = self.topology.unwrap_or_else(|| fitting_mesh(code.total_qubits()));
         assert!(
             topology.num_qubits() >= code.total_qubits(),
             "topology {} too small for {}",
@@ -71,7 +103,16 @@ impl InjectionEngineBuilder {
         );
         let transpiled = transpile(&code.circuit, &topology, &self.transpile_opts);
         let decoder = self.decoder.build(&code);
-        InjectionEngine { code, topology, transpiled, decoder, shots: self.shots, seed: self.seed }
+        InjectionEngine {
+            code,
+            topology,
+            transpiled,
+            decoder,
+            sampler: self.sampler,
+            shots: self.shots,
+            seed: self.seed,
+            reference: OnceLock::new(),
+        }
     }
 }
 
@@ -81,8 +122,12 @@ pub struct InjectionEngine {
     topology: Topology,
     transpiled: Transpiled,
     decoder: Box<dyn Decoder>,
+    sampler: SamplerKind,
     shots: usize,
     seed: u64,
+    /// Noiseless reference trace for the frame sampler, computed on first
+    /// use and shared by every sample/batch of the campaign.
+    reference: OnceLock<ReferenceTrace>,
 }
 
 impl InjectionEngine {
@@ -93,9 +138,15 @@ impl InjectionEngine {
             topology: None,
             transpile_opts: TranspileOptions::auto(),
             decoder: DecoderKind::default(),
+            sampler: SamplerKind::default(),
             shots: 1000,
             seed: 0,
         }
+    }
+
+    /// The sampler backing this engine's shots.
+    pub fn sampler(&self) -> SamplerKind {
+        self.sampler
     }
 
     /// The assembled (logical) code.
@@ -143,18 +194,70 @@ impl InjectionEngine {
         basis: ResetBasis,
     ) -> f64 {
         let active = fault.activate(&self.topology, sample).with_basis(basis);
+        let errors = match self.sampler {
+            SamplerKind::FrameBatch => self.frame_errors_at_sample(&active, noise, sample),
+            SamplerKind::Tableau => self.tableau_errors_at_sample(&active, noise, sample),
+        };
+        errors as f64 / self.shots as f64
+    }
+
+    /// Per-shot tableau path: one full CHP replay per shot, with the
+    /// backend allocation reused across each worker's shots.
+    fn tableau_errors_at_sample(
+        &self,
+        active: &ActiveFault,
+        noise: &NoiseSpec,
+        sample: usize,
+    ) -> usize {
         let circuit = &self.transpiled.circuit;
         let n_phys = self.topology.num_qubits();
-        let errors: usize = (0..self.shots)
+        (0..self.shots)
             .into_par_iter()
-            .map(|shot| {
-                let mut rng = StdRng::seed_from_u64(mix_seed(self.seed, sample as u64, shot as u64));
-                let mut backend = StabilizerBackend::new(n_phys);
-                let record = run_noisy_shot(circuit, &mut backend, noise, &active, &mut rng);
-                usize::from(!self.decoder.decode(&record))
+            .map_init(
+                || StabilizerBackend::new(n_phys),
+                |backend, shot| {
+                    let mut rng =
+                        StdRng::seed_from_u64(mix_seed(self.seed, sample as u64, shot as u64));
+                    backend.reset_all();
+                    let record = run_noisy_shot(circuit, backend, noise, active, &mut rng);
+                    usize::from(!self.decoder.decode(&record))
+                },
+            )
+            .sum()
+    }
+
+    /// Frame-batch path: one noiseless reference (computed once per engine),
+    /// then bit-packed Pauli frames — 64 shots per word — plus memoised
+    /// batch decoding.
+    fn frame_errors_at_sample(
+        &self,
+        active: &ActiveFault,
+        noise: &NoiseSpec,
+        sample: usize,
+    ) -> usize {
+        let circuit = &self.transpiled.circuit;
+        let n_phys = self.topology.num_qubits() as usize;
+        let reference = self.reference.get_or_init(|| {
+            ReferenceTrace::compute(circuit, n_phys, mix_seed(self.seed, 0xFAB, 0x5EED))
+        });
+        let chunks = self.shots.div_ceil(FRAME_CHUNK);
+        (0..chunks)
+            .into_par_iter()
+            .map(|chunk| {
+                let width = FRAME_CHUNK.min(self.shots - chunk * FRAME_CHUNK);
+                // A distinct stream per (sample, chunk); offset the chunk
+                // index so frame streams never collide with per-shot ones.
+                let mut rng = StdRng::seed_from_u64(mix_seed(
+                    self.seed ^ 0xF7A3_0000_0000_0001,
+                    sample as u64,
+                    chunk as u64,
+                ));
+                let mut frame = PauliFrameBatch::new(n_phys, width, &mut rng);
+                let batch =
+                    run_noisy_batch(circuit, reference, &mut frame, noise, active, &mut rng);
+                self.decoder.decode_batch(&batch).into_iter().filter(|&ok| !ok).count()
             })
-            .sum();
-        errors as f64 / self.shots as f64
+            .sum()
     }
 
     /// Run the full fault evolution: one logical-error estimate per temporal
@@ -238,10 +341,8 @@ mod tests {
 
     #[test]
     fn certain_root_strike_causes_errors() {
-        let engine = InjectionEngine::builder(RepetitionCode::bit_flip(5).into())
-            .shots(200)
-            .seed(3)
-            .build();
+        let engine =
+            InjectionEngine::builder(RepetitionCode::bit_flip(5).into()).shots(200).seed(3).build();
         let fault = FaultSpec::Radiation { model: RadiationModel::default(), root: 2 };
         let at_impact = engine.logical_error_at_sample(&fault, &NoiseSpec::noiseless(), 0);
         assert!(at_impact > 0.05, "impact error rate {at_impact}");
@@ -260,10 +361,8 @@ mod tests {
 
     #[test]
     fn runs_are_reproducible() {
-        let engine = InjectionEngine::builder(XxzzCode::new(3, 3).into())
-            .shots(100)
-            .seed(42)
-            .build();
+        let engine =
+            InjectionEngine::builder(XxzzCode::new(3, 3).into()).shots(100).seed(42).build();
         let fault = FaultSpec::RadiationAtImpact { model: RadiationModel::default(), root: 1 };
         let a = engine.run(&fault, &NoiseSpec::paper_default());
         let b = engine.run(&fault, &NoiseSpec::paper_default());

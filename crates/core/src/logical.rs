@@ -135,16 +135,14 @@ pub fn run_logical_injection(
     seed: u64,
 ) -> LogicalInjectionOutcome {
     assert!(shots > 0, "need at least one shot");
-    assert!(
-        rates.len() >= circuit.num_qubits() as usize,
-        "need one rate per logical qubit"
-    );
+    assert!(rates.len() >= circuit.num_qubits() as usize, "need one rate per logical qubit");
     let nq = circuit.num_qubits() as usize;
     let nc = circuit.num_clbits() as usize;
     let flips: Vec<u64> = (0..shots)
         .into_par_iter()
         .map(|shot| {
-            let mut rng = StdRng::seed_from_u64(crate::injection::mix_seed(seed, 0xCAFE, shot as u64));
+            let mut rng =
+                StdRng::seed_from_u64(crate::injection::mix_seed(seed, 0xCAFE, shot as u64));
             let mut x = vec![false; nq];
             let mut z = vec![false; nq];
             let mut flipped = 0u64;
@@ -290,8 +288,11 @@ mod tests {
     fn partial_rates_give_partial_corruption() {
         let c = ghz(3);
         let out = run_logical_injection(&c, &LogicalFaultRates::uniform(3, 0.05), 2000, 7);
-        assert!(out.corruption_rate > 0.05 && out.corruption_rate < 0.8,
-            "rate {}", out.corruption_rate);
+        assert!(
+            out.corruption_rate > 0.05 && out.corruption_rate < 0.8,
+            "rate {}",
+            out.corruption_rate
+        );
     }
 
     #[test]

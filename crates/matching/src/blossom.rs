@@ -50,13 +50,7 @@ pub fn max_weight_matching(
     m.solve();
     m.mate
         .iter()
-        .map(|&p| {
-            if p >= 0 {
-                Some(m.endpoint[p as usize] as usize)
-            } else {
-                None
-            }
-        })
+        .map(|&p| if p >= 0 { Some(m.endpoint[p as usize] as usize) } else { None })
         .collect()
 }
 
@@ -117,9 +111,7 @@ impl<'a> Matcher<'a> {
             inblossom: (0..nvertex as i32).collect(),
             blossomparent: vec![NONE; 2 * nvertex],
             blossomchilds: vec![None; 2 * nvertex],
-            blossombase: (0..nvertex as i32)
-                .chain(std::iter::repeat_n(NONE, nvertex))
-                .collect(),
+            blossombase: (0..nvertex as i32).chain(std::iter::repeat_n(NONE, nvertex)).collect(),
             blossomendps: vec![None; 2 * nvertex],
             bestedge: vec![NONE; 2 * nvertex],
             blossombestedges: vec![None; 2 * nvertex],
@@ -282,12 +274,7 @@ impl<'a> Matcher<'a> {
                 None => self
                     .leaves(bv)
                     .iter()
-                    .map(|&v| {
-                        self.neighbend[v as usize]
-                            .iter()
-                            .map(|&p| p / 2)
-                            .collect()
-                    })
+                    .map(|&v| self.neighbend[v as usize].iter().map(|&p| p / 2).collect())
                     .collect(),
                 Some(l) => vec![l.clone()],
             };
@@ -340,8 +327,8 @@ impl<'a> Matcher<'a> {
         }
         if !endstage && self.label[b as usize] == 2 {
             debug_assert!(self.labelend[b as usize] >= 0);
-            let entrychild = self.inblossom
-                [self.endpoint[(self.labelend[b as usize] ^ 1) as usize] as usize];
+            let entrychild =
+                self.inblossom[self.endpoint[(self.labelend[b as usize] ^ 1) as usize] as usize];
             let childs = self.blossomchilds[b as usize].clone().unwrap();
             let endps = self.blossomendps[b as usize].clone().unwrap();
             let len = childs.len() as i32;
@@ -697,7 +684,11 @@ pub fn matching_size(mate: &[Option<usize>]) -> usize {
 }
 
 /// Validate structural consistency: symmetry and edge existence.
-pub fn is_valid_matching(num_vertices: usize, edges: &[WeightedEdge], mate: &[Option<usize>]) -> bool {
+pub fn is_valid_matching(
+    num_vertices: usize,
+    edges: &[WeightedEdge],
+    mate: &[Option<usize>],
+) -> bool {
     if mate.len() != num_vertices {
         return false;
     }

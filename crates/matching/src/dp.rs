@@ -100,14 +100,7 @@ mod tests {
     #[test]
     fn square_picks_cheaper_diagonal_pairing() {
         // 4 nodes; pairings: (01)(23)=3, (02)(13)=10, (03)(12)=7
-        let edges = [
-            (0, 1, 1),
-            (2, 3, 2),
-            (0, 2, 5),
-            (1, 3, 5),
-            (0, 3, 4),
-            (1, 2, 3),
-        ];
+        let edges = [(0, 1, 1), (2, 3, 2), (0, 2, 5), (1, 3, 5), (0, 3, 4), (1, 2, 3)];
         let (w, m) = min_weight_perfect_matching_dp(4, &edges).unwrap();
         assert_eq!(w, 3);
         assert_eq!(m, vec![1, 0, 3, 2]);
@@ -116,10 +109,7 @@ mod tests {
     #[test]
     fn missing_edges_block_perfection() {
         // 0-1 and 1-2 only: vertex 3 isolated
-        assert_eq!(
-            min_weight_perfect_matching_dp(4, &[(0, 1, 1), (1, 2, 1)]),
-            None
-        );
+        assert_eq!(min_weight_perfect_matching_dp(4, &[(0, 1, 1), (1, 2, 1)]), None);
     }
 
     #[test]

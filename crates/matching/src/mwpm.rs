@@ -21,10 +21,8 @@ pub fn min_weight_perfect_matching(
         return None;
     }
     let maxw = edges.iter().map(|e| e.2).max().unwrap_or(0);
-    let reflected: Vec<WeightedEdge> = edges
-        .iter()
-        .map(|&(i, j, w)| (i, j, maxw + 1 - w))
-        .collect();
+    let reflected: Vec<WeightedEdge> =
+        edges.iter().map(|&(i, j, w)| (i, j, maxw + 1 - w)).collect();
     let mate = max_weight_matching(num_vertices, &reflected, true);
     if matching_size(&mate) * 2 != num_vertices {
         return None;
@@ -93,14 +91,7 @@ mod tests {
     #[test]
     fn perfect_matching_minimises_weight() {
         // K4 with distinct pairing costs
-        let edges = [
-            (0u32, 1u32, 10i64),
-            (2, 3, 10),
-            (0, 2, 1),
-            (1, 3, 1),
-            (0, 3, 6),
-            (1, 2, 6),
-        ];
+        let edges = [(0u32, 1u32, 10i64), (2, 3, 10), (0, 2, 1), (1, 3, 1), (0, 3, 6), (1, 2, 6)];
         let m = min_weight_perfect_matching(4, &edges).unwrap();
         assert_eq!(m[0], 2);
         assert_eq!(m[1], 3);

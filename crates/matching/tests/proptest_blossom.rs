@@ -11,9 +11,8 @@ use radqec_matching::{
 /// a small range (keeps DP exact and instances adversarial).
 fn graph_strategy() -> impl Strategy<Value = (usize, Vec<WeightedEdge>)> {
     (2usize..=12).prop_flat_map(|n| {
-        let pairs: Vec<(u32, u32)> = (0..n as u32)
-            .flat_map(|a| ((a + 1)..n as u32).map(move |b| (a, b)))
-            .collect();
+        let pairs: Vec<(u32, u32)> =
+            (0..n as u32).flat_map(|a| ((a + 1)..n as u32).map(move |b| (a, b))).collect();
         let m = pairs.len();
         (
             Just(n),
@@ -57,14 +56,7 @@ fn brute_force_max_weight(n: usize, edges: &[WeightedEdge], max_cardinality: boo
     rec(edges, &mut vec![false; n], 0, 0, 0, &mut best);
     if max_cardinality {
         let maxsize = best.iter().map(|&(s, _)| s).max().unwrap_or(0);
-        (
-            maxsize,
-            best.iter()
-                .filter(|&&(s, _)| s == maxsize)
-                .map(|&(_, w)| w)
-                .max()
-                .unwrap_or(0),
-        )
+        (maxsize, best.iter().filter(|&&(s, _)| s == maxsize).map(|&(_, w)| w).max().unwrap_or(0))
     } else {
         let w = best.iter().map(|&(_, w)| w).max().unwrap_or(0);
         // size of the best-weight matching is not unique; only weight matters

@@ -30,18 +30,20 @@ pub fn run_noisy_shot<B: Backend + ?Sized>(
     fault: &ActiveFault,
     rng: &mut dyn RngCore,
 ) -> ShotRecord {
-    assert!(
-        circuit.num_qubits() <= backend.num_qubits(),
-        "backend too small for circuit"
-    );
+    assert!(circuit.num_qubits() <= backend.num_qubits(), "backend too small for circuit");
     let mut record = ShotRecord::new(circuit.num_clbits());
     let p = noise.depolarizing_p;
+    // Hoisted channel flags: an inactive channel costs nothing per gate, so
+    // noiseless/faultless segments run at plain-execution speed.
+    let depolarize = p > 0.0;
+    let measure_flips = noise.measure_flip_p > 0.0;
+    let fault_on = fault.is_active();
     for gate in circuit.ops() {
         match *gate {
             Gate::Barrier => continue,
             Gate::Measure { qubit, cbit } => {
                 let mut v = backend.measure(qubit, rng);
-                if noise.measure_flip_p > 0.0 && rng.gen_bool(noise.measure_flip_p) {
+                if measure_flips && rng.gen_bool(noise.measure_flip_p) {
                     v = !v;
                 }
                 record.set(cbit, v);
@@ -49,7 +51,7 @@ pub fn run_noisy_shot<B: Backend + ?Sized>(
             Gate::Reset(q) => backend.reset(q, rng),
             ref unitary => {
                 backend.apply_unitary(unitary);
-                if p > 0.0 {
+                if depolarize {
                     for &q in unitary.qubits().as_slice() {
                         if rng.gen_bool(p) {
                             // X, Y, Z each with probability p/3.
@@ -63,7 +65,7 @@ pub fn run_noisy_shot<B: Backend + ?Sized>(
                 }
             }
         }
-        if fault.is_active() {
+        if fault_on {
             for &q in gate.qubits().as_slice() {
                 let pq = fault.prob(q);
                 if pq > 0.0 && rng.gen_bool(pq) {

@@ -177,10 +177,7 @@ mod tests {
         let spec_frozen =
             FaultSpec::RadiationAtImpact { model: RadiationModel::default(), root: 0 };
         assert_eq!(spec_frozen.num_samples(), 1);
-        assert_eq!(
-            spec_full.activate(&linear(4), 0),
-            spec_frozen.activate(&linear(4), 0)
-        );
+        assert_eq!(spec_full.activate(&linear(4), 0), spec_frozen.activate(&linear(4), 0));
     }
 
     #[test]

@@ -11,7 +11,10 @@
 //!   probabilistic resets after every gate, with probability
 //!   `F(t, d) = e^(−γt) · 1/(d+1)²` decaying over the event's `n_s`
 //!   temporal samples and with graph distance from the impact.
-//! * [`run_noisy_shot`] — executes one shot with both models active.
+//! * [`run_noisy_shot`] — executes one shot with both models active;
+//! * [`run_noisy_batch`] — the bit-packed Pauli-frame batch executor: 64
+//!   shots per word against a precomputed noiseless reference (the fast
+//!   path behind the injection engine's default sampler).
 //!
 //! ```
 //! use radqec_noise::{temporal_decay, spatial_damping};
@@ -24,11 +27,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod batch;
 mod depolarizing;
 mod executor;
 mod fault;
 mod radiation;
 
+pub use batch::run_noisy_batch;
 pub use depolarizing::NoiseSpec;
 pub use executor::run_noisy_shot;
 pub use fault::{ActiveFault, FaultSpec, ResetBasis};

@@ -66,10 +66,7 @@ impl RadiationModel {
 
     /// The step function `T̂`: `T(t_k)` at each sampling instant.
     pub fn temporal_samples(&self) -> Vec<f64> {
-        self.sample_times()
-            .into_iter()
-            .map(|t| temporal_decay(t, self.gamma))
-            .collect()
+        self.sample_times().into_iter().map(|t| temporal_decay(t, self.gamma)).collect()
     }
 
     /// Materialise a strike at `root` on `topo`: computes the per-qubit

@@ -1,0 +1,366 @@
+//! Bit-packed Pauli-frame batch simulation — the Stim-style technique that
+//! makes Monte-Carlo sampling of Clifford+Pauli-noise circuits fast.
+//!
+//! Instead of simulating full stabilizer state per shot, a *frame* tracks,
+//! per shot, the Pauli operator relating the noisy run to a fixed noiseless
+//! reference run (see [`crate::ReferenceTrace`]). Conjugating a Pauli
+//! through a Clifford gate is `O(1)` per qubit, and 64 shots share each
+//! `u64` word, so a whole batch advances through a gate in a handful of
+//! word operations.
+//!
+//! Measurement randomness is *emergent*: every qubit's frame starts with a
+//! uniformly random Z component (a stabilizer of |0…0⟩, hence unobservable),
+//! and collapse events (measure/reset) re-randomize it. Conjugation turns
+//! those hidden Z bits into X components exactly where a measurement is
+//! non-deterministic, which supplies per-shot randomness *and* the right
+//! correlations between measurements of entangled qubits.
+
+use radqec_circuit::{Gate, Qubit};
+use rand::RngCore;
+
+/// Which of the two frame bit-planes a masked update targets.
+#[derive(Clone, Copy)]
+enum Plane {
+    X,
+    Z,
+}
+
+/// Pauli frames for a batch of shots: per qubit, an X and a Z bit-plane with
+/// one bit per shot (shot `s` at bit `s % 64` of word `s / 64`).
+#[derive(Debug, Clone)]
+pub struct PauliFrameBatch {
+    n: usize,
+    shots: usize,
+    /// Words per row: `shots.div_ceil(64)`.
+    words: usize,
+    /// X bit-planes, qubit-major.
+    x: Vec<u64>,
+    /// Z bit-planes, qubit-major.
+    z: Vec<u64>,
+}
+
+impl PauliFrameBatch {
+    /// A fresh frame batch for `n` qubits and `shots` shots.
+    ///
+    /// X planes start zero; Z planes start uniformly random (the initial
+    /// frame randomization that seeds emergent measurement randomness).
+    pub fn new(n: usize, shots: usize, rng: &mut dyn RngCore) -> Self {
+        assert!(n > 0, "frame batch needs at least one qubit");
+        assert!(shots > 0, "frame batch needs at least one shot");
+        let words = shots.div_ceil(64);
+        let mut f =
+            PauliFrameBatch { n, shots, words, x: vec![0; n * words], z: vec![0; n * words] };
+        for q in 0..n {
+            f.randomize_z(q as Qubit, rng);
+        }
+        f
+    }
+
+    /// Number of qubits tracked.
+    #[inline]
+    pub fn num_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// Number of shots in the batch.
+    #[inline]
+    pub fn shots(&self) -> usize {
+        self.shots
+    }
+
+    /// Words per bit-plane row.
+    #[inline]
+    pub fn words(&self) -> usize {
+        self.words
+    }
+
+    /// Mask selecting the valid shot bits of the final word.
+    #[inline]
+    fn tail_mask(&self) -> u64 {
+        let rem = self.shots % 64;
+        if rem == 0 {
+            !0
+        } else {
+            (1u64 << rem) - 1
+        }
+    }
+
+    #[inline]
+    fn row(&self, q: Qubit) -> std::ops::Range<usize> {
+        let base = q as usize * self.words;
+        base..base + self.words
+    }
+
+    /// The X bit-plane of qubit `q`: a set bit means that shot's state
+    /// differs from the reference by an X (or Y) on `q` — i.e. its Z-basis
+    /// measurement outcome is flipped.
+    #[inline]
+    pub fn x_row(&self, q: Qubit) -> &[u64] {
+        &self.x[self.row(q)]
+    }
+
+    /// The Z bit-plane of qubit `q`.
+    #[inline]
+    pub fn z_row(&self, q: Qubit) -> &[u64] {
+        &self.z[self.row(q)]
+    }
+
+    fn fill_random(dst: &mut [u64], tail: u64, rng: &mut dyn RngCore) {
+        let last = dst.len() - 1;
+        for (i, w) in dst.iter_mut().enumerate() {
+            *w = rng.next_u64();
+            if i == last {
+                *w &= tail;
+            }
+        }
+    }
+
+    /// Replace qubit `q`'s Z plane with fresh random bits (collapse
+    /// randomization after a measurement or reset).
+    pub fn randomize_z(&mut self, q: Qubit, rng: &mut dyn RngCore) {
+        let tail = self.tail_mask();
+        let range = self.row(q);
+        Self::fill_random(&mut self.z[range], tail, rng);
+    }
+
+    /// Clear qubit `q`'s X plane (a reference-side reset discards any
+    /// accumulated X error on the qubit).
+    pub fn clear_x(&mut self, q: Qubit) {
+        let range = self.row(q);
+        self.x[range].fill(0);
+    }
+
+    /// Flip the X bit of shot `shot` on qubit `q` (single Pauli-X event).
+    #[inline]
+    pub fn flip_x(&mut self, q: Qubit, shot: usize) {
+        debug_assert!(shot < self.shots);
+        self.x[q as usize * self.words + shot / 64] ^= 1u64 << (shot % 64);
+    }
+
+    /// Flip the Z bit of shot `shot` on qubit `q` (single Pauli-Z event).
+    #[inline]
+    pub fn flip_z(&mut self, q: Qubit, shot: usize) {
+        debug_assert!(shot < self.shots);
+        self.z[q as usize * self.words + shot / 64] ^= 1u64 << (shot % 64);
+    }
+
+    /// Combine each word of a plane row with the corresponding mask word
+    /// (tail-clipped so bits beyond the shot count are never selected).
+    fn update_masked(
+        &mut self,
+        plane: Plane,
+        q: Qubit,
+        mask: &[u64],
+        mut f: impl FnMut(u64, u64) -> u64,
+    ) {
+        assert_eq!(mask.len(), self.words, "mask has wrong width");
+        let tail = self.tail_mask();
+        let last = self.words - 1;
+        let range = self.row(q);
+        let row = match plane {
+            Plane::X => &mut self.x[range],
+            Plane::Z => &mut self.z[range],
+        };
+        for (i, (w, &m)) in row.iter_mut().zip(mask).enumerate() {
+            let m = if i == last { m & tail } else { m };
+            *w = f(*w, m);
+        }
+    }
+
+    /// In the shots selected by `mask`, set qubit `q`'s X bits to `value`;
+    /// other shots keep theirs. Bits beyond the shot count are ignored.
+    pub fn set_x_masked(&mut self, q: Qubit, mask: &[u64], value: bool) {
+        self.update_masked(Plane::X, q, mask, |w, m| if value { w | m } else { w & !m });
+    }
+
+    /// In the shots selected by `mask`, set qubit `q`'s Z bits to `value`.
+    /// Bits beyond the shot count are ignored.
+    pub fn set_z_masked(&mut self, q: Qubit, mask: &[u64], value: bool) {
+        self.update_masked(Plane::Z, q, mask, |w, m| if value { w | m } else { w & !m });
+    }
+
+    /// In the shots selected by `mask`, replace qubit `q`'s X bits with
+    /// fresh coin flips. Bits beyond the shot count are ignored.
+    pub fn randomize_x_masked(&mut self, q: Qubit, mask: &[u64], rng: &mut dyn RngCore) {
+        self.update_masked(Plane::X, q, mask, |w, m| (w & !m) | (rng.next_u64() & m));
+    }
+
+    /// In the shots selected by `mask`, replace qubit `q`'s Z bits with
+    /// fresh coin flips. Bits beyond the shot count are ignored.
+    pub fn randomize_z_masked(&mut self, q: Qubit, mask: &[u64], rng: &mut dyn RngCore) {
+        self.update_masked(Plane::Z, q, mask, |w, m| (w & !m) | (rng.next_u64() & m));
+    }
+
+    /// Conjugate every shot's frame through a unitary Clifford gate.
+    ///
+    /// Signs are irrelevant for frames (only flip parities are observable),
+    /// so Pauli gates are no-ops.
+    ///
+    /// # Panics
+    /// Panics on `Measure`/`Reset`/`Barrier` — collapse semantics live in
+    /// the batch executor, not in the frame.
+    pub fn apply_unitary(&mut self, gate: &Gate) {
+        match *gate {
+            Gate::I(_) | Gate::X(_) | Gate::Y(_) | Gate::Z(_) => {}
+            Gate::H(q) => {
+                // X ↔ Z.
+                let range = self.row(q);
+                let (xs, zs) = (&mut self.x[range.clone()], &mut self.z[range]);
+                xs.swap_with_slice(zs);
+            }
+            Gate::S(q) | Gate::Sdg(q) => {
+                // X → ±Y: the X component gains a Z component.
+                let range = self.row(q);
+                for (z, &x) in self.z[range.clone()].iter_mut().zip(&self.x[range]) {
+                    *z ^= x;
+                }
+            }
+            Gate::Cx { control, target } => {
+                // X_c → X_c X_t, Z_t → Z_c Z_t.
+                let (c, t) = (control as usize, target as usize);
+                let w = self.words;
+                for i in 0..w {
+                    self.x[t * w + i] ^= self.x[c * w + i];
+                    self.z[c * w + i] ^= self.z[t * w + i];
+                }
+            }
+            Gate::Cz { a, b } => {
+                // X_a → X_a Z_b, X_b → X_b Z_a.
+                let (a, b) = (a as usize, b as usize);
+                let w = self.words;
+                for i in 0..w {
+                    let xa = self.x[a * w + i];
+                    let xb = self.x[b * w + i];
+                    self.z[b * w + i] ^= xa;
+                    self.z[a * w + i] ^= xb;
+                }
+            }
+            Gate::Swap { a, b } => {
+                let (a, b) = (a as usize, b as usize);
+                let w = self.words;
+                for i in 0..w {
+                    self.x.swap(a * w + i, b * w + i);
+                    self.z.swap(a * w + i, b * w + i);
+                }
+            }
+            Gate::Measure { .. } | Gate::Reset(_) | Gate::Barrier => {
+                panic!("apply_unitary called with non-unitary gate {gate:?}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xF7A3)
+    }
+
+    fn bit(row: &[u64], shot: usize) -> bool {
+        row[shot / 64] >> (shot % 64) & 1 == 1
+    }
+
+    #[test]
+    fn fresh_frames_have_zero_x_and_random_z() {
+        let mut r = rng();
+        let f = PauliFrameBatch::new(3, 256, &mut r);
+        assert!(f.x_row(0).iter().all(|&w| w == 0));
+        let ones: u32 = f.z_row(1).iter().map(|w| w.count_ones()).sum();
+        assert!((64..192).contains(&ones), "z plane not random: {ones} ones");
+    }
+
+    #[test]
+    fn tail_bits_stay_clear() {
+        let mut r = rng();
+        let mut f = PauliFrameBatch::new(2, 10, &mut r);
+        f.randomize_z(0, &mut r);
+        f.randomize_x_masked(1, &[!0u64], &mut r);
+        assert_eq!(f.z_row(0)[0] & !((1 << 10) - 1), 0);
+        assert_eq!(f.x_row(1)[0] & !((1 << 10) - 1), 0);
+    }
+
+    #[test]
+    fn h_swaps_planes_and_cx_propagates() {
+        let mut r = rng();
+        let mut f = PauliFrameBatch::new(2, 64, &mut r);
+        let z_before = bit(f.z_row(0), 3);
+        f.flip_x(0, 3);
+        f.apply_unitary(&Gate::H(0));
+        assert_eq!(bit(f.x_row(0), 3), z_before, "H must move Z into X");
+        assert!(bit(f.z_row(0), 3), "H must move the X flip into Z");
+        f.apply_unitary(&Gate::H(0)); // undo
+        assert!(bit(f.x_row(0), 3));
+        let x1_before = bit(f.x_row(1), 3);
+        f.apply_unitary(&Gate::Cx { control: 0, target: 1 });
+        assert_eq!(bit(f.x_row(1), 3), !x1_before, "X on control must spread to target");
+    }
+
+    #[test]
+    fn cz_converts_x_to_partner_z() {
+        let mut r = rng();
+        let mut f = PauliFrameBatch::new(2, 64, &mut r);
+        let z1_before = bit(f.z_row(1), 5);
+        f.flip_x(0, 5);
+        f.apply_unitary(&Gate::Cz { a: 0, b: 1 });
+        assert_eq!(bit(f.z_row(1), 5), !z1_before);
+        assert!(bit(f.x_row(0), 5), "X frame itself survives CZ");
+    }
+
+    #[test]
+    fn s_gate_adds_z_to_x_component() {
+        let mut r = rng();
+        let mut f = PauliFrameBatch::new(1, 64, &mut r);
+        let z_before = bit(f.z_row(0), 7);
+        f.flip_x(0, 7);
+        f.apply_unitary(&Gate::S(0));
+        assert_eq!(bit(f.z_row(0), 7), !z_before);
+    }
+
+    #[test]
+    fn swap_exchanges_rows() {
+        let mut r = rng();
+        let mut f = PauliFrameBatch::new(2, 64, &mut r);
+        f.flip_x(0, 1);
+        let (z0, z1) = (f.z_row(0)[0], f.z_row(1)[0]);
+        f.apply_unitary(&Gate::Swap { a: 0, b: 1 });
+        assert!(bit(f.x_row(1), 1) && !bit(f.x_row(0), 1));
+        assert_eq!((f.z_row(0)[0], f.z_row(1)[0]), (z1, z0));
+    }
+
+    #[test]
+    fn masked_ops_touch_only_masked_shots() {
+        let mut r = rng();
+        let mut f = PauliFrameBatch::new(1, 64, &mut r);
+        f.flip_x(0, 0);
+        f.flip_x(0, 1);
+        f.set_x_masked(0, &[0b01], false);
+        assert!(!bit(f.x_row(0), 0) && bit(f.x_row(0), 1));
+        f.set_z_masked(0, &[!0u64], false);
+        f.set_z_masked(0, &[0b10], true);
+        assert_eq!(f.z_row(0)[0], 0b10);
+    }
+
+    #[test]
+    fn pauli_gates_leave_frames_alone() {
+        let mut r = rng();
+        let mut f = PauliFrameBatch::new(1, 64, &mut r);
+        f.flip_x(0, 2);
+        let (x, z) = (f.x_row(0)[0], f.z_row(0)[0]);
+        for g in [Gate::X(0), Gate::Y(0), Gate::Z(0), Gate::I(0)] {
+            f.apply_unitary(&g);
+        }
+        assert_eq!((f.x_row(0)[0], f.z_row(0)[0]), (x, z));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-unitary")]
+    fn rejects_measure() {
+        let mut r = rng();
+        let mut f = PauliFrameBatch::new(1, 1, &mut r);
+        f.apply_unitary(&Gate::Measure { qubit: 0, cbit: 0 });
+    }
+}

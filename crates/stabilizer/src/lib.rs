@@ -1,6 +1,7 @@
 //! # radqec-stabilizer
 //!
-//! Bit-packed Aaronson–Gottesman (CHP) stabilizer simulator.
+//! Bit-packed Aaronson–Gottesman (CHP) stabilizer simulator, plus the
+//! Pauli-frame batch sampler that makes Monte-Carlo campaigns fast.
 //!
 //! Every circuit in the reproduced paper — repetition and XXZZ surface codes
 //! under depolarizing Pauli noise and radiation-induced reset faults — is a
@@ -12,8 +13,42 @@
 //! * [`Tableau`] — the raw CHP tableau with per-gate methods;
 //! * [`StabilizerBackend`] — the [`radqec_circuit::Backend`] adapter used by
 //!   the execution and fault-injection layers;
+//! * [`PauliFrameBatch`] and [`ReferenceTrace`] — the bit-packed Pauli-frame
+//!   batch sampler (64 shots per `u64` word) and the one-time noiseless
+//!   reference pass it replays against;
 //! * [`PauliString`] — sign-tracked Pauli operators used by the code layer
 //!   to express and verify stabilizer generators.
+//!
+//! ## The two sampler backends, and when each is exact
+//!
+//! The fault-injection engine (`radqec_core::InjectionEngine`) can sample
+//! shots two ways:
+//!
+//! 1. **Tableau** (`SamplerKind::Tableau`): every shot replays the whole
+//!    circuit on a fresh CHP tableau. This is the ground-truth model — exact
+//!    for *every* noise and fault configuration, including mid-circuit
+//!    radiation resets of entangled qubits — but costs `O(gates · n)` plus
+//!    `O(n²)` per measurement, per shot.
+//! 2. **Frame batch** (`SamplerKind::FrameBatch`, the default): the circuit
+//!    is simulated noiselessly **once** ([`ReferenceTrace`]), then each shot
+//!    only tracks the Pauli *frame* relating it to that reference, 64 shots
+//!    per machine word ([`PauliFrameBatch`]). Gates cost `O(words)` for the
+//!    whole batch; measurements are single-row XORs.
+//!
+//! The frame sampler is exact (in distribution) for Clifford circuits under
+//! Pauli noise, classical measurement flips, circuit resets, and
+//! fault-injected resets of qubits whose reference state is a basis
+//! eigenstate at the reset point — which covers the repetition codes'
+//! entire circuits (Z-deterministic throughout) under every fault, and all
+//! intrinsic-noise-only runs of every code. A fault reset that hits a qubit
+//! whose reference value is non-deterministic in the reset basis (an
+//! entangled XXZZ data qubit mid-round) is outside the Pauli-mixture
+//! closure; it is modelled as erasure to the maximally mixed state (a
+//! uniformly random frame on that qubit — the same substitution Stim makes
+//! for heralded erasure), which biases logical-error estimates *upward*
+//! under repeated entangled strikes. `tests/sampler_equivalence.rs` pins
+//! exact agreement where exactness holds and bounds the bias envelope
+//! elsewhere; keep `SamplerKind::Tableau` as the exact oracle.
 //!
 //! ```
 //! use radqec_circuit::{execute, Circuit};
@@ -36,9 +71,13 @@
 #![warn(missing_docs)]
 
 mod backend;
+mod frame;
 mod pauli;
+mod reference;
 mod tableau;
 
 pub use backend::StabilizerBackend;
+pub use frame::PauliFrameBatch;
 pub use pauli::PauliString;
+pub use reference::{QubitKnowledge, RefOp, ReferenceTrace};
 pub use tableau::Tableau;

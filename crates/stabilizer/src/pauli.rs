@@ -39,10 +39,7 @@ impl PauliString {
         let mut p = Self::identity(n);
         for &(q, c) in factors {
             assert!(q < n, "qubit {q} out of range");
-            assert!(
-                !p.get_x(q) && !p.get_z(q),
-                "duplicate qubit {q} in Pauli string"
-            );
+            assert!(!p.get_x(q) && !p.get_z(q), "duplicate qubit {q} in Pauli string");
             match c {
                 'I' => {}
                 'X' => p.set_x(q, true),
@@ -95,11 +92,7 @@ impl PauliString {
 
     /// Number of qubits with a non-identity factor.
     pub fn weight(&self) -> usize {
-        self.x
-            .iter()
-            .zip(&self.z)
-            .map(|(&a, &b)| (a | b).count_ones() as usize)
-            .sum()
+        self.x.iter().zip(&self.z).map(|(&a, &b)| (a | b).count_ones() as usize).sum()
     }
 
     /// True iff `self` and `other` commute (symplectic inner product is 0).

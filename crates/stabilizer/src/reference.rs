@@ -1,0 +1,223 @@
+//! The reference pass backing the Pauli-frame batch sampler.
+//!
+//! Frame simulation needs one noiseless *reference sample* of the circuit:
+//! a consistent assignment of every measurement outcome, produced by a
+//! single collapsing [`Tableau`] run. A noisy shot's outcome is then the
+//! reference outcome XOR the frame's X bit on the measured qubit.
+//!
+//! Alongside the outcomes, the pass records — after every operation, for
+//! that operation's operand qubits — whether the reference state is a Z
+//! (and X) basis eigenstate and with which value. The batch executor uses
+//! this to translate fault-injected resets into frame updates: resetting a
+//! qubit whose reference Z value is the known bit `b` is *exactly* the
+//! frame update `x ← b` (plus Z re-randomization); when the reference value
+//! is non-deterministic the reset collapses genuine entanglement and the
+//! executor falls back to a uniformly random frame on that qubit, which
+//! reproduces the collapse statistics seen by every *indirect* observer of
+//! the qubit (syndrome parities), though not a subsequent *direct*
+//! measurement of it. See `radqec_noise::run_noisy_batch` for the full
+//! exactness discussion.
+
+use crate::tableau::Tableau;
+use radqec_circuit::{Circuit, Clbit, Gate, Qubit};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Basis knowledge about one operand qubit just after an operation ran in
+/// the reference state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QubitKnowledge {
+    /// The qubit.
+    pub qubit: Qubit,
+    /// `Some(b)` when the reference Z-basis value of the qubit is the
+    /// deterministic bit `b`.
+    pub z_value: Option<bool>,
+    /// `Some(s)` when the reference X-basis value is deterministic
+    /// (`false` = |+⟩, `true` = |−⟩).
+    pub x_value: Option<bool>,
+}
+
+/// What the reference run recorded for one circuit operation.
+#[derive(Debug, Clone, Default)]
+pub struct RefOp {
+    /// For `Measure` ops: destination clbit and the reference outcome.
+    pub measurement: Option<(Clbit, bool)>,
+    /// Post-op basis knowledge for the operand qubits (empty for barriers).
+    knowledge: [Option<QubitKnowledge>; 2],
+}
+
+impl RefOp {
+    /// Basis knowledge for operand qubit `q`, if recorded for this op.
+    #[inline]
+    pub fn knowledge_for(&self, q: Qubit) -> Option<&QubitKnowledge> {
+        self.knowledge.iter().flatten().find(|k| k.qubit == q)
+    }
+}
+
+/// One noiseless reference sample of a circuit, with per-op basis
+/// knowledge — everything the Pauli-frame batch executor needs.
+#[derive(Debug, Clone)]
+pub struct ReferenceTrace {
+    ops: Vec<RefOp>,
+    n_qubits: usize,
+}
+
+impl ReferenceTrace {
+    /// Run `circuit` once, noiselessly, on an `n_qubits` tableau seeded
+    /// with `seed`, recording measurement outcomes and per-op operand
+    /// knowledge.
+    pub fn compute(circuit: &Circuit, n_qubits: usize, seed: u64) -> Self {
+        assert!(
+            circuit.num_qubits() as usize <= n_qubits,
+            "reference tableau too small for circuit"
+        );
+        let mut t = Tableau::new(n_qubits);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut ops = Vec::with_capacity(circuit.len());
+        for gate in circuit.ops() {
+            let mut op = RefOp::default();
+            match *gate {
+                Gate::Barrier => {}
+                Gate::Measure { qubit, cbit } => {
+                    let outcome = t.measure(qubit as usize, &mut rng);
+                    op.measurement = Some((cbit, outcome));
+                }
+                Gate::Reset(q) => t.reset(q as usize, &mut rng),
+                ref unitary => apply_to_tableau(&mut t, unitary),
+            }
+            for (slot, &q) in op.knowledge.iter_mut().zip(gate.qubits().as_slice()) {
+                *slot = Some(QubitKnowledge {
+                    qubit: q,
+                    z_value: t.peek_z(q as usize),
+                    x_value: t.peek_x(q as usize),
+                });
+            }
+            ops.push(op);
+        }
+        ReferenceTrace { ops, n_qubits }
+    }
+
+    /// Number of qubits the reference tableau used.
+    #[inline]
+    pub fn num_qubits(&self) -> usize {
+        self.n_qubits
+    }
+
+    /// Number of operations traced (equals the circuit's op count).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True when the traced circuit had no operations.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// The trace entry of operation `i` (circuit order).
+    #[inline]
+    pub fn op(&self, i: usize) -> &RefOp {
+        &self.ops[i]
+    }
+}
+
+fn apply_to_tableau(t: &mut Tableau, gate: &Gate) {
+    match *gate {
+        Gate::I(_) => {}
+        Gate::X(q) => t.x(q as usize),
+        Gate::Y(q) => t.y(q as usize),
+        Gate::Z(q) => t.z(q as usize),
+        Gate::H(q) => t.h(q as usize),
+        Gate::S(q) => t.s(q as usize),
+        Gate::Sdg(q) => t.sdg(q as usize),
+        Gate::Cx { control, target } => t.cx(control as usize, target as usize),
+        Gate::Cz { a, b } => t.cz(a as usize, b as usize),
+        Gate::Swap { a, b } => t.swap(a as usize, b as usize),
+        Gate::Measure { .. } | Gate::Reset(_) | Gate::Barrier => {
+            unreachable!("handled by caller")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_circuit_is_fully_pinned() {
+        let mut c = Circuit::new(2, 2);
+        c.x(0).cx(0, 1).measure(0, 0).measure(1, 1);
+        let tr = ReferenceTrace::compute(&c, 2, 1);
+        assert_eq!(tr.len(), 4);
+        // x(0): qubit 0 now |1>, Z-det true, X random.
+        let k = tr.op(0).knowledge_for(0).unwrap();
+        assert_eq!(k.z_value, Some(true));
+        assert_eq!(k.x_value, None);
+        // measurements read 1 and 1.
+        assert_eq!(tr.op(2).measurement, Some((0, true)));
+        assert_eq!(tr.op(3).measurement, Some((1, true)));
+    }
+
+    #[test]
+    fn plus_state_has_x_knowledge_only() {
+        let mut c = Circuit::new(1, 0);
+        c.h(0);
+        let tr = ReferenceTrace::compute(&c, 1, 3);
+        let k = tr.op(0).knowledge_for(0).unwrap();
+        assert_eq!(k.z_value, None);
+        assert_eq!(k.x_value, Some(false), "|+> must report X-det +1");
+    }
+
+    #[test]
+    fn minus_state_reports_sign() {
+        let mut c = Circuit::new(1, 0);
+        c.x(0).h(0);
+        let tr = ReferenceTrace::compute(&c, 1, 3);
+        let k = tr.op(1).knowledge_for(0).unwrap();
+        assert_eq!(k.x_value, Some(true), "|-> must report X-det -1");
+    }
+
+    #[test]
+    fn entangled_pair_is_unknown_in_both_bases() {
+        let mut c = Circuit::new(2, 0);
+        c.h(0).cx(0, 1);
+        let tr = ReferenceTrace::compute(&c, 2, 9);
+        for q in [0, 1] {
+            let k = tr.op(1).knowledge_for(q).unwrap();
+            assert_eq!(k.z_value, None, "qubit {q}");
+            assert_eq!(k.x_value, None, "qubit {q}");
+        }
+    }
+
+    #[test]
+    fn measurement_collapse_is_visible_to_later_knowledge() {
+        let mut c = Circuit::new(1, 1);
+        c.h(0).measure(0, 0);
+        let tr = ReferenceTrace::compute(&c, 1, 5);
+        let (cbit, outcome) = tr.op(1).measurement.unwrap();
+        assert_eq!(cbit, 0);
+        let k = tr.op(1).knowledge_for(0).unwrap();
+        assert_eq!(k.z_value, Some(outcome), "post-measure state must match outcome");
+    }
+
+    #[test]
+    fn same_seed_same_trace() {
+        let mut c = Circuit::new(3, 3);
+        c.h(0).cx(0, 1).measure(0, 0).measure(1, 1).h(2).measure(2, 2);
+        let a = ReferenceTrace::compute(&c, 3, 42);
+        let b = ReferenceTrace::compute(&c, 3, 42);
+        for i in 0..a.len() {
+            assert_eq!(a.op(i).measurement, b.op(i).measurement, "op {i}");
+        }
+    }
+
+    #[test]
+    fn barrier_records_nothing() {
+        let mut c = Circuit::new(1, 0);
+        c.barrier();
+        let tr = ReferenceTrace::compute(&c, 1, 0);
+        assert!(tr.op(0).measurement.is_none());
+        assert!(tr.op(0).knowledge_for(0).is_none());
+    }
+}

@@ -34,7 +34,8 @@ impl Tableau {
         assert!(n > 0, "tableau needs at least one qubit");
         let w = n.div_ceil(64);
         let rows = 2 * n + 1;
-        let mut t = Tableau { n, w, xs: vec![0; rows * w], zs: vec![0; rows * w], rs: vec![false; rows] };
+        let mut t =
+            Tableau { n, w, xs: vec![0; rows * w], zs: vec![0; rows * w], rs: vec![false; rows] };
         for i in 0..n {
             t.set_x(i, i, true); // destabilizer i = X_i
             t.set_z(n + i, i, true); // stabilizer i = Z_i
@@ -307,6 +308,20 @@ impl Tableau {
             }
         }
         Some(self.rs[scratch])
+    }
+
+    /// Whether measuring `a` in the X basis would give a deterministic
+    /// outcome (`Some(false)` = |+⟩, `Some(true)` = |−⟩), and if so which.
+    /// Does not collapse the state.
+    ///
+    /// Implemented by conjugating with H (X-basis determinism of the state
+    /// is Z-basis determinism of its H-rotated image); the tableau is
+    /// restored before returning.
+    pub fn peek_x(&mut self, a: usize) -> Option<bool> {
+        self.h(a);
+        let r = self.peek_z(a);
+        self.h(a);
+        r
     }
 
     /// Reset qubit `a` to |0⟩ (measure, then correct).

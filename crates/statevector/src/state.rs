@@ -44,12 +44,7 @@ impl StateVector {
     /// Probability that qubit `q` reads 1.
     pub fn prob_one(&self, q: Qubit) -> f64 {
         let mask = 1usize << q;
-        self.amps
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| i & mask != 0)
-            .map(|(_, a)| a.norm_sqr())
-            .sum()
+        self.amps.iter().enumerate().filter(|(i, _)| i & mask != 0).map(|(_, a)| a.norm_sqr()).sum()
     }
 
     /// Inner-product magnitude |⟨self|other⟩| — 1.0 for equal states up to

@@ -15,13 +15,29 @@ use crate::graph::Topology;
 /// with alternating vertical links.
 pub fn almaden() -> Topology {
     let edges: &[(u32, u32)] = &[
-        (0, 1), (1, 2), (2, 3), (3, 4),
-        (1, 6), (3, 8),
-        (5, 6), (6, 7), (7, 8), (8, 9),
-        (5, 10), (7, 12), (9, 14),
-        (10, 11), (11, 12), (12, 13), (13, 14),
-        (11, 16), (13, 18),
-        (15, 16), (16, 17), (17, 18), (18, 19),
+        (0, 1),
+        (1, 2),
+        (2, 3),
+        (3, 4),
+        (1, 6),
+        (3, 8),
+        (5, 6),
+        (6, 7),
+        (7, 8),
+        (8, 9),
+        (5, 10),
+        (7, 12),
+        (9, 14),
+        (10, 11),
+        (11, 12),
+        (12, 13),
+        (13, 14),
+        (11, 16),
+        (13, 18),
+        (15, 16),
+        (16, 17),
+        (17, 18),
+        (18, 19),
     ];
     Topology::from_edges("almaden", 20, edges)
 }
@@ -30,13 +46,29 @@ pub fn almaden() -> Topology {
 /// at the row ends and centre.
 pub fn johannesburg() -> Topology {
     let edges: &[(u32, u32)] = &[
-        (0, 1), (1, 2), (2, 3), (3, 4),
-        (0, 5), (4, 9),
-        (5, 6), (6, 7), (7, 8), (8, 9),
-        (5, 10), (7, 12), (9, 14),
-        (10, 11), (11, 12), (12, 13), (13, 14),
-        (10, 15), (14, 19),
-        (15, 16), (16, 17), (17, 18), (18, 19),
+        (0, 1),
+        (1, 2),
+        (2, 3),
+        (3, 4),
+        (0, 5),
+        (4, 9),
+        (5, 6),
+        (6, 7),
+        (7, 8),
+        (8, 9),
+        (5, 10),
+        (7, 12),
+        (9, 14),
+        (10, 11),
+        (11, 12),
+        (12, 13),
+        (13, 14),
+        (10, 15),
+        (14, 19),
+        (15, 16),
+        (16, 17),
+        (17, 18),
+        (18, 19),
     ];
     Topology::from_edges("johannesburg", 20, edges)
 }
@@ -44,11 +76,34 @@ pub fn johannesburg() -> Topology {
 /// IBM Cairo (27 qubits, Falcon r5.11 heavy-hex).
 pub fn cairo() -> Topology {
     let edges: &[(u32, u32)] = &[
-        (0, 1), (1, 2), (1, 4), (2, 3), (3, 5), (4, 7), (5, 8),
-        (6, 7), (7, 10), (8, 9), (8, 11), (10, 12), (11, 14),
-        (12, 13), (12, 15), (13, 14), (14, 16), (15, 18), (16, 19),
-        (17, 18), (18, 21), (19, 20), (19, 22), (21, 23), (22, 25),
-        (23, 24), (24, 25), (25, 26),
+        (0, 1),
+        (1, 2),
+        (1, 4),
+        (2, 3),
+        (3, 5),
+        (4, 7),
+        (5, 8),
+        (6, 7),
+        (7, 10),
+        (8, 9),
+        (8, 11),
+        (10, 12),
+        (11, 14),
+        (12, 13),
+        (12, 15),
+        (13, 14),
+        (14, 16),
+        (15, 18),
+        (16, 19),
+        (17, 18),
+        (18, 21),
+        (19, 20),
+        (19, 22),
+        (21, 23),
+        (22, 25),
+        (23, 24),
+        (24, 25),
+        (25, 26),
     ];
     Topology::from_edges("cairo", 27, edges)
 }
@@ -56,15 +111,36 @@ pub fn cairo() -> Topology {
 /// IBM Q Cambridge (28 qubits): two rows of hexagons.
 pub fn cambridge() -> Topology {
     let edges: &[(u32, u32)] = &[
-        (0, 1), (1, 2), (2, 3), (3, 4),
-        (0, 5), (4, 6),
-        (5, 9), (6, 13),
-        (7, 8), (8, 9), (9, 10), (10, 11), (11, 12), (12, 13), (13, 14),
-        (7, 16), (11, 17),
-        (15, 16), (16, 17), (17, 18), (18, 19), (19, 20), (20, 21), (21, 22),
-        (15, 23), (19, 24),
-        (23, 25), (24, 27),
-        (25, 26), (26, 27),
+        (0, 1),
+        (1, 2),
+        (2, 3),
+        (3, 4),
+        (0, 5),
+        (4, 6),
+        (5, 9),
+        (6, 13),
+        (7, 8),
+        (8, 9),
+        (9, 10),
+        (10, 11),
+        (11, 12),
+        (12, 13),
+        (13, 14),
+        (7, 16),
+        (11, 17),
+        (15, 16),
+        (16, 17),
+        (17, 18),
+        (18, 19),
+        (19, 20),
+        (20, 21),
+        (21, 22),
+        (15, 23),
+        (19, 24),
+        (23, 25),
+        (24, 27),
+        (25, 26),
+        (26, 27),
     ];
     Topology::from_edges("cambridge", 28, edges)
 }
@@ -73,30 +149,85 @@ pub fn cambridge() -> Topology {
 pub fn brooklyn() -> Topology {
     let edges: &[(u32, u32)] = &[
         // row 0: 0..9
-        (0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7), (7, 8), (8, 9),
+        (0, 1),
+        (1, 2),
+        (2, 3),
+        (3, 4),
+        (4, 5),
+        (5, 6),
+        (6, 7),
+        (7, 8),
+        (8, 9),
         // connectors 10, 11, 12
-        (0, 10), (4, 11), (8, 12),
-        (10, 13), (11, 17), (12, 21),
+        (0, 10),
+        (4, 11),
+        (8, 12),
+        (10, 13),
+        (11, 17),
+        (12, 21),
         // row 1: 13..23
-        (13, 14), (14, 15), (15, 16), (16, 17), (17, 18), (18, 19), (19, 20),
-        (20, 21), (21, 22), (22, 23),
+        (13, 14),
+        (14, 15),
+        (15, 16),
+        (16, 17),
+        (17, 18),
+        (18, 19),
+        (19, 20),
+        (20, 21),
+        (21, 22),
+        (22, 23),
         // connectors 24, 25, 26
-        (15, 24), (19, 25), (23, 26),
-        (24, 29), (25, 33), (26, 37),
+        (15, 24),
+        (19, 25),
+        (23, 26),
+        (24, 29),
+        (25, 33),
+        (26, 37),
         // row 2: 27..38
-        (27, 28), (28, 29), (29, 30), (30, 31), (31, 32), (32, 33), (33, 34),
-        (34, 35), (35, 36), (36, 37), (37, 38),
+        (27, 28),
+        (28, 29),
+        (29, 30),
+        (30, 31),
+        (31, 32),
+        (32, 33),
+        (33, 34),
+        (34, 35),
+        (35, 36),
+        (36, 37),
+        (37, 38),
         // connectors 39, 40, 41
-        (27, 39), (31, 40), (35, 41),
-        (39, 42), (40, 46), (41, 50),
+        (27, 39),
+        (31, 40),
+        (35, 41),
+        (39, 42),
+        (40, 46),
+        (41, 50),
         // row 3: 42..52
-        (42, 43), (43, 44), (44, 45), (45, 46), (46, 47), (47, 48), (48, 49),
-        (49, 50), (50, 51), (51, 52),
+        (42, 43),
+        (43, 44),
+        (44, 45),
+        (45, 46),
+        (46, 47),
+        (47, 48),
+        (48, 49),
+        (49, 50),
+        (50, 51),
+        (51, 52),
         // connectors 53, 54, 55
-        (44, 53), (48, 54), (52, 55),
-        (53, 58), (54, 62), (55, 64),
+        (44, 53),
+        (48, 54),
+        (52, 55),
+        (53, 58),
+        (54, 62),
+        (55, 64),
         // row 4: 56..64
-        (56, 57), (57, 58), (58, 59), (59, 60), (60, 61), (61, 62), (62, 63),
+        (56, 57),
+        (57, 58),
+        (58, 59),
+        (59, 60),
+        (60, 61),
+        (61, 62),
+        (62, 63),
         (63, 64),
     ];
     Topology::from_edges("brooklyn", 65, edges)

@@ -104,11 +104,7 @@ pub fn heavy_hex(rows: u32, row_len: u32, spacing: u32) -> Topology {
             c += spacing;
         }
     }
-    Topology::from_edges(
-        format!("heavyhex{rows}x{row_len}s{spacing}"),
-        next,
-        &edges,
-    )
+    Topology::from_edges(format!("heavyhex{rows}x{row_len}s{spacing}"), next, &edges)
 }
 
 #[cfg(test)]

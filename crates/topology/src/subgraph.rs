@@ -32,7 +32,8 @@ pub fn enumerate_connected_subgraphs(topo: &Topology, size: usize, limit: usize)
         let mut in_current = vec![false; n];
         in_current[root as usize] = true;
         // Frontier: neighbours > root not yet chosen/banned, in discovery order.
-        let frontier: Vec<u32> = topo.neighbors(root).iter().copied().filter(|&u| u > root).collect();
+        let frontier: Vec<u32> =
+            topo.neighbors(root).iter().copied().filter(|&u| u > root).collect();
         let mut banned = vec![false; n];
         extend(
             topo,
@@ -86,7 +87,11 @@ fn extend(
             .filter(|&u| !banned[u as usize] && !in_current[u as usize])
             .collect();
         for &u in topo.neighbors(v) {
-            if u > root && !banned[u as usize] && !in_current[u as usize] && !next_frontier.contains(&u) {
+            if u > root
+                && !banned[u as usize]
+                && !in_current[u as usize]
+                && !next_frontier.contains(&u)
+            {
                 next_frontier.push(u);
             }
         }

@@ -112,11 +112,7 @@ fn interaction_matrix(circuit: &Circuit) -> Vec<Vec<u32>> {
 pub fn choose_layout(circuit: &Circuit, topo: &Topology, strategy: LayoutStrategy) -> Layout {
     let nl = circuit.num_qubits();
     let np = topo.num_qubits();
-    assert!(
-        nl <= np,
-        "circuit needs {nl} qubits but topology {} has only {np}",
-        topo.name()
-    );
+    assert!(nl <= np, "circuit needs {nl} qubits but topology {} has only {np}", topo.name());
     match strategy {
         LayoutStrategy::Trivial => Layout::new((0..nl).collect(), np),
         LayoutStrategy::Anneal => {
@@ -142,9 +138,7 @@ pub fn choose_layout(circuit: &Circuit, topo: &Topology, strategy: LayoutStrateg
                     let mut nbrs: Vec<u32> = (0..nl)
                         .filter(|&w| inter[v as usize][w as usize] > 0 && !seen[w as usize])
                         .collect();
-                    nbrs.sort_by_key(|&w| {
-                        (std::cmp::Reverse(inter[v as usize][w as usize]), w)
-                    });
+                    nbrs.sort_by_key(|&w| (std::cmp::Reverse(inter[v as usize][w as usize]), w));
                     for w in nbrs {
                         seen[w as usize] = true;
                         queue.push_back(w);
@@ -191,10 +185,7 @@ pub fn choose_layout(circuit: &Circuit, topo: &Topology, strategy: LayoutStrateg
             for (rank, &l) in order.iter().enumerate() {
                 let best = if rank == 0 {
                     // Seed on the highest-degree physical site.
-                    *topo
-                        .nodes_by_degree()
-                        .first()
-                        .expect("topology has at least one node")
+                    *topo.nodes_by_degree().first().expect("topology has at least one node")
                 } else {
                     let mut best = u32::MAX;
                     let mut best_cost = u64::MAX;

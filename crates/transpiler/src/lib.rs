@@ -31,4 +31,4 @@ mod transpile;
 
 pub use layout::{choose_layout, Layout, LayoutStrategy};
 pub use router::{route, RoutedCircuit, RouterKind};
-pub use transpile::{transpile, Transpiled, TranspileOptions};
+pub use transpile::{transpile, TranspileOptions, Transpiled};

@@ -70,14 +70,9 @@ pub fn route(
                     let pa = lay.physical(la);
                     let pb = lay.physical(lb);
                     if dist[pa as usize][pb as usize] == u32::MAX {
-                        panic!(
-                            "qubits {pa} and {pb} unreachable on topology {}",
-                            topo.name()
-                        );
+                        panic!("qubits {pa} and {pb} unreachable on topology {}", topo.name());
                     }
-                    let path = topo
-                        .shortest_path(pa, pb)
-                        .expect("checked reachable above");
+                    let path = topo.shortest_path(pa, pb).expect("checked reachable above");
                     // Walk `la` down the path until adjacent to `pb`.
                     for w in path.windows(2).take(path.len().saturating_sub(2)) {
                         out.swap(w[0], w[1]);

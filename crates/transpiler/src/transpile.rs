@@ -58,16 +58,10 @@ impl Transpiled {
 /// operands are unreachable from each other.
 pub fn transpile(circuit: &Circuit, topo: &Topology, opts: &TranspileOptions) -> Transpiled {
     let trials: Vec<(LayoutStrategy, RouterKind)> = if opts.auto {
-        let layouts = [
-            LayoutStrategy::Anneal,
-            LayoutStrategy::BfsPairing,
-            LayoutStrategy::DegreeGreedy,
-        ];
+        let layouts =
+            [LayoutStrategy::Anneal, LayoutStrategy::BfsPairing, LayoutStrategy::DegreeGreedy];
         let routers = [RouterKind::Lookahead, RouterKind::BasicShortestPath];
-        layouts
-            .iter()
-            .flat_map(|&l| routers.iter().map(move |&r| (l, r)))
-            .collect()
+        layouts.iter().flat_map(|&l| routers.iter().map(move |&r| (l, r))).collect()
     } else {
         vec![(opts.layout, opts.router)]
     };
@@ -75,10 +69,7 @@ pub fn transpile(circuit: &Circuit, topo: &Topology, opts: &TranspileOptions) ->
     for (layout, router) in trials {
         let initial = choose_layout(circuit, topo, layout);
         let routed = route(circuit, topo, &initial, router);
-        if best
-            .as_ref()
-            .is_none_or(|b| routed.swap_count < b.swap_count)
-        {
+        if best.as_ref().is_none_or(|b| routed.swap_count < b.swap_count) {
             best = Some(Transpiled {
                 circuit: routed.circuit,
                 initial_layout: initial,
@@ -104,10 +95,11 @@ mod tests {
     fn transpile_decomposes_swaps_by_default() {
         let mut c = Circuit::new(4, 0);
         c.cx(0, 3);
-        let t = transpile(&c, &linear(4), &TranspileOptions {
-            layout: LayoutStrategy::Trivial,
-            ..Default::default()
-        });
+        let t = transpile(
+            &c,
+            &linear(4),
+            &TranspileOptions { layout: LayoutStrategy::Trivial, ..Default::default() },
+        );
         assert_eq!(t.swap_count, 2);
         assert_eq!(t.circuit.count_by_name("swap"), 0);
         assert_eq!(t.circuit.count_by_name("cx"), 2 * 3 + 1);
@@ -117,11 +109,15 @@ mod tests {
     fn keep_swaps_option() {
         let mut c = Circuit::new(4, 0);
         c.cx(0, 3);
-        let t = transpile(&c, &linear(4), &TranspileOptions {
-            layout: LayoutStrategy::Trivial,
-            keep_swaps: true,
-            ..Default::default()
-        });
+        let t = transpile(
+            &c,
+            &linear(4),
+            &TranspileOptions {
+                layout: LayoutStrategy::Trivial,
+                keep_swaps: true,
+                ..Default::default()
+            },
+        );
         assert_eq!(t.circuit.count_by_name("swap"), 2);
     }
 
@@ -149,10 +145,11 @@ mod tests {
         }
         let topo = mesh(5, 6);
         let greedy = transpile(&c, &topo, &TranspileOptions::default());
-        let trivial = transpile(&c, &topo, &TranspileOptions {
-            layout: LayoutStrategy::Trivial,
-            ..Default::default()
-        });
+        let trivial = transpile(
+            &c,
+            &topo,
+            &TranspileOptions { layout: LayoutStrategy::Trivial, ..Default::default() },
+        );
         assert!(
             greedy.swap_count <= trivial.swap_count,
             "greedy {} > trivial {}",

@@ -24,11 +24,7 @@ fn main() {
         "architecture", "avg.deg", "swaps", "2q", "baseline", "radiation@2"
     );
     for topo in archs {
-        let engine = InjectionEngine::builder(spec)
-            .topology(topo)
-            .shots(800)
-            .seed(3)
-            .build();
+        let engine = InjectionEngine::builder(spec).topology(topo).shots(800).seed(3).build();
         let baseline =
             engine.logical_error_at_sample(&FaultSpec::None, &NoiseSpec::paper_default(), 0);
         let strike = FaultSpec::RadiationAtImpact {

@@ -29,19 +29,13 @@ fn main() {
     println!("single-erasure fault at impact time, median over injection sites\n");
     println!("{:>12} {:>8} {:>10}", "code", "qubits", "median err");
     // 6-qubit budget: (3,1) vs (1,3) — bit-flip protection wins.
-    for spec in [
-        CodeSpec::from(XxzzCode::new(3, 1)),
-        CodeSpec::from(XxzzCode::new(1, 3)),
-    ] {
+    for spec in [CodeSpec::from(XxzzCode::new(3, 1)), CodeSpec::from(XxzzCode::new(1, 3))] {
         let (name, q, e) = erasure_median(spec);
         println!("{name:>12} {q:>8} {:>9.1}%", 100.0 * e);
     }
     println!();
     // 30-qubit budget: (5,3) vs (3,5) — same story at scale.
-    for spec in [
-        CodeSpec::from(XxzzCode::new(5, 3)),
-        CodeSpec::from(XxzzCode::new(3, 5)),
-    ] {
+    for spec in [CodeSpec::from(XxzzCode::new(5, 3)), CodeSpec::from(XxzzCode::new(3, 5))] {
         let (name, q, e) = erasure_median(spec);
         println!("{name:>12} {q:>8} {:>9.1}%", 100.0 * e);
     }

@@ -15,10 +15,7 @@ fn main() {
 
     // 2. An injection engine: builds the circuit, transpiles it onto the
     //    paper's 5×2 lattice, wires up the MWPM decoder.
-    let engine = InjectionEngine::builder(CodeSpec::from(code))
-        .shots(2000)
-        .seed(42)
-        .build();
+    let engine = InjectionEngine::builder(CodeSpec::from(code)).shots(2000).seed(42).build();
     println!(
         "code: {} | architecture: {} | swaps inserted: {}",
         engine.code().name,

@@ -11,10 +11,8 @@ use radqec_core::codes::CodeSpec;
 use radqec_noise::RadiationModel;
 
 fn main() {
-    let engine = InjectionEngine::builder(CodeSpec::from(XxzzCode::new(3, 3)))
-        .shots(1500)
-        .seed(7)
-        .build();
+    let engine =
+        InjectionEngine::builder(CodeSpec::from(XxzzCode::new(3, 3))).shots(1500).seed(7).build();
     let topo = engine.topology();
     let model = RadiationModel::default();
     let root = 2u32;
@@ -30,12 +28,7 @@ fn main() {
     println!("\ntemporal ladder T̂ and resulting logical error:");
     let fault = FaultSpec::Radiation { model, root };
     let out = engine.run(&fault, &NoiseSpec::paper_default());
-    for (k, (&t, &err)) in event
-        .temporal_profile()
-        .iter()
-        .zip(out.per_sample.iter())
-        .enumerate()
-    {
+    for (k, (&t, &err)) in event.temporal_profile().iter().zip(out.per_sample.iter()).enumerate() {
         println!(
             "  sample {k}: injection {:8.4}%  ->  logical error {:5.1}%",
             100.0 * t,

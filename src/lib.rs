@@ -40,7 +40,7 @@ pub mod prelude {
     pub use radqec_circuit::{Backend, Circuit, Gate, ShotRecord};
     pub use radqec_core::codes::{CodeSpec, QecCode, RepetitionCode, XxzzCode};
     pub use radqec_core::decoder::{Decoder, MwpmDecoder, UnionFindDecoder};
-    pub use radqec_core::injection::{InjectionEngine, InjectionOutcome};
+    pub use radqec_core::injection::{InjectionEngine, InjectionOutcome, SamplerKind};
     pub use radqec_noise::{FaultSpec, NoiseSpec, RadiationModel};
     pub use radqec_stabilizer::StabilizerBackend;
     pub use radqec_topology::Topology;

@@ -133,10 +133,7 @@ fn beyond_distance_errors_flip_the_logical_on_rep3() {
     let code = RepetitionCode::bit_flip(3).build();
     let mwpm = MwpmDecoder::new(&code);
     let shot = shot_with_fault(&code, &[Gate::X(0), Gate::X(1)], 5);
-    assert!(
-        !mwpm.decode(&shot),
-        "two flips on distance-3 should defeat the decoder"
-    );
+    assert!(!mwpm.decode(&shot), "two flips on distance-3 should defeat the decoder");
 }
 
 #[test]

@@ -62,18 +62,9 @@ fn transpilation_preserves_correctness_on_devices() {
         devices::cambridge(),
         devices::johannesburg(),
     ] {
-        let engine = InjectionEngine::builder(spec)
-            .topology(topo)
-            .shots(24)
-            .seed(5)
-            .build();
+        let engine = InjectionEngine::builder(spec).topology(topo).shots(24).seed(5).build();
         let out = engine.run(&FaultSpec::None, &NoiseSpec::noiseless());
-        assert_eq!(
-            out.logical_error_rate(),
-            0.0,
-            "broken on {}",
-            engine.topology().name()
-        );
+        assert_eq!(out.logical_error_rate(), 0.0, "broken on {}", engine.topology().name());
     }
 }
 
@@ -87,11 +78,7 @@ fn repetition_on_paper_devices_is_noiselessly_correct() {
         devices::cairo(),
         devices::cambridge(),
     ] {
-        let engine = InjectionEngine::builder(spec)
-            .topology(topo)
-            .shots(16)
-            .seed(2)
-            .build();
+        let engine = InjectionEngine::builder(spec).topology(topo).shots(16).seed(2).build();
         let out = engine.run(&FaultSpec::None, &NoiseSpec::noiseless());
         assert_eq!(out.logical_error_rate(), 0.0, "broken on {}", engine.topology().name());
     }
@@ -99,7 +86,8 @@ fn repetition_on_paper_devices_is_noiselessly_correct() {
 
 #[test]
 fn routed_two_qubit_gates_respect_device_edges() {
-    for spec in [CodeSpec::from(RepetitionCode::bit_flip(11)), CodeSpec::from(XxzzCode::new(3, 3))] {
+    for spec in [CodeSpec::from(RepetitionCode::bit_flip(11)), CodeSpec::from(XxzzCode::new(3, 3))]
+    {
         for topo in [generators::mesh(5, 6), devices::cairo(), devices::brooklyn()] {
             let engine = InjectionEngine::builder(spec).topology(topo).shots(1).build();
             let t = engine.transpiled();
@@ -133,20 +121,14 @@ fn union_find_decoder_is_noiselessly_correct_end_to_end() {
 
 #[test]
 fn radiation_fault_decays_over_the_event() {
-    let engine = InjectionEngine::builder(CodeSpec::from(XxzzCode::new(3, 3)))
-        .shots(400)
-        .seed(4)
-        .build();
+    let engine =
+        InjectionEngine::builder(CodeSpec::from(XxzzCode::new(3, 3))).shots(400).seed(4).build();
     let fault = FaultSpec::Radiation { model: RadiationModel::default(), root: 2 };
     let out = engine.run(&fault, &NoiseSpec::noiseless());
     // Impact sample strictly worse than the last sample, which approaches 0
     // without intrinsic noise.
     assert!(out.per_sample[0] > 0.05, "impact too mild: {:?}", out.per_sample);
-    assert!(
-        out.per_sample[9] < out.per_sample[0] / 2.0,
-        "no decay: {:?}",
-        out.per_sample
-    );
+    assert!(out.per_sample[9] < out.per_sample[0] / 2.0, "no decay: {:?}", out.per_sample);
 }
 
 #[test]
@@ -167,10 +149,7 @@ fn radiation_beats_intrinsic_noise_even_at_fault_tolerant_rates() {
 #[test]
 fn results_are_deterministic_for_fixed_seed() {
     let build = || {
-        InjectionEngine::builder(CodeSpec::from(XxzzCode::new(3, 3)))
-            .shots(150)
-            .seed(99)
-            .build()
+        InjectionEngine::builder(CodeSpec::from(XxzzCode::new(3, 3))).shots(150).seed(99).build()
     };
     let fault = FaultSpec::Radiation { model: RadiationModel::default(), root: 1 };
     let a = build().run(&fault, &NoiseSpec::paper_default());

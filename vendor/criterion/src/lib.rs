@@ -1,0 +1,248 @@
+//! Offline, API-compatible subset of the `criterion` benchmark harness.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! the slice of criterion's API its benches use: benchmark groups,
+//! [`BenchmarkId`], [`Throughput`], `bench_with_input` / `bench_function`,
+//! `Bencher::iter`, and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement model: a short warm-up sizes the per-sample iteration count
+//! so each sample takes roughly [`TARGET_SAMPLE`]; `sample_size` samples are
+//! then timed and the median/min/max time per iteration is reported on
+//! stdout. Set `RADQEC_BENCH_JSON=path` to also append one JSON line per
+//! benchmark (used by the repo's trajectory tracking).
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::io::Write;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Wall-clock budget per timed sample.
+const TARGET_SAMPLE: Duration = Duration::from_millis(40);
+
+/// Top-level harness handle.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        println!("\ngroup {name}");
+        BenchmarkGroup { group: name.to_string(), sample_size: 20, throughput: None }
+    }
+}
+
+/// Identifier `function_name/parameter` for one benchmark in a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Build an id from a function name and a parameter display value.
+    pub fn new(function_name: &str, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{function_name}/{parameter}") }
+    }
+
+    /// Build an id from a parameter only.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+/// Units processed per iteration, for derived rate reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup {
+    group: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(3);
+        self
+    }
+
+    /// Declare per-iteration throughput for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmark `f`, passing it `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b, input);
+        self.report(id.into(), &b);
+        self
+    }
+
+    /// Benchmark `f` with no input.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        self.report(id.into(), &b);
+        self
+    }
+
+    /// End the group (prints nothing extra; provided for API parity).
+    pub fn finish(self) {}
+
+    fn report(&self, id: BenchmarkId, b: &Bencher) {
+        let Some(stats) = b.stats() else {
+            println!("  {}/{}: no samples", self.group, id.id);
+            return;
+        };
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                format!("  {:>12.0} elem/s", n as f64 / stats.median.as_secs_f64())
+            }
+            Some(Throughput::Bytes(n)) => {
+                format!("  {:>12.0} B/s", n as f64 / stats.median.as_secs_f64())
+            }
+            None => String::new(),
+        };
+        println!(
+            "  {}/{}: median {:>12?}  (min {:?}, max {:?}, {} samples){}",
+            self.group, id.id, stats.median, stats.min, stats.max, stats.samples, rate
+        );
+        if let Ok(path) = std::env::var("RADQEC_BENCH_JSON") {
+            if let Ok(mut fh) = std::fs::OpenOptions::new().create(true).append(true).open(path) {
+                let _ = writeln!(
+                    fh,
+                    "{{\"group\":\"{}\",\"bench\":\"{}\",\"median_ns\":{},\"min_ns\":{},\"max_ns\":{},\"samples\":{}}}",
+                    self.group,
+                    id.id,
+                    stats.median.as_nanos(),
+                    stats.min.as_nanos(),
+                    stats.max.as_nanos(),
+                    stats.samples
+                );
+            }
+        }
+    }
+}
+
+struct Stats {
+    median: Duration,
+    min: Duration,
+    max: Duration,
+    samples: usize,
+}
+
+/// Times closures; handed to each benchmark body.
+pub struct Bencher {
+    sample_size: usize,
+    per_iter: Vec<Duration>,
+}
+
+impl Bencher {
+    fn new(sample_size: usize) -> Self {
+        Bencher { sample_size, per_iter: Vec::new() }
+    }
+
+    /// Time `f`, storing per-iteration durations for the final report.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: find an iteration count giving ~TARGET_SAMPLE per sample.
+        let t0 = Instant::now();
+        std_black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(20));
+        let iters = (TARGET_SAMPLE.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u32;
+        self.per_iter.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std_black_box(f());
+            }
+            self.per_iter.push(start.elapsed() / iters);
+        }
+    }
+
+    fn stats(&self) -> Option<Stats> {
+        if self.per_iter.is_empty() {
+            return None;
+        }
+        let mut sorted = self.per_iter.clone();
+        sorted.sort();
+        Some(Stats {
+            median: sorted[sorted.len() / 2],
+            min: sorted[0],
+            max: *sorted.last().unwrap(),
+            samples: sorted.len(),
+        })
+    }
+}
+
+/// Define a function that runs a list of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($bench_fn:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $bench_fn(&mut c); )+
+        }
+    };
+}
+
+/// Define `main` from one or more `criterion_group!` names.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        group.throughput(Throughput::Elements(10));
+        let mut ran = 0u32;
+        group.bench_with_input(BenchmarkId::new("add", 1), &2u64, |b, &x| {
+            b.iter(|| x + 1);
+            ran += 1;
+        });
+        group.bench_function("plain", |b| b.iter(|| 1 + 1));
+        group.finish();
+        assert_eq!(ran, 1);
+    }
+}

@@ -1,0 +1,222 @@
+//! Offline, API-compatible subset of the `rayon` crate.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! the slice of rayon's API it uses: `(range).into_par_iter()` followed by
+//! `.map(...)` / `.map_init(...)` and a terminal `.sum()` / `.collect()`.
+//!
+//! Work is split into contiguous chunks across `std::thread::scope` threads
+//! (one per available core); on a single-core host everything runs inline
+//! with zero thread overhead. Results are always combined in index order,
+//! so `collect::<Vec<_>>()` is deterministic and identical to the
+//! sequential result regardless of scheduling.
+
+#![forbid(unsafe_code)]
+
+use std::num::NonZeroUsize;
+use std::ops::Range;
+
+/// Everything a caller needs, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::IntoParallelIterator;
+}
+
+/// Number of worker threads to use (available cores, min 1).
+fn workers() -> usize {
+    std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+}
+
+/// Conversion into a parallel iterator.
+pub trait IntoParallelIterator {
+    /// Item type produced.
+    type Item;
+    /// The parallel iterator type.
+    type Iter;
+    /// Convert into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+macro_rules! impl_range_par {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for Range<$t> {
+            type Item = $t;
+            type Iter = RangeParIter<$t>;
+            fn into_par_iter(self) -> RangeParIter<$t> {
+                RangeParIter { range: self }
+            }
+        }
+    )*};
+}
+impl_range_par!(u32, u64, usize);
+
+/// Parallel iterator over an integer range.
+pub struct RangeParIter<T> {
+    range: Range<T>,
+}
+
+/// `range.map(op)` adapter.
+pub struct MapParIter<T, F> {
+    range: Range<T>,
+    op: F,
+}
+
+/// `range.map_init(init, op)` adapter: `init` runs once per worker thread
+/// and the produced state is reused (mutably) across that worker's items —
+/// the idiomatic way to reuse an expensive allocation across iterations.
+pub struct MapInitParIter<T, I, F> {
+    range: Range<T>,
+    init: I,
+    op: F,
+}
+
+macro_rules! impl_par_ops {
+    ($($t:ty),*) => {$(
+        impl RangeParIter<$t> {
+            /// Apply `op` to every index in parallel.
+            pub fn map<O, F>(self, op: F) -> MapParIter<$t, F>
+            where
+                F: Fn($t) -> O + Sync,
+                O: Send,
+            {
+                MapParIter { range: self.range, op }
+            }
+
+            /// Like [`Self::map`], with per-worker mutable state built by `init`.
+            pub fn map_init<S, O, I, F>(self, init: I, op: F) -> MapInitParIter<$t, I, F>
+            where
+                I: Fn() -> S + Sync,
+                F: Fn(&mut S, $t) -> O + Sync,
+                O: Send,
+            {
+                MapInitParIter { range: self.range, init, op }
+            }
+        }
+
+        impl<O: Send, F: Fn($t) -> O + Sync> MapParIter<$t, F> {
+            /// Sum all mapped values.
+            pub fn sum<S: std::iter::Sum<O> + Send>(self) -> S {
+                let op = &self.op;
+                run_chunked(self.range, move |chunk| chunk.map(op).collect::<Vec<O>>())
+                    .into_iter()
+                    .sum()
+            }
+
+            /// Collect mapped values in index order.
+            pub fn collect<C: FromIterator<O>>(self) -> C {
+                let op = &self.op;
+                run_chunked(self.range, move |chunk| chunk.map(op).collect::<Vec<O>>())
+                    .into_iter()
+                    .collect()
+            }
+        }
+
+        impl<S2, O, I, F> MapInitParIter<$t, I, F>
+        where
+            O: Send,
+            I: Fn() -> S2 + Sync,
+            F: Fn(&mut S2, $t) -> O + Sync,
+        {
+            /// Sum all mapped values.
+            pub fn sum<S: std::iter::Sum<O> + Send>(self) -> S {
+                let (init, op) = (&self.init, &self.op);
+                run_chunked(self.range, move |chunk| {
+                    let mut state = init();
+                    chunk.map(|i| op(&mut state, i)).collect::<Vec<O>>()
+                })
+                .into_iter()
+                .sum()
+            }
+
+            /// Collect mapped values in index order.
+            pub fn collect<C: FromIterator<O>>(self) -> C {
+                let (init, op) = (&self.init, &self.op);
+                run_chunked(self.range, move |chunk| {
+                    let mut state = init();
+                    chunk.map(|i| op(&mut state, i)).collect::<Vec<O>>()
+                })
+                .into_iter()
+                .collect()
+            }
+        }
+    )*};
+}
+impl_par_ops!(u32, u64, usize);
+
+/// Split `range` into one contiguous chunk per worker, run `work` on each
+/// (in threads when there is more than one worker), and concatenate the
+/// per-chunk outputs in index order.
+fn run_chunked<T, O, W>(range: Range<T>, work: W) -> Vec<O>
+where
+    T: TryInto<u64> + TryFrom<u64> + Copy + Send,
+    <T as TryInto<u64>>::Error: std::fmt::Debug,
+    <T as TryFrom<u64>>::Error: std::fmt::Debug,
+    Range<T>: Iterator<Item = T>,
+    O: Send,
+    W: Fn(Range<T>) -> Vec<O> + Sync,
+{
+    let lo: u64 = range.start.try_into().expect("range start fits u64");
+    let hi: u64 = range.end.try_into().expect("range end fits u64");
+    let len = hi.saturating_sub(lo);
+    let n_workers = workers().min(len.max(1) as usize);
+    if n_workers <= 1 || len == 0 {
+        return work(range);
+    }
+    let chunk = len.div_ceil(n_workers as u64);
+    let bounds: Vec<Range<u64>> = (0..n_workers as u64)
+        .map(|w| (lo + (w * chunk).min(len))..(lo + ((w + 1) * chunk).min(len)))
+        .filter(|r| r.start < r.end)
+        .collect();
+    let mut out: Vec<Vec<O>> = Vec::with_capacity(bounds.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = bounds
+            .into_iter()
+            .map(|r| {
+                let work = &work;
+                scope.spawn(move || {
+                    let start = T::try_from(r.start).expect("chunk start fits T");
+                    let end = T::try_from(r.end).expect("chunk end fits T");
+                    work(start..end)
+                })
+            })
+            .collect();
+        for h in handles {
+            out.push(h.join().expect("worker thread panicked"));
+        }
+    });
+    out.into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_sum_matches_sequential() {
+        let par: usize = (0..1000usize).into_par_iter().map(|i| i * i).sum();
+        let seq: usize = (0..1000usize).map(|i| i * i).sum();
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn collect_preserves_order() {
+        let v: Vec<usize> = (0..257usize).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(v, (0..257).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_init_reuses_state_and_sums() {
+        let total: usize = (0..100usize)
+            .into_par_iter()
+            .map_init(Vec::<u8>::new, |buf, i| {
+                buf.push(1); // state persists across this worker's items
+                i + usize::from(buf[0])
+            })
+            .sum();
+        assert_eq!(total, (0..100).map(|i| i + 1).sum::<usize>());
+    }
+
+    #[test]
+    fn empty_range_is_fine() {
+        let total: usize = (5..5usize).into_par_iter().map(|i| i).sum();
+        assert_eq!(total, 0);
+    }
+}
