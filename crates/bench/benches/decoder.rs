@@ -1,10 +1,12 @@
 //! Criterion bench: end-to-end MWPM and union-find decode latency per shot
-//! on realistic syndromes (noisy shots of the paper's codes).
+//! on realistic syndromes (noisy shots of the paper's codes), plus the
+//! batch pipeline — legacy memoised per-record decoding vs. the tiered
+//! bulk decoder, cold (fresh LUT/cache) and warm (engine-lifetime cache).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use radqec_circuit::ShotRecord;
+use radqec_circuit::{ShotBatch, ShotRecord};
 use radqec_core::codes::{CodeSpec, RepetitionCode, XxzzCode};
-use radqec_core::decoder::{Decoder, MwpmDecoder, UnionFindDecoder};
+use radqec_core::decoder::{BulkDecoder, Decoder, MwpmDecoder, UnionFindDecoder};
 use radqec_noise::{run_noisy_shot, ActiveFault, NoiseSpec};
 use radqec_stabilizer::StabilizerBackend;
 use rand::rngs::StdRng;
@@ -53,5 +55,46 @@ fn bench_decoders(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_decoders);
+/// Pack sampled noisy shots into a [`ShotBatch`].
+fn to_batch(code_clbits: u32, shots: &[ShotRecord]) -> ShotBatch {
+    let mut batch = ShotBatch::new(code_clbits, shots.len());
+    for (s, rec) in shots.iter().enumerate() {
+        for c in 0..code_clbits {
+            if rec.get(c) {
+                batch.flip(c, s);
+            }
+        }
+    }
+    batch
+}
+
+fn bench_batch_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decode_batch");
+    for (name, spec) in [
+        ("rep5", CodeSpec::from(RepetitionCode::bit_flip(5))),
+        ("xxzz33", CodeSpec::from(XxzzCode::new(3, 3))),
+        ("xxzz55", CodeSpec::from(XxzzCode::new(5, 5))),
+    ] {
+        let code = spec.build();
+        let (shots, mwpm, _) = sample_shots(spec, 256);
+        let batch = to_batch(code.circuit.num_clbits(), &shots);
+        group.bench_with_input(BenchmarkId::new("legacy", name), &(), |b, _| {
+            b.iter(|| black_box(Decoder::decode_batch(&mwpm, &batch)));
+        });
+        group.bench_with_input(BenchmarkId::new("tiered_cold", name), &(), |b, _| {
+            b.iter(|| {
+                let dec = BulkDecoder::new(&code);
+                black_box(dec.decode_batch(&batch))
+            });
+        });
+        let warm = BulkDecoder::new(&code);
+        warm.decode_batch(&batch);
+        group.bench_with_input(BenchmarkId::new("tiered_warm", name), &(), |b, _| {
+            b.iter(|| black_box(warm.decode_batch(&batch)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_decoders, bench_batch_pipeline);
 criterion_main!(benches);

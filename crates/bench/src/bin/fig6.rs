@@ -4,7 +4,9 @@
 //!
 //! Panel (a): bit-flip repetition codes (3,1) … (15,1).
 //! Panel (b): XXZZ codes (1,3), (3,1), (3,3), (3,5), (5,3).
-//! `--shots N` (default 300), `--seed N`.
+//! Deep panel: rep-(5,1) + XXZZ-(5,5) at 10⁵ frame-sampler shots per
+//! injection site (minutes on a laptop core; skip with `--deep-shots 0`).
+//! `--shots N` (default 300), `--seed N`, `--deep-shots N` (default 10⁵).
 
 use radqec_bench::{arg_flag, bar, header, pct};
 use radqec_core::experiments::{run_fig6, Fig6Config, Fig6Result};
@@ -37,4 +39,15 @@ fn main() {
     cfg.shots = shots;
     cfg.seed = seed;
     print_panel("Fig. 6b — XXZZ code", &run_fig6(&cfg));
+
+    let deep_shots: usize = arg_flag("deep-shots", 100_000);
+    if deep_shots > 0 {
+        let mut cfg = Fig6Config::deep_panel();
+        cfg.shots = deep_shots;
+        cfg.seed = seed;
+        print_panel(
+            &format!("Fig. 6 deep — distance-5 codes, {deep_shots} frame-sampler shots/site"),
+            &run_fig6(&cfg),
+        );
+    }
 }

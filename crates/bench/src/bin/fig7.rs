@@ -3,19 +3,22 @@
 //! line of a single spreading radiation fault at impact time.
 //!
 //! Panel (a): repetition-(15,1); panel (b): XXZZ-(3,3).
-//! `--shots N` (default 250), `--seed N`, `--subgraphs N` (default 12).
+//! Deep panel: XXZZ-(5,5) at 10⁵ frame-sampler shots per subgraph on a
+//! stride-5 size grid (minutes on a laptop core; skip with
+//! `--deep-shots 0`).
+//! `--shots N` (default 250), `--seed N`, `--subgraphs N` (default 12),
+//! `--deep-shots N` (default 10⁵).
 
 use radqec_bench::{arg_flag, bar, header, pct};
 use radqec_core::codes::{CodeSpec, RepetitionCode, XxzzCode};
 use radqec_core::experiments::{run_fig7, Fig7Config};
 
-fn run_panel(code: CodeSpec, shots: usize, seed: u64, subgraphs: usize) {
-    let mut cfg = Fig7Config::new(code);
-    cfg.shots = shots;
-    cfg.seed = seed;
-    cfg.subgraphs_per_size = subgraphs;
-    let res = run_fig7(&cfg);
-    header(&format!("Fig. 7 — {} ({} shots, {} subgraphs/size)", res.code_name, shots, subgraphs));
+fn print_panel(cfg: &Fig7Config) {
+    let res = run_fig7(cfg);
+    header(&format!(
+        "Fig. 7 — {} ({} shots, {} subgraphs/size)",
+        res.code_name, cfg.shots, cfg.subgraphs_per_size
+    ));
     println!(
         "radiation reference (single spreading fault @ t=0): {}",
         pct(res.radiation_reference)
@@ -38,10 +41,25 @@ fn run_panel(code: CodeSpec, shots: usize, seed: u64, subgraphs: usize) {
     println!("\ncsv:\n{}", res.to_csv());
 }
 
+fn run_panel(code: CodeSpec, shots: usize, seed: u64, subgraphs: usize) {
+    let mut cfg = Fig7Config::new(code);
+    cfg.shots = shots;
+    cfg.seed = seed;
+    cfg.subgraphs_per_size = subgraphs;
+    print_panel(&cfg);
+}
+
 fn main() {
     let shots: usize = arg_flag("shots", 250);
     let seed: u64 = arg_flag("seed", 0x717);
     let subgraphs: usize = arg_flag("subgraphs", 12);
+    let deep_shots: usize = arg_flag("deep-shots", 100_000);
     run_panel(RepetitionCode::bit_flip(15).into(), shots, seed, subgraphs);
     run_panel(XxzzCode::new(3, 3).into(), shots, seed, subgraphs);
+    if deep_shots > 0 {
+        let mut cfg = Fig7Config::deep();
+        cfg.shots = deep_shots;
+        cfg.seed = seed;
+        print_panel(&cfg);
+    }
 }

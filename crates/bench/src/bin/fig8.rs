@@ -6,7 +6,10 @@
 //! Panel (a): repetition-(11,1) on linear/mesh/Brooklyn/Cairo/Cambridge.
 //! Panel (b): XXZZ-(3,3) on complete/linear/mesh/Almaden/Brooklyn/
 //! Cambridge/Johannesburg.
-//! `--shots N` (default 150), `--seed N`.
+//! Deep panel: XXZZ-(5,5) on its fitted 5×10 mesh at 10⁵ frame-sampler
+//! shots per (root, sample) — tens of minutes on a single laptop core;
+//! skip with `--deep-shots 0` or shrink it.
+//! `--shots N` (default 150), `--seed N`, `--deep-shots N` (default 10⁵).
 
 use radqec_bench::{arg_flag, header, pct};
 use radqec_core::codes::{CodeSpec, RepetitionCode, XxzzCode};
@@ -50,4 +53,12 @@ fn main() {
     cfg.shots = shots;
     cfg.seed = seed;
     run_panel(&cfg, "Fig. 8b — XXZZ-(3,3) across architectures");
+
+    let deep_shots: usize = arg_flag("deep-shots", 100_000);
+    if deep_shots > 0 {
+        let mut cfg = Fig8Config::deep_panel();
+        cfg.shots = deep_shots;
+        cfg.seed = seed;
+        run_panel(&cfg, "Fig. 8 deep — XXZZ-(5,5) per-qubit criticality (frame sampler)");
+    }
 }

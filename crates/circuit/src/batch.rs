@@ -134,6 +134,21 @@ impl ShotBatch {
         r
     }
 
+    /// All classical bits of one shot packed into little-endian `u64` words
+    /// (clbit `c` at bit `c % 64` of word `c / 64`), reusing `out`'s
+    /// allocation — the any-width counterpart of [`ShotBatch::packed_shot`]
+    /// for memoising records wider than 128 bits.
+    pub fn packed_shot_words(&self, shot: usize, out: &mut Vec<u64>) {
+        debug_assert!(shot < self.shots);
+        out.clear();
+        out.resize((self.num_clbits as usize).div_ceil(64), 0);
+        for c in 0..self.num_clbits {
+            if self.get(c, shot) {
+                out[c as usize / 64] |= 1u64 << (c % 64);
+            }
+        }
+    }
+
     /// All classical bits of one shot packed into a `u128` (bit `c` =
     /// clbit `c`) — a cheap memoisation key for batch decoding.
     ///
@@ -177,6 +192,22 @@ mod tests {
         assert_eq!(b.row(0)[0], (1u64 << 10) - 1);
         b.xor_row(0, &[!0u64]);
         assert_eq!(b.row(0)[0], 0);
+    }
+
+    #[test]
+    fn packed_shot_words_matches_packed_shot() {
+        let mut b = ShotBatch::new(70, 3);
+        for c in [0u32, 5, 63, 64, 69] {
+            b.flip(c, 1);
+        }
+        b.flip(2, 2);
+        let mut words = vec![0xDEAD_BEEFu64; 7]; // stale contents must be cleared
+        for s in 0..3 {
+            b.packed_shot_words(s, &mut words);
+            assert_eq!(words.len(), 2);
+            let key = (words[0] as u128) | ((words[1] as u128) << 64);
+            assert_eq!(key, b.packed_shot(s), "shot {s}");
+        }
     }
 
     #[test]

@@ -1,0 +1,603 @@
+//! Tiered bulk MWPM decoder: bit-plane defect extraction + LUT / analytic
+//! / blossom solve tiers + the engine-level cross-batch syndrome cache.
+//!
+//! See the [`crate::decoder`] module docs for the tier-selection rules and
+//! the exactness argument; the short version is that every tier computes
+//! the same pure function `flip(defect_pattern)` as
+//! [`MwpmDecoder::decode_shot`], so [`BulkDecoder`] is bit-identical to
+//! [`MwpmDecoder`] on every record (enforced exhaustively for LUT-eligible
+//! codes and property-tested otherwise in `tests/decoder_tiers.rs`).
+
+use crate::codes::CodeCircuit;
+use crate::decoder::cache::{SyndromeCache, DEFAULT_CACHE_CAPACITY, LUT_MAX_BITS};
+use crate::decoder::graph::DetectorGraph;
+use crate::decoder::mwpm::{extract_defects, matching_flip, weight_of};
+use crate::decoder::Decoder;
+use radqec_circuit::{ShotBatch, ShotRecord};
+use radqec_matching::MatchingArena;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Which solve tiers a [`BulkDecoder`] may use (the blossom fallback and
+/// the cross-batch cache are always available). Disabling tiers never
+/// changes results — only where the work happens — and exists so the
+/// equivalence suite and the `decoder_throughput` bench can time each tier
+/// in isolation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TierConfig {
+    /// Exhaustive direct-indexed lookup table for codes with at most
+    /// [`LUT_MAX_BITS`] detector bits (lazily filled; decode = one index).
+    pub lut: bool,
+    /// Closed-form 1–2-defect solves straight from [`DetectorGraph`]
+    /// distances (exact-tie cases still fall through to the matcher).
+    pub analytic: bool,
+    /// Entry budget of the sharded cross-batch cache used when the code is
+    /// too wide for the LUT.
+    pub cache_capacity: usize,
+}
+
+impl Default for TierConfig {
+    fn default() -> Self {
+        TierConfig { lut: true, analytic: true, cache_capacity: DEFAULT_CACHE_CAPACITY }
+    }
+}
+
+/// Counters describing where decode work went (snapshot of a
+/// [`BulkDecoder`]'s atomics; see [`Decoder::decode_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DecoderStats {
+    /// Shots decoded in total.
+    pub shots: u64,
+    /// Shots with an all-zero syndrome (raw readout passes through).
+    pub trivial: u64,
+    /// Shots answered by the lookup table / cross-batch cache.
+    pub cache_hits: u64,
+    /// Shots answered by the closed-form 1–2-defect path.
+    pub analytic: u64,
+    /// Blossom matchings actually run (cache misses + analytic ties).
+    pub matchings: u64,
+    /// Entries evicted from the sharded cache.
+    pub cache_evictions: u64,
+    /// Distinct syndromes currently held by the LUT/cache.
+    pub cache_entries: usize,
+}
+
+#[derive(Default)]
+struct StatCells {
+    shots: AtomicU64,
+    trivial: AtomicU64,
+    cache_hits: AtomicU64,
+    analytic: AtomicU64,
+    matchings: AtomicU64,
+}
+
+/// Per-`decode_batch`-call counters, flushed to the shared atomics once per
+/// batch so the per-shot hot loop stays free of atomic traffic.
+#[derive(Default, Clone, Copy)]
+struct LocalStats {
+    shots: u64,
+    trivial: u64,
+    cache_hits: u64,
+    analytic: u64,
+    matchings: u64,
+}
+
+/// Per-call scratch: matcher arena + defect-list buffer. Cheap to create
+/// (no allocation until the blossom tier actually runs) and reused across
+/// every syndrome of a batch.
+#[derive(Default)]
+struct Ctx {
+    arena: MatchingArena,
+    defects: Vec<usize>,
+}
+
+/// Tiered bulk decoder, bit-identical to [`MwpmDecoder`].
+///
+/// [`Decoder::decode_batch`] extracts defect bit-planes straight from the
+/// [`ShotBatch`] words (64 shots per operation) instead of materialising a
+/// [`ShotRecord`] per shot, then answers each shot's syndrome from the
+/// cheapest applicable tier. The cache member is shared by every batch,
+/// rayon chunk and temporal sample of the owning engine.
+///
+/// [`MwpmDecoder`]: crate::decoder::MwpmDecoder
+pub struct BulkDecoder {
+    graph: DetectorGraph,
+    cbits_round1: Vec<u32>,
+    cbits_round2: Vec<u32>,
+    readout_cbit: u32,
+    name: String,
+    /// Detector-bit count `2P`; plane `2i` = (stab `i`, round 0), plane
+    /// `2i+1` = (stab `i`, round 1), so ascending bit index reproduces
+    /// [`MwpmDecoder::defects`] order exactly.
+    planes: usize,
+    tiers: TierConfig,
+    /// Engine-lifetime syndrome cache, shared by every batch / rayon chunk
+    /// / temporal sample through `&self` (interior mutability inside).
+    cache: SyndromeCache,
+    stats: StatCells,
+}
+
+impl BulkDecoder {
+    /// Build the tiered decoder for `code` with default tiers.
+    pub fn new(code: &CodeCircuit) -> Self {
+        Self::with_tiers(code, TierConfig::default())
+    }
+
+    /// Build with an explicit [`TierConfig`] (bench/test tool — results are
+    /// identical for every configuration).
+    pub fn with_tiers(code: &CodeCircuit, tiers: TierConfig) -> Self {
+        let graph = DetectorGraph::new(code);
+        let planes = 2 * graph.primary_count();
+        let cache = if tiers.lut && planes <= LUT_MAX_BITS {
+            SyndromeCache::direct(planes)
+        } else {
+            SyndromeCache::sharded(tiers.cache_capacity)
+        };
+        BulkDecoder {
+            graph,
+            cbits_round1: code.primary_stabilizers().iter().map(|s| s.cbit_round1).collect(),
+            cbits_round2: code.primary_stabilizers().iter().map(|s| s.cbit_round2).collect(),
+            readout_cbit: code.readout_cbit,
+            name: format!("mwpm[{}]", code.name),
+            planes,
+            tiers,
+            cache,
+            stats: StatCells::default(),
+        }
+    }
+
+    /// The underlying detector graph.
+    pub fn graph(&self) -> &DetectorGraph {
+        &self.graph
+    }
+
+    /// Whether this decoder serves syndromes from the exhaustive LUT.
+    pub fn uses_lut(&self) -> bool {
+        self.cache.is_direct()
+    }
+
+    /// Eagerly fill the exhaustive LUT (all `2^bits` syndromes). No-op for
+    /// non-LUT decoders; useful for benches that want cold-start excluded.
+    /// Setup work — it does not count towards [`DecoderStats`] (which
+    /// tracks decoded shots only).
+    pub fn prefill_lut(&self) {
+        if !self.uses_lut() {
+            return;
+        }
+        let mut ctx = Ctx::default();
+        let mut discard = LocalStats::default();
+        for key in 1..(1u128 << self.planes) {
+            if self.cache.get(key).is_none() {
+                let flip = self.solve_key(key, &mut ctx, &mut discard);
+                self.cache.insert(key, flip);
+            }
+        }
+    }
+
+    /// Defect bit pattern of a single record: bit `2i` = round-1 syndrome
+    /// of primary stabilizer `i`, bit `2i+1` = round-1/round-2 difference.
+    #[inline]
+    fn key_of_record(&self, shot: &ShotRecord) -> u128 {
+        let mut key = 0u128;
+        for i in 0..self.graph.primary_count() {
+            let s1 = shot.get(self.cbits_round1[i]);
+            let s2 = shot.get(self.cbits_round2[i]);
+            key |= (s1 as u128) << (2 * i);
+            key |= ((s1 != s2) as u128) << (2 * i + 1);
+        }
+        key
+    }
+
+    /// Flip parity of a non-zero defect pattern via the tier cascade —
+    /// LUT/cache lookup, analytic, arena blossom matcher — populating the
+    /// cache on the way out.
+    ///
+    /// In sharded mode the analytic tier runs *before* the cache probe:
+    /// 1–2-defect syndromes (the dominant non-trivial class at realistic
+    /// noise) are never inserted, so probing first would take the shard
+    /// mutex for a guaranteed miss on every such shot.
+    #[inline]
+    fn flip_of_key(&self, key: u128, ctx: &mut Ctx, local: &mut LocalStats) -> bool {
+        debug_assert_ne!(key, 0);
+        if !self.cache.is_direct() && self.tiers.analytic && key.count_ones() <= 2 {
+            if let Some(flip) = self.analytic_flip(key) {
+                local.analytic += 1;
+                return flip;
+            }
+        }
+        if let Some(flip) = self.cache.get(key) {
+            local.cache_hits += 1;
+            return flip;
+        }
+        let flip = if self.cache.is_direct() {
+            // LUT miss: compute once, table answers forever after.
+            self.solve_key(key, ctx, local)
+        } else {
+            // Analytic already declined (tie, disabled, or >2 defects).
+            self.match_key(key, ctx, local)
+        };
+        self.cache.insert(key, flip);
+        flip
+    }
+
+    /// Solve a defect pattern from scratch: analytic when eligible, else
+    /// the exact blossom matcher.
+    fn solve_key(&self, key: u128, ctx: &mut Ctx, local: &mut LocalStats) -> bool {
+        if self.tiers.analytic && key.count_ones() <= 2 {
+            if let Some(flip) = self.analytic_flip(key) {
+                local.analytic += 1;
+                return flip;
+            }
+        }
+        self.match_key(key, ctx, local)
+    }
+
+    /// Run the exact blossom matcher on a defect pattern —
+    /// [`matching_flip`], the very routine behind
+    /// [`MwpmDecoder::decode_shot`].
+    ///
+    /// [`MwpmDecoder::decode_shot`]: crate::decoder::MwpmDecoder::decode_shot
+    fn match_key(&self, key: u128, ctx: &mut Ctx, local: &mut LocalStats) -> bool {
+        ctx.defects.clear();
+        let mut k = key;
+        while k != 0 {
+            let plane = k.trailing_zeros() as usize;
+            k &= k - 1;
+            // plane 2i+r → detector node (stab i, round r); ascending plane
+            // index reproduces MwpmDecoder::defects order.
+            ctx.defects.push((plane % 2) * self.graph.primary_count() + plane / 2);
+        }
+        local.matchings += 1;
+        matching_flip(&self.graph, &ctx.defects, &mut ctx.arena)
+    }
+
+    /// Closed-form flip parity for 1–2-defect patterns, straight from the
+    /// detector graph's distance/parity tables.
+    ///
+    /// Exactness: one defect admits a single perfect matching (defect →
+    /// boundary). Two defects admit exactly two — pair up (weight `w_ab`)
+    /// or both-to-boundary (weight `w_a + w_b`) — and the matcher picks the
+    /// strictly cheaper one; on an exact tie this returns `None` and the
+    /// caller defers to the blossom matcher so its tie-breaking (and hence
+    /// bit-identity with [`MwpmDecoder`]) is preserved.
+    ///
+    /// [`MwpmDecoder`]: crate::decoder::MwpmDecoder
+    fn analytic_flip(&self, key: u128) -> Option<bool> {
+        let g = &self.graph;
+        let p = g.primary_count();
+        let boundary = g.boundary();
+        let node_of = |plane: usize| (plane % 2) * p + plane / 2;
+        let a = node_of(key.trailing_zeros() as usize);
+        if key.count_ones() == 1 {
+            return Some(g.crossing_parity(a, boundary));
+        }
+        let b = node_of((127 - key.leading_zeros()) as usize);
+        let pair = weight_of(g.distance(a, b));
+        let via_boundary = weight_of(g.distance(a, boundary)) + weight_of(g.distance(b, boundary));
+        match pair.cmp(&via_boundary) {
+            std::cmp::Ordering::Less => Some(g.crossing_parity(a, b)),
+            std::cmp::Ordering::Greater => {
+                Some(g.crossing_parity(a, boundary) ^ g.crossing_parity(b, boundary))
+            }
+            std::cmp::Ordering::Equal => None,
+        }
+    }
+
+    /// Batch path for codes wider than the 128-bit defect key (P > 64
+    /// primary stabilizers): per-record defect extraction with a per-batch
+    /// memo keyed by the *defect pattern* words — records differing only in
+    /// readout/secondary bits share one matching — and exact tier
+    /// accounting (memo hits count as cache hits).
+    fn decode_batch_wide(&self, batch: &ShotBatch) -> Vec<bool> {
+        let mut out = Vec::with_capacity(batch.shots());
+        let mut scratch = ShotRecord::new(batch.num_clbits());
+        let mut memo: std::collections::HashMap<Box<[u64]>, bool> = Default::default();
+        let mut keybuf = vec![0u64; self.planes.div_ceil(64)];
+        let mut ctx = Ctx::default();
+        let mut local = LocalStats { shots: batch.shots() as u64, ..Default::default() };
+        let p = self.graph.primary_count();
+        for s in 0..batch.shots() {
+            batch.fill_record(s, &mut scratch);
+            let raw = scratch.get(self.readout_cbit);
+            extract_defects(
+                &self.graph,
+                &self.cbits_round1,
+                &self.cbits_round2,
+                &scratch,
+                &mut ctx.defects,
+            );
+            // Memo key: the defect pattern as plane bits (plane 2i+r for
+            // node (stab i, round r)), derived from the node list.
+            keybuf.iter_mut().for_each(|w| *w = 0);
+            for &d in &ctx.defects {
+                let plane = 2 * (d % p) + d / p;
+                keybuf[plane / 64] |= 1u64 << (plane % 64);
+            }
+            if ctx.defects.is_empty() {
+                local.trivial += 1;
+                out.push(raw);
+                continue;
+            }
+            let flip = match memo.get(keybuf.as_slice()) {
+                Some(&f) => {
+                    local.cache_hits += 1;
+                    f
+                }
+                None => {
+                    local.matchings += 1;
+                    let f = matching_flip(&self.graph, &ctx.defects, &mut ctx.arena);
+                    memo.insert(keybuf.clone().into_boxed_slice(), f);
+                    f
+                }
+            };
+            out.push(raw ^ flip);
+        }
+        self.flush(local);
+        out
+    }
+
+    fn flush(&self, local: LocalStats) {
+        self.stats.shots.fetch_add(local.shots, Ordering::Relaxed);
+        self.stats.trivial.fetch_add(local.trivial, Ordering::Relaxed);
+        self.stats.cache_hits.fetch_add(local.cache_hits, Ordering::Relaxed);
+        self.stats.analytic.fetch_add(local.analytic, Ordering::Relaxed);
+        self.stats.matchings.fetch_add(local.matchings, Ordering::Relaxed);
+    }
+}
+
+impl Decoder for BulkDecoder {
+    fn decode(&self, shot: &ShotRecord) -> bool {
+        let raw = shot.get(self.readout_cbit);
+        let mut local = LocalStats { shots: 1, ..Default::default() };
+        let v = if self.planes > 128 {
+            // Wider than the u128 key (P > 64 primary stabilizers): decode
+            // via the defect list directly; batch decoding still dedupes
+            // (see `decode_batch_wide`).
+            let mut defects = Vec::new();
+            extract_defects(
+                &self.graph,
+                &self.cbits_round1,
+                &self.cbits_round2,
+                shot,
+                &mut defects,
+            );
+            if defects.is_empty() {
+                local.trivial += 1;
+                raw
+            } else {
+                local.matchings += 1;
+                raw ^ matching_flip(&self.graph, &defects, &mut MatchingArena::new())
+            }
+        } else {
+            let key = self.key_of_record(shot);
+            if key == 0 {
+                local.trivial += 1;
+                raw
+            } else {
+                raw ^ self.flip_of_key(key, &mut Ctx::default(), &mut local)
+            }
+        };
+        self.flush(local);
+        v
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Bulk path: bit-plane defect extraction (64 shots per word op), then
+    /// the tier cascade per shot — no per-shot [`ShotRecord`]. Codes wider
+    /// than the 128-bit key decode per record with a per-batch
+    /// syndrome-keyed memo ([`Self::decode_batch_wide`]).
+    fn decode_batch(&self, batch: &ShotBatch) -> Vec<bool> {
+        if self.planes > 128 {
+            return self.decode_batch_wide(batch);
+        }
+        let words = batch.words();
+        let shots = batch.shots();
+        let p = self.graph.primary_count();
+        // Interleaved defect planes: row 2i = round-1 syndrome of stab i,
+        // row 2i+1 = round-1/round-2 XOR; `union` flags words with any
+        // defect so all-trivial word spans skip per-shot work entirely.
+        let mut planes = vec![0u64; self.planes * words];
+        let mut union = vec![0u64; words];
+        for i in 0..p {
+            let r1 = batch.row(self.cbits_round1[i]);
+            let r2 = batch.row(self.cbits_round2[i]);
+            for w in 0..words {
+                let d0 = r1[w];
+                let d1 = r1[w] ^ r2[w];
+                planes[2 * i * words + w] = d0;
+                planes[(2 * i + 1) * words + w] = d1;
+                union[w] |= d0 | d1;
+            }
+        }
+        let readout = batch.row(self.readout_cbit);
+        let mut out = Vec::with_capacity(shots);
+        let mut ctx = Ctx::default();
+        let mut local = LocalStats { shots: shots as u64, ..Default::default() };
+        for w in 0..words {
+            let in_word = (shots - w * 64).min(64);
+            let raw_word = readout[w];
+            if union[w] == 0 {
+                // Entire word of trivial syndromes: readout passes through.
+                for b in 0..in_word {
+                    out.push((raw_word >> b) & 1 == 1);
+                }
+                local.trivial += in_word as u64;
+                continue;
+            }
+            for b in 0..in_word {
+                let mut key = 0u128;
+                for plane in 0..self.planes {
+                    key |= (((planes[plane * words + w] >> b) & 1) as u128) << plane;
+                }
+                let raw = (raw_word >> b) & 1 == 1;
+                if key == 0 {
+                    local.trivial += 1;
+                    out.push(raw);
+                } else {
+                    out.push(raw ^ self.flip_of_key(key, &mut ctx, &mut local));
+                }
+            }
+        }
+        self.flush(local);
+        out
+    }
+
+    fn decode_stats(&self) -> Option<DecoderStats> {
+        Some(DecoderStats {
+            shots: self.stats.shots.load(Ordering::Relaxed),
+            trivial: self.stats.trivial.load(Ordering::Relaxed),
+            cache_hits: self.stats.cache_hits.load(Ordering::Relaxed),
+            analytic: self.stats.analytic.load(Ordering::Relaxed),
+            matchings: self.stats.matchings.load(Ordering::Relaxed),
+            cache_evictions: self.cache.evictions(),
+            cache_entries: self.cache.len(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codes::{QecCode, RepetitionCode, XxzzCode};
+    use crate::decoder::MwpmDecoder;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_record(nc: u32, rng: &mut StdRng) -> ShotRecord {
+        let mut r = ShotRecord::new(nc);
+        for c in 0..nc {
+            r.set(c, rng.gen_bool(0.3));
+        }
+        r
+    }
+
+    #[test]
+    fn lut_mode_matches_mwpm_on_random_records() {
+        for code in [RepetitionCode::bit_flip(5).build(), XxzzCode::new(3, 3).build()] {
+            let bulk = BulkDecoder::new(&code);
+            assert!(bulk.uses_lut(), "{}", code.name);
+            let mwpm = MwpmDecoder::new(&code);
+            let mut rng = StdRng::seed_from_u64(11);
+            for _ in 0..300 {
+                let shot = random_record(code.circuit.num_clbits(), &mut rng);
+                assert_eq!(bulk.decode(&shot), mwpm.decode(&shot), "{}", code.name);
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_mode_matches_mwpm_on_random_records() {
+        // xxzz-(5,5) has 12 primary stabilizers → 24 detector bits > LUT.
+        let code = XxzzCode::new(5, 5).build();
+        let bulk = BulkDecoder::new(&code);
+        assert!(!bulk.uses_lut());
+        let mwpm = MwpmDecoder::new(&code);
+        let mut rng = StdRng::seed_from_u64(12);
+        for _ in 0..100 {
+            let shot = random_record(code.circuit.num_clbits(), &mut rng);
+            assert_eq!(bulk.decode(&shot), mwpm.decode(&shot));
+        }
+    }
+
+    #[test]
+    fn batch_decode_matches_per_shot_decode() {
+        let code = RepetitionCode::bit_flip(7).build();
+        let bulk = BulkDecoder::new(&code);
+        let mwpm = MwpmDecoder::new(&code);
+        let nc = code.circuit.num_clbits();
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut batch = ShotBatch::new(nc, 200);
+        for s in 0..200 {
+            for c in 0..nc {
+                if rng.gen_bool(0.25) {
+                    batch.flip(c, s);
+                }
+            }
+        }
+        let got = bulk.decode_batch(&batch);
+        for (s, &v) in got.iter().enumerate() {
+            assert_eq!(v, mwpm.decode(&batch.record(s)), "shot {s}");
+        }
+    }
+
+    #[test]
+    fn prefill_makes_every_syndrome_a_cache_hit() {
+        let code = RepetitionCode::bit_flip(3).build();
+        let bulk = BulkDecoder::new(&code);
+        bulk.prefill_lut();
+        let baseline = bulk.decode_stats().unwrap();
+        let mut rng = StdRng::seed_from_u64(14);
+        let mut n_nontrivial = 0;
+        for _ in 0..50 {
+            let shot = random_record(code.circuit.num_clbits(), &mut rng);
+            let _ = bulk.decode(&shot);
+            if bulk.key_of_record(&shot) != 0 {
+                n_nontrivial += 1;
+            }
+        }
+        let after = bulk.decode_stats().unwrap();
+        assert_eq!(after.matchings, baseline.matchings, "prefilled LUT must not re-match");
+        assert_eq!(after.cache_hits - baseline.cache_hits, n_nontrivial);
+    }
+
+    #[test]
+    fn wide_code_batch_memoises_by_syndrome_with_exact_stats() {
+        // rep-(67,1): 66 primary stabilizers → 132 detector bits > 128.
+        let code = RepetitionCode::bit_flip(67).build();
+        let bulk = BulkDecoder::new(&code);
+        let mwpm = MwpmDecoder::new(&code);
+        let nc = code.circuit.num_clbits();
+        let mut batch = ShotBatch::new(nc, 90);
+        // Three distinct syndromes (one trivial), repeated; shots 1 mod 3
+        // additionally dirty the readout bit, which must not split the memo.
+        for s in 0..90 {
+            match s % 3 {
+                0 => {}
+                1 => {
+                    batch.flip(code.stabilizers[5].cbit_round1, s);
+                    batch.flip(code.readout_cbit, s);
+                }
+                _ => {
+                    batch.flip(code.stabilizers[9].cbit_round1, s);
+                    batch.flip(code.stabilizers[9].cbit_round2, s);
+                }
+            }
+        }
+        let got = bulk.decode_batch(&batch);
+        for (s, &v) in got.iter().enumerate() {
+            assert_eq!(v, mwpm.decode(&batch.record(s)), "shot {s}");
+        }
+        let stats = bulk.decode_stats().unwrap();
+        assert_eq!(stats.shots, 90);
+        assert_eq!(stats.trivial, 30);
+        assert_eq!(stats.matchings, 2, "two distinct non-trivial syndromes");
+        assert_eq!(stats.cache_hits, 58);
+        assert_eq!(
+            stats.shots,
+            stats.trivial + stats.cache_hits + stats.analytic + stats.matchings
+        );
+    }
+
+    #[test]
+    fn tier_configs_agree_with_each_other() {
+        let code = XxzzCode::new(3, 3).build();
+        let configs = [
+            TierConfig::default(),
+            TierConfig { lut: false, ..Default::default() },
+            TierConfig { lut: false, analytic: false, ..Default::default() },
+        ];
+        let decoders: Vec<BulkDecoder> =
+            configs.iter().map(|&t| BulkDecoder::with_tiers(&code, t)).collect();
+        let mwpm = MwpmDecoder::new(&code);
+        let mut rng = StdRng::seed_from_u64(15);
+        for _ in 0..200 {
+            let shot = random_record(code.circuit.num_clbits(), &mut rng);
+            let want = mwpm.decode(&shot);
+            for d in &decoders {
+                assert_eq!(d.decode(&shot), want);
+            }
+        }
+    }
+}

@@ -6,11 +6,81 @@ use crate::codes::CodeCircuit;
 use crate::decoder::graph::DetectorGraph;
 use crate::decoder::Decoder;
 use radqec_circuit::ShotRecord;
-use radqec_matching::{match_defects, DefectMatch};
+use radqec_matching::{DefectMatch, MatchingArena};
 
 /// Weight assigned to an unreachable pairing (effectively forbids it
 /// without overflowing the matcher's arithmetic).
 const UNREACHABLE: i64 = 1 << 30;
+
+/// Map a BFS distance to a matching weight ([`UNREACHABLE`] forbids the
+/// pairing without overflowing the matcher's arithmetic).
+#[inline]
+pub(crate) fn weight_of(d: u32) -> i64 {
+    if d == u32::MAX {
+        UNREACHABLE
+    } else {
+        d as i64
+    }
+}
+
+/// Readout-flip parity the minimum-weight matching of `defects` implies —
+/// the exact core of [`MwpmDecoder::decode_shot`], factored out so the
+/// tiered [`BulkDecoder`](crate::decoder::BulkDecoder) provably computes
+/// the same function (it calls this very routine for its fallback tier and
+/// for populating its lookup table and cache).
+///
+/// `defects` must be listed in [`MwpmDecoder::defects`] order (ascending
+/// stabilizer, round 0 before round 1) — the matcher's tie-breaking depends
+/// on edge insertion order.
+pub(crate) fn matching_flip(
+    g: &DetectorGraph,
+    defects: &[usize],
+    arena: &mut MatchingArena,
+) -> bool {
+    let boundary = g.boundary();
+    let matches = arena.match_defects(
+        defects.len(),
+        |a, b| weight_of(g.distance(defects[a], defects[b])),
+        |a| weight_of(g.distance(defects[a], boundary)),
+    );
+    let mut flip = false;
+    for (a, m) in matches.iter().enumerate() {
+        match *m {
+            DefectMatch::Boundary => flip ^= g.crossing_parity(defects[a], boundary),
+            DefectMatch::Peer(b) if b > a => flip ^= g.crossing_parity(defects[a], defects[b]),
+            DefectMatch::Peer(_) => {} // counted once from the lower index
+        }
+    }
+    flip
+}
+
+/// Push `shot`'s defect nodes onto `out` in the canonical order every
+/// decoder and tier shares: ascending primary stabilizer, round 0 before
+/// round 1 (round-1 detectors fire when the first syndrome deviates from
+/// the deterministic initial value 0, round-2 detectors when the syndrome
+/// changes between rounds). The single source of that ordering — the
+/// matcher's tie-breaking depends on it, so the bit-identity of
+/// [`MwpmDecoder`] and [`BulkDecoder`](crate::decoder::BulkDecoder) rests
+/// on both extracting through this helper.
+pub(crate) fn extract_defects(
+    graph: &DetectorGraph,
+    cbits_round1: &[u32],
+    cbits_round2: &[u32],
+    shot: &ShotRecord,
+    out: &mut Vec<usize>,
+) {
+    out.clear();
+    for i in 0..graph.primary_count() {
+        let s1 = shot.get(cbits_round1[i]);
+        let s2 = shot.get(cbits_round2[i]);
+        if s1 {
+            out.push(graph.node(i, 0));
+        }
+        if s1 != s2 {
+            out.push(graph.node(i, 1));
+        }
+    }
+}
 
 /// MWPM decoder over a code's primary detector graph.
 #[derive(Debug, Clone)]
@@ -42,21 +112,11 @@ impl MwpmDecoder {
         &self.graph
     }
 
-    /// Extract defect nodes from a shot: round-1 detectors fire when the
-    /// first syndrome deviates from the deterministic initial value (0),
-    /// round-2 detectors when the syndrome changes between rounds.
+    /// Extract defect nodes from a shot (see [`extract_defects`] for the
+    /// detector semantics and the canonical ordering).
     pub fn defects(&self, shot: &ShotRecord) -> Vec<usize> {
         let mut defects = Vec::new();
-        for i in 0..self.graph.primary_count() {
-            let s1 = shot.get(self.cbits_round1[i]);
-            let s2 = shot.get(self.cbits_round2[i]);
-            if s1 {
-                defects.push(self.graph.node(i, 0));
-            }
-            if s1 != s2 {
-                defects.push(self.graph.node(i, 1));
-            }
-        }
+        extract_defects(&self.graph, &self.cbits_round1, &self.cbits_round2, shot, &mut defects);
         defects
     }
 
@@ -67,29 +127,7 @@ impl MwpmDecoder {
         if defects.is_empty() {
             return raw;
         }
-        let g = &self.graph;
-        let boundary = g.boundary();
-        let weight_of = |d: u32| -> i64 {
-            if d == u32::MAX {
-                UNREACHABLE
-            } else {
-                d as i64
-            }
-        };
-        let matches = match_defects(
-            defects.len(),
-            |a, b| weight_of(g.distance(defects[a], defects[b])),
-            |a| weight_of(g.distance(defects[a], boundary)),
-        );
-        let mut flip = false;
-        for (a, m) in matches.iter().enumerate() {
-            match *m {
-                DefectMatch::Boundary => flip ^= g.crossing_parity(defects[a], boundary),
-                DefectMatch::Peer(b) if b > a => flip ^= g.crossing_parity(defects[a], defects[b]),
-                DefectMatch::Peer(_) => {} // counted once from the lower index
-            }
-        }
-        raw ^ flip
+        raw ^ matching_flip(&self.graph, &defects, &mut MatchingArena::new())
     }
 }
 

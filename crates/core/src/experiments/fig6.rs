@@ -44,6 +44,20 @@ impl Fig6Config {
         }
     }
 
+    /// The beyond-paper deep panel: distance-5 codes at 10⁵ shots per
+    /// injection site on the frame sampler (exact for the repetition code;
+    /// the XXZZ erasure approximation is documented in `radqec_stabilizer`).
+    /// Made affordable by the tiered bulk decoder.
+    pub fn deep_panel() -> Self {
+        Fig6Config {
+            codes: vec![RepetitionCode::bit_flip(5).into(), XxzzCode::new(5, 5).into()],
+            noise: NoiseSpec::paper_default(),
+            shots: 100_000,
+            seed: 0x616,
+            sampler: SamplerKind::FrameBatch,
+        }
+    }
+
     /// The paper's XXZZ panel: (1,3), (3,1), (3,3), (3,5), (5,3).
     pub fn xxzz_panel() -> Self {
         Fig6Config {

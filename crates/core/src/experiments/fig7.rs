@@ -22,6 +22,9 @@ pub struct Fig7Config {
     pub sizes: Option<Vec<usize>>,
     /// Connected subgraphs sampled per size.
     pub subgraphs_per_size: usize,
+    /// Evaluate every `size_stride`-th subset size when `sizes` is `None`
+    /// (1 = every size; deep sweeps use a coarser grid).
+    pub size_stride: usize,
     /// Intrinsic noise (default 1%).
     pub noise: NoiseSpec,
     /// Radiation model for the reference line.
@@ -43,12 +46,26 @@ impl Fig7Config {
             code,
             sizes: None,
             subgraphs_per_size: 16,
+            size_stride: 1,
             noise: NoiseSpec::paper_default(),
             model: RadiationModel::default(),
             shots: 400,
             seed: 0x717,
             sampler: SamplerKind::Tableau,
         }
+    }
+
+    /// The beyond-paper deep series: XXZZ-(5,5) at 10⁵ shots per subgraph
+    /// on the frame sampler, on a coarser subset-size grid. Made affordable
+    /// by the tiered bulk decoder (see `Fig5Config::deep` for the sampler
+    /// caveat).
+    pub fn deep() -> Self {
+        let mut cfg = Fig7Config::new(crate::codes::XxzzCode::new(5, 5).into());
+        cfg.shots = 100_000;
+        cfg.sampler = SamplerKind::FrameBatch;
+        cfg.subgraphs_per_size = 8;
+        cfg.size_stride = 5;
+        cfg
     }
 }
 
@@ -110,7 +127,9 @@ pub fn run_fig7(cfg: &Fig7Config) -> Fig7Result {
     // (the paper's lattice is sized to the code, so all nodes are used).
     let (used_topo, _) =
         engine.topology().induced_subgraph(&used, format!("{}-used", engine.topology().name()));
-    let sizes: Vec<usize> = cfg.sizes.clone().unwrap_or_else(|| (1..=used.len()).collect());
+    let stride = cfg.size_stride.max(1);
+    let sizes: Vec<usize> =
+        cfg.sizes.clone().unwrap_or_else(|| (1..=used.len()).step_by(stride).collect());
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xF1F7);
     let rows: Vec<Fig7Row> = sizes
         .iter()
@@ -152,6 +171,19 @@ pub fn run_fig7(cfg: &Fig7Config) -> Fig7Result {
 mod tests {
     use super::*;
     use crate::codes::RepetitionCode;
+
+    #[test]
+    fn size_stride_coarsens_the_grid() {
+        let mut cfg = Fig7Config::deep();
+        assert_eq!(cfg.sampler, crate::injection::SamplerKind::FrameBatch);
+        // Scaled-down smoke run of the exact deep configuration.
+        cfg.shots = 100;
+        cfg.subgraphs_per_size = 2;
+        let res = run_fig7(&cfg);
+        let sizes: Vec<usize> = res.rows.iter().map(|r| r.corrupted_qubits).collect();
+        assert_eq!(sizes[0], 1);
+        assert!(sizes.windows(2).all(|w| w[1] - w[0] == 5), "{sizes:?}");
+    }
 
     #[test]
     fn erasure_curve_grows_and_crosses_radiation_line() {

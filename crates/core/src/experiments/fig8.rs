@@ -65,6 +65,23 @@ impl Fig8Config {
         }
     }
 
+    /// The beyond-paper deep panel: XXZZ-(5,5) on its fitted mesh at 10⁵
+    /// shots per (root, temporal sample) on the frame sampler — per-qubit
+    /// criticality at distance 5, made affordable by the tiered bulk
+    /// decoder (see `Fig5Config::deep` for the sampler caveat).
+    pub fn deep_panel() -> Self {
+        use radqec_topology::generators::mesh;
+        Fig8Config {
+            code: crate::codes::XxzzCode::new(5, 5).into(),
+            architectures: vec![mesh(5, 10)],
+            noise: NoiseSpec::paper_default(),
+            model: RadiationModel::default(),
+            shots: 100_000,
+            seed: 0x818,
+            sampler: SamplerKind::FrameBatch,
+        }
+    }
+
     /// The paper's XXZZ-(3,3) panel architectures.
     pub fn xxzz_panel(code: CodeSpec) -> Self {
         use radqec_topology::devices;

@@ -33,12 +33,30 @@ pub enum SamplerKind {
     Tableau,
 }
 
-/// Shots per Pauli-frame batch. Fixed (rather than derived from the core
-/// count) so a seed's results are identical on every machine. 256 splits
-/// the default 1000-shot campaign into four parallel work items while
-/// keeping the per-chunk decode memo effective — smaller chunks buy more
-/// cores at the price of re-decoding syndromes repeated across chunks.
-const FRAME_CHUNK: usize = 256;
+/// Smallest and largest automatic Pauli-frame batch sizes (see
+/// [`default_frame_chunk`]).
+const FRAME_CHUNK_MIN: usize = 256;
+const FRAME_CHUNK_MAX: usize = 4096;
+
+/// Shots per Pauli-frame batch for a campaign of `shots` shots.
+///
+/// Derived from the shot count only — never from the core count — so a
+/// seed's results are identical on every machine (the per-chunk RNG streams
+/// depend on chunk boundaries). Aims for ~16 chunks of word-aligned
+/// (multiple-of-64) size, clamped to [256, 4096]: the default 1000-shot
+/// campaign keeps its historical 4×256 split (bit-identical to PR 1), while
+/// 10⁵-shot sweeps get 4096-shot batches.
+///
+/// Chunk size used to trade parallelism against decode-memo effectiveness
+/// (the per-batch memo was split across chunks); with the engine-level
+/// cross-batch syndrome cache that coupling is gone and this is purely a
+/// parallel-balance / working-set knob. Override per workload with
+/// [`InjectionEngineBuilder::frame_chunk`].
+pub fn default_frame_chunk(shots: usize) -> usize {
+    let target = shots.div_ceil(16);
+    let aligned = target.div_ceil(64) * 64;
+    aligned.clamp(FRAME_CHUNK_MIN, FRAME_CHUNK_MAX)
+}
 
 /// Fluent configuration for [`InjectionEngine`].
 pub struct InjectionEngineBuilder {
@@ -49,6 +67,7 @@ pub struct InjectionEngineBuilder {
     sampler: SamplerKind,
     shots: usize,
     seed: u64,
+    frame_chunk: Option<usize>,
 }
 
 impl InjectionEngineBuilder {
@@ -91,6 +110,16 @@ impl InjectionEngineBuilder {
         self
     }
 
+    /// Override the shots-per-frame-batch size (default:
+    /// [`default_frame_chunk`] of the campaign's shot count). Changing it
+    /// changes the per-chunk RNG streams, i.e. which shots are sampled —
+    /// not the sampled distribution.
+    pub fn frame_chunk(mut self, chunk: usize) -> Self {
+        assert!(chunk > 0, "frame chunk must be positive");
+        self.frame_chunk = Some(chunk);
+        self
+    }
+
     /// Build the engine (runs the transpiler once).
     pub fn build(self) -> InjectionEngine {
         let code = self.spec.build();
@@ -111,6 +140,7 @@ impl InjectionEngineBuilder {
             sampler: self.sampler,
             shots: self.shots,
             seed: self.seed,
+            frame_chunk: self.frame_chunk.unwrap_or_else(|| default_frame_chunk(self.shots)),
             reference: OnceLock::new(),
         }
     }
@@ -125,6 +155,7 @@ pub struct InjectionEngine {
     sampler: SamplerKind,
     shots: usize,
     seed: u64,
+    frame_chunk: usize,
     /// Noiseless reference trace for the frame sampler, computed on first
     /// use and shared by every sample/batch of the campaign.
     reference: OnceLock<ReferenceTrace>,
@@ -141,6 +172,7 @@ impl InjectionEngine {
             sampler: SamplerKind::default(),
             shots: 1000,
             seed: 0,
+            frame_chunk: None,
         }
     }
 
@@ -172,6 +204,20 @@ impl InjectionEngine {
     /// Shots per temporal sample.
     pub fn shots(&self) -> usize {
         self.shots
+    }
+
+    /// Shots per Pauli-frame batch in use.
+    pub fn frame_chunk(&self) -> usize {
+        self.frame_chunk
+    }
+
+    /// Tier statistics of the engine's decoder, when it tracks them (the
+    /// default MWPM decoder does; see
+    /// [`DecoderStats`](crate::decoder::DecoderStats)). Accumulates across
+    /// every sample and batch of the engine's lifetime — the engine-level
+    /// syndrome cache in action.
+    pub fn decoder_stats(&self) -> Option<crate::decoder::DecoderStats> {
+        self.decoder.decode_stats()
     }
 
     /// Logical error rate at one temporal sample of `fault` (shot-parallel).
@@ -227,37 +273,64 @@ impl InjectionEngine {
     }
 
     /// Frame-batch path: one noiseless reference (computed once per engine),
-    /// then bit-packed Pauli frames — 64 shots per word — plus memoised
-    /// batch decoding.
+    /// then bit-packed Pauli frames — 64 shots per word — plus tiered batch
+    /// decoding against the engine-lifetime syndrome cache.
     fn frame_errors_at_sample(
         &self,
         active: &ActiveFault,
         noise: &NoiseSpec,
         sample: usize,
     ) -> usize {
+        let chunks = self.shots.div_ceil(self.frame_chunk);
+        (0..chunks)
+            .into_par_iter()
+            .map(|chunk| {
+                let batch = self.frame_batch_chunk(active, noise, sample, chunk);
+                self.decoder.decode_batch(&batch).into_iter().filter(|&ok| !ok).count()
+            })
+            .sum()
+    }
+
+    /// Sample one frame-batch chunk of a temporal sample: a distinct RNG
+    /// stream per (sample, chunk), offset so frame streams never collide
+    /// with the tableau path's per-shot ones.
+    fn frame_batch_chunk(
+        &self,
+        active: &ActiveFault,
+        noise: &NoiseSpec,
+        sample: usize,
+        chunk: usize,
+    ) -> radqec_circuit::ShotBatch {
         let circuit = &self.transpiled.circuit;
         let n_phys = self.topology.num_qubits() as usize;
         let reference = self.reference.get_or_init(|| {
             ReferenceTrace::compute(circuit, n_phys, mix_seed(self.seed, 0xFAB, 0x5EED))
         });
-        let chunks = self.shots.div_ceil(FRAME_CHUNK);
-        (0..chunks)
-            .into_par_iter()
-            .map(|chunk| {
-                let width = FRAME_CHUNK.min(self.shots - chunk * FRAME_CHUNK);
-                // A distinct stream per (sample, chunk); offset the chunk
-                // index so frame streams never collide with per-shot ones.
-                let mut rng = StdRng::seed_from_u64(mix_seed(
-                    self.seed ^ 0xF7A3_0000_0000_0001,
-                    sample as u64,
-                    chunk as u64,
-                ));
-                let mut frame = PauliFrameBatch::new(n_phys, width, &mut rng);
-                let batch =
-                    run_noisy_batch(circuit, reference, &mut frame, noise, active, &mut rng);
-                self.decoder.decode_batch(&batch).into_iter().filter(|&ok| !ok).count()
-            })
-            .sum()
+        let width = self.frame_chunk.min(self.shots - chunk * self.frame_chunk);
+        let mut rng = StdRng::seed_from_u64(mix_seed(
+            self.seed ^ 0xF7A3_0000_0000_0001,
+            sample as u64,
+            chunk as u64,
+        ));
+        let mut frame = PauliFrameBatch::new(n_phys, width, &mut rng);
+        run_noisy_batch(circuit, reference, &mut frame, noise, active, &mut rng)
+    }
+
+    /// The frame sampler's bit-packed record batches for one temporal
+    /// sample — the exact chunk grid and RNG streams
+    /// [`Self::logical_error_at_sample`] decodes (Z reset basis), exposed
+    /// so decode-path benchmarks and offline record analysis can run on a
+    /// campaign's true syndrome mix.
+    pub fn frame_batches_at_sample(
+        &self,
+        fault: &FaultSpec,
+        noise: &NoiseSpec,
+        sample: usize,
+    ) -> Vec<radqec_circuit::ShotBatch> {
+        let active = fault.activate(&self.topology, sample).with_basis(ResetBasis::Z);
+        (0..self.shots.div_ceil(self.frame_chunk))
+            .map(|chunk| self.frame_batch_chunk(&active, noise, sample, chunk))
+            .collect()
     }
 
     /// Run the full fault evolution: one logical-error estimate per temporal
@@ -367,6 +440,71 @@ mod tests {
         let a = engine.run(&fault, &NoiseSpec::paper_default());
         let b = engine.run(&fault, &NoiseSpec::paper_default());
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn default_frame_chunk_policy() {
+        // Historical default preserved: 1000-shot campaigns split 4×256.
+        assert_eq!(default_frame_chunk(1000), 256);
+        assert_eq!(default_frame_chunk(1), 256);
+        assert_eq!(default_frame_chunk(100_000), 4096);
+        // Word-aligned in the adaptive middle range.
+        assert_eq!(default_frame_chunk(16_000) % 64, 0);
+        assert!((256..=4096).contains(&default_frame_chunk(50_000)));
+        let engine =
+            InjectionEngine::builder(RepetitionCode::bit_flip(3).into()).shots(1000).build();
+        assert_eq!(engine.frame_chunk(), 256);
+        let engine = InjectionEngine::builder(RepetitionCode::bit_flip(3).into())
+            .shots(1000)
+            .frame_chunk(128)
+            .build();
+        assert_eq!(engine.frame_chunk(), 128);
+    }
+
+    #[test]
+    fn frame_chunk_does_not_change_the_distribution_only_the_streams() {
+        // Same campaign, different chunkings: logical error rates must agree
+        // within sampling noise (they are different draws of the same
+        // distribution, not the same draws).
+        let fault = FaultSpec::RadiationAtImpact { model: RadiationModel::default(), root: 2 };
+        let rates: Vec<f64> = [256usize, 512]
+            .iter()
+            .map(|&chunk| {
+                let engine = InjectionEngine::builder(RepetitionCode::bit_flip(5).into())
+                    .shots(4000)
+                    .seed(9)
+                    .frame_chunk(chunk)
+                    .build();
+                engine.logical_error_at_sample(&fault, &NoiseSpec::paper_default(), 0)
+            })
+            .collect();
+        assert!((rates[0] - rates[1]).abs() < 0.05, "{rates:?}");
+    }
+
+    #[test]
+    fn engine_cache_is_shared_across_samples_and_batches() {
+        let engine = InjectionEngine::builder(RepetitionCode::bit_flip(5).into())
+            .shots(512)
+            .seed(4)
+            .frame_chunk(128) // four batches per sample
+            .build();
+        let fault = FaultSpec::Radiation { model: RadiationModel::default(), root: 2 };
+        let _ = engine.run(&fault, &NoiseSpec::paper_default());
+        let stats = engine.decoder_stats().expect("default decoder tracks stats");
+        assert_eq!(stats.shots, 512 * 10, "10 temporal samples of 512 shots");
+        assert_eq!(
+            stats.shots,
+            stats.trivial + stats.cache_hits + stats.analytic + stats.matchings
+        );
+        // rep-5 is LUT-eligible: at most 2^8 distinct syndromes can ever
+        // miss, everything else must be answered by the shared table.
+        assert!(stats.matchings <= 256, "matchings {}", stats.matchings);
+        assert!(
+            stats.cache_hits > stats.matchings,
+            "cache hits {} should dominate matchings {}",
+            stats.cache_hits,
+            stats.matchings
+        );
     }
 
     #[test]

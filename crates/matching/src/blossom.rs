@@ -36,6 +36,52 @@ pub fn max_weight_matching(
     edges: &[WeightedEdge],
     max_cardinality: bool,
 ) -> Vec<Option<usize>> {
+    let mut scratch = BlossomScratch::default();
+    max_weight_matching_in(&mut scratch, num_vertices, edges, max_cardinality).to_vec()
+}
+
+/// Reusable allocations for repeated blossom solves.
+///
+/// [`max_weight_matching`] allocates ~18 vectors per call; in decoding hot
+/// loops (one matching per distinct syndrome) that allocation traffic
+/// dominates small instances. A `BlossomScratch` keeps every buffer alive
+/// across calls; [`max_weight_matching_in`] clears and refills them, so
+/// results are bit-identical to the allocating entry point.
+#[derive(Debug, Default)]
+pub struct BlossomScratch {
+    endpoint: Vec<u32>,
+    neighbend: Vec<Vec<i32>>,
+    mate: Vec<i32>,
+    label: Vec<i8>,
+    labelend: Vec<i32>,
+    inblossom: Vec<i32>,
+    blossomparent: Vec<i32>,
+    blossomchilds: Vec<Option<Vec<i32>>>,
+    blossombase: Vec<i32>,
+    blossomendps: Vec<Option<Vec<i32>>>,
+    bestedge: Vec<i32>,
+    blossombestedges: Vec<Option<Vec<i32>>>,
+    unusedblossoms: Vec<i32>,
+    dualvar: Vec<i64>,
+    allowedge: Vec<bool>,
+    queue: Vec<i32>,
+    out: Vec<Option<usize>>,
+}
+
+/// [`max_weight_matching`] with caller-owned scratch space: identical
+/// results, no per-call allocations once the scratch has warmed up (beyond
+/// the inner vectors of freshly formed blossoms, which are rare).
+///
+/// The returned slice borrows the scratch and is valid until the next call.
+///
+/// # Panics
+/// Panics under the same conditions as [`max_weight_matching`].
+pub fn max_weight_matching_in<'s>(
+    scratch: &'s mut BlossomScratch,
+    num_vertices: usize,
+    edges: &[WeightedEdge],
+    max_cardinality: bool,
+) -> &'s [Option<usize>] {
     for &(i, j, _) in edges {
         assert!(
             (i as usize) < num_vertices && (j as usize) < num_vertices,
@@ -44,14 +90,23 @@ pub fn max_weight_matching(
         assert_ne!(i, j, "self-loop on vertex {i}");
     }
     if edges.is_empty() || num_vertices == 0 {
-        return vec![None; num_vertices];
+        scratch.out.clear();
+        scratch.out.resize(num_vertices, None);
+        return &scratch.out;
     }
-    let mut m = Matcher::new(num_vertices, edges, max_cardinality);
+    let mut m = Matcher::new_in(scratch, num_vertices, edges, max_cardinality);
     m.solve();
-    m.mate
-        .iter()
-        .map(|&p| if p >= 0 { Some(m.endpoint[p as usize] as usize) } else { None })
-        .collect()
+    m.finish(scratch);
+    scratch.out.clear();
+    let (mate, endpoint) = (&scratch.mate, &scratch.endpoint);
+    scratch.out.extend(mate.iter().map(|&p| {
+        if p >= 0 {
+            Some(endpoint[p as usize] as usize)
+        } else {
+            None
+        }
+    }));
+    &scratch.out
 }
 
 struct Matcher<'a> {
@@ -84,42 +139,118 @@ struct Matcher<'a> {
 }
 
 impl<'a> Matcher<'a> {
-    fn new(nvertex: usize, edges: &'a [WeightedEdge], maxcardinality: bool) -> Self {
+    /// Build a matcher whose working vectors are recycled from `scratch`
+    /// (cleared and refilled to the exact state a fresh allocation would
+    /// have). [`Matcher::finish`] returns them for the next call.
+    fn new_in(
+        scratch: &mut BlossomScratch,
+        nvertex: usize,
+        edges: &'a [WeightedEdge],
+        maxcardinality: bool,
+    ) -> Self {
         let nedge = edges.len();
         let maxweight = edges.iter().map(|e| e.2).max().unwrap_or(0).max(0);
-        let mut endpoint = Vec::with_capacity(2 * nedge);
+        let mut endpoint = std::mem::take(&mut scratch.endpoint);
+        endpoint.clear();
+        endpoint.reserve(2 * nedge);
         for &(i, j, _) in edges {
             endpoint.push(i);
             endpoint.push(j);
         }
-        let mut neighbend: Vec<Vec<i32>> = vec![Vec::new(); nvertex];
+        let mut neighbend = std::mem::take(&mut scratch.neighbend);
+        for v in &mut neighbend {
+            v.clear();
+        }
+        neighbend.resize_with(nvertex, Vec::new);
         for (k, &(i, j, _)) in edges.iter().enumerate() {
             neighbend[i as usize].push(2 * k as i32 + 1);
             neighbend[j as usize].push(2 * k as i32);
         }
-        let mut dualvar = vec![maxweight; nvertex];
-        dualvar.extend(std::iter::repeat_n(0, nvertex));
+        let mut dualvar = std::mem::take(&mut scratch.dualvar);
+        dualvar.clear();
+        dualvar.resize(nvertex, maxweight);
+        dualvar.resize(2 * nvertex, 0);
+        let mut mate = std::mem::take(&mut scratch.mate);
+        mate.clear();
+        mate.resize(nvertex, NONE);
+        let mut label = std::mem::take(&mut scratch.label);
+        label.clear();
+        label.resize(2 * nvertex, 0);
+        let mut labelend = std::mem::take(&mut scratch.labelend);
+        labelend.clear();
+        labelend.resize(2 * nvertex, NONE);
+        let mut inblossom = std::mem::take(&mut scratch.inblossom);
+        inblossom.clear();
+        inblossom.extend(0..nvertex as i32);
+        let mut blossomparent = std::mem::take(&mut scratch.blossomparent);
+        blossomparent.clear();
+        blossomparent.resize(2 * nvertex, NONE);
+        let mut blossomchilds = std::mem::take(&mut scratch.blossomchilds);
+        blossomchilds.clear();
+        blossomchilds.resize_with(2 * nvertex, || None);
+        let mut blossombase = std::mem::take(&mut scratch.blossombase);
+        blossombase.clear();
+        blossombase.extend(0..nvertex as i32);
+        blossombase.resize(2 * nvertex, NONE);
+        let mut blossomendps = std::mem::take(&mut scratch.blossomendps);
+        blossomendps.clear();
+        blossomendps.resize_with(2 * nvertex, || None);
+        let mut bestedge = std::mem::take(&mut scratch.bestedge);
+        bestedge.clear();
+        bestedge.resize(2 * nvertex, NONE);
+        let mut blossombestedges = std::mem::take(&mut scratch.blossombestedges);
+        blossombestedges.clear();
+        blossombestedges.resize_with(2 * nvertex, || None);
+        let mut unusedblossoms = std::mem::take(&mut scratch.unusedblossoms);
+        unusedblossoms.clear();
+        unusedblossoms.extend(nvertex as i32..2 * nvertex as i32);
+        let mut allowedge = std::mem::take(&mut scratch.allowedge);
+        allowedge.clear();
+        allowedge.resize(nedge, false);
+        let mut queue = std::mem::take(&mut scratch.queue);
+        queue.clear();
         Matcher {
             edges,
             nvertex,
             maxcardinality,
             endpoint,
             neighbend,
-            mate: vec![NONE; nvertex],
-            label: vec![0; 2 * nvertex],
-            labelend: vec![NONE; 2 * nvertex],
-            inblossom: (0..nvertex as i32).collect(),
-            blossomparent: vec![NONE; 2 * nvertex],
-            blossomchilds: vec![None; 2 * nvertex],
-            blossombase: (0..nvertex as i32).chain(std::iter::repeat_n(NONE, nvertex)).collect(),
-            blossomendps: vec![None; 2 * nvertex],
-            bestedge: vec![NONE; 2 * nvertex],
-            blossombestedges: vec![None; 2 * nvertex],
-            unusedblossoms: (nvertex as i32..2 * nvertex as i32).collect(),
+            mate,
+            label,
+            labelend,
+            inblossom,
+            blossomparent,
+            blossomchilds,
+            blossombase,
+            blossomendps,
+            bestedge,
+            blossombestedges,
+            unusedblossoms,
             dualvar,
-            allowedge: vec![false; nedge],
-            queue: Vec::new(),
+            allowedge,
+            queue,
         }
+    }
+
+    /// Return every working vector to `scratch` so the next
+    /// [`Matcher::new_in`] reuses the allocations.
+    fn finish(self, scratch: &mut BlossomScratch) {
+        scratch.endpoint = self.endpoint;
+        scratch.neighbend = self.neighbend;
+        scratch.mate = self.mate;
+        scratch.label = self.label;
+        scratch.labelend = self.labelend;
+        scratch.inblossom = self.inblossom;
+        scratch.blossomparent = self.blossomparent;
+        scratch.blossomchilds = self.blossomchilds;
+        scratch.blossombase = self.blossombase;
+        scratch.blossomendps = self.blossomendps;
+        scratch.bestedge = self.bestedge;
+        scratch.blossombestedges = self.blossombestedges;
+        scratch.unusedblossoms = self.unusedblossoms;
+        scratch.dualvar = self.dualvar;
+        scratch.allowedge = self.allowedge;
+        scratch.queue = self.queue;
     }
 
     #[inline]

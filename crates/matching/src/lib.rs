@@ -10,7 +10,9 @@
 //! * [`match_defects`] — the virtual-boundary reduction that pairs
 //!   surface-code defects with each other or the lattice boundary;
 //! * [`min_weight_perfect_matching_dp`] — an independent `O(2ⁿ·n)` oracle
-//!   used to validate the blossom solver in property tests.
+//!   used to validate the blossom solver in property tests;
+//! * [`MatchingArena`] / [`BlossomScratch`] — allocation-reusing variants of
+//!   the entry points above for decoding hot loops (bit-identical results).
 //!
 //! ```
 //! use radqec_matching::min_weight_perfect_matching;
@@ -29,7 +31,8 @@ mod dp;
 mod mwpm;
 
 pub use blossom::{
-    is_valid_matching, matching_size, matching_weight, max_weight_matching, WeightedEdge,
+    is_valid_matching, matching_size, matching_weight, max_weight_matching, max_weight_matching_in,
+    BlossomScratch, WeightedEdge,
 };
 pub use dp::min_weight_perfect_matching_dp;
-pub use mwpm::{match_defects, min_weight_perfect_matching, DefectMatch};
+pub use mwpm::{match_defects, min_weight_perfect_matching, DefectMatch, MatchingArena};

@@ -1,7 +1,7 @@
 //! Minimum-weight perfect matching (MWPM) on top of the blossom solver,
 //! including the virtual-boundary reduction used by surface-code decoders.
 
-use crate::blossom::{matching_size, max_weight_matching, WeightedEdge};
+use crate::blossom::{matching_size, max_weight_matching_in, BlossomScratch, WeightedEdge};
 
 /// Minimum-weight perfect matching via weight reflection.
 ///
@@ -14,20 +14,8 @@ pub fn min_weight_perfect_matching(
     num_vertices: usize,
     edges: &[WeightedEdge],
 ) -> Option<Vec<usize>> {
-    if num_vertices == 0 {
-        return Some(Vec::new());
-    }
-    if !num_vertices.is_multiple_of(2) {
-        return None;
-    }
-    let maxw = edges.iter().map(|e| e.2).max().unwrap_or(0);
-    let reflected: Vec<WeightedEdge> =
-        edges.iter().map(|&(i, j, w)| (i, j, maxw + 1 - w)).collect();
-    let mate = max_weight_matching(num_vertices, &reflected, true);
-    if matching_size(&mate) * 2 != num_vertices {
-        return None;
-    }
-    Some(mate.into_iter().map(|m| m.expect("perfect")).collect())
+    let mut arena = MatchingArena::default();
+    arena.min_weight_perfect_matching(num_vertices, edges).map(<[usize]>::to_vec)
 }
 
 /// Pair up `defects` against each other or a boundary, minimising total
@@ -40,39 +28,116 @@ pub fn min_weight_perfect_matching(
 /// zero-weight edges between virtual nodes, so the matching is always
 /// perfect. Returns, per defect index, [`DefectMatch::Peer`] or
 /// [`DefectMatch::Boundary`].
+///
+/// Hot loops that solve many defect sets should hold a [`MatchingArena`]
+/// and call [`MatchingArena::match_defects`] instead — identical results,
+/// no per-call allocations.
 pub fn match_defects(
     num_defects: usize,
-    mut pair_weight: impl FnMut(usize, usize) -> i64,
-    mut boundary_weight: impl FnMut(usize) -> i64,
+    pair_weight: impl FnMut(usize, usize) -> i64,
+    boundary_weight: impl FnMut(usize) -> i64,
 ) -> Vec<DefectMatch> {
-    if num_defects == 0 {
-        return Vec::new();
+    let mut arena = MatchingArena::default();
+    arena.match_defects(num_defects, pair_weight, boundary_weight).to_vec()
+}
+
+/// Reusable allocations for repeated matching solves.
+///
+/// Surface-code decoding runs one small matching per distinct syndrome; the
+/// edge list, the blossom matcher's ~18 working vectors and the result
+/// buffer dominate the cost of those small instances when freshly allocated
+/// each call. An arena keeps them all alive across calls. Every method is
+/// bit-identical to its free-function counterpart (same algorithm, same
+/// buffers — merely recycled).
+#[derive(Debug, Default)]
+pub struct MatchingArena {
+    edges: Vec<WeightedEdge>,
+    reflected: Vec<WeightedEdge>,
+    mate: Vec<usize>,
+    result: Vec<DefectMatch>,
+    blossom: BlossomScratch,
+}
+
+impl MatchingArena {
+    /// An empty arena; buffers grow to the working-set size on first use.
+    pub fn new() -> Self {
+        Self::default()
     }
-    let n = 2 * num_defects; // defects 0..d, virtual boundary d..2d
-    let mut edges: Vec<WeightedEdge> = Vec::with_capacity(num_defects * num_defects);
-    for a in 0..num_defects {
-        for b in a + 1..num_defects {
-            edges.push((a as u32, b as u32, pair_weight(a, b)));
+
+    /// Arena-reusing [`min_weight_perfect_matching`]. The returned slice
+    /// borrows the arena and is valid until the next call.
+    pub fn min_weight_perfect_matching(
+        &mut self,
+        num_vertices: usize,
+        edges: &[WeightedEdge],
+    ) -> Option<&[usize]> {
+        if self.mwpm_into_mate(num_vertices, edges) {
+            Some(&self.mate)
+        } else {
+            None
         }
-        edges.push((a as u32, (num_defects + a) as u32, boundary_weight(a)));
     }
-    for a in 0..num_defects {
-        for b in a + 1..num_defects {
-            edges.push(((num_defects + a) as u32, (num_defects + b) as u32, 0));
+
+    /// Fill `self.mate` with the minimum-weight perfect matching; `false`
+    /// when none exists.
+    fn mwpm_into_mate(&mut self, num_vertices: usize, edges: &[WeightedEdge]) -> bool {
+        self.mate.clear();
+        if num_vertices == 0 {
+            return true;
         }
+        if !num_vertices.is_multiple_of(2) {
+            return false;
+        }
+        let maxw = edges.iter().map(|e| e.2).max().unwrap_or(0);
+        self.reflected.clear();
+        self.reflected.extend(edges.iter().map(|&(i, j, w)| (i, j, maxw + 1 - w)));
+        let mate = max_weight_matching_in(&mut self.blossom, num_vertices, &self.reflected, true);
+        if matching_size(mate) * 2 != num_vertices {
+            return false;
+        }
+        self.mate.extend(mate.iter().map(|m| m.expect("perfect")));
+        true
     }
-    let mate = min_weight_perfect_matching(n, &edges)
-        .expect("defect graph with per-defect boundary is always perfectly matchable");
-    (0..num_defects)
-        .map(|a| {
-            let m = mate[a];
-            if m >= num_defects {
+
+    /// Arena-reusing [`match_defects`]. The returned slice borrows the
+    /// arena and is valid until the next call.
+    pub fn match_defects(
+        &mut self,
+        num_defects: usize,
+        mut pair_weight: impl FnMut(usize, usize) -> i64,
+        mut boundary_weight: impl FnMut(usize) -> i64,
+    ) -> &[DefectMatch] {
+        self.result.clear();
+        if num_defects == 0 {
+            return &self.result;
+        }
+        let n = 2 * num_defects; // defects 0..d, virtual boundary d..2d
+        let mut edges = std::mem::take(&mut self.edges);
+        edges.clear();
+        for a in 0..num_defects {
+            for b in a + 1..num_defects {
+                edges.push((a as u32, b as u32, pair_weight(a, b)));
+            }
+            edges.push((a as u32, (num_defects + a) as u32, boundary_weight(a)));
+        }
+        for a in 0..num_defects {
+            for b in a + 1..num_defects {
+                edges.push(((num_defects + a) as u32, (num_defects + b) as u32, 0));
+            }
+        }
+        let matched = self.mwpm_into_mate(n, &edges);
+        self.edges = edges;
+        assert!(matched, "defect graph with per-defect boundary is always perfectly matchable");
+        for a in 0..num_defects {
+            let m = self.mate[a];
+            self.result.push(if m >= num_defects {
                 DefectMatch::Boundary
             } else {
                 DefectMatch::Peer(m)
-            }
-        })
-        .collect()
+            });
+        }
+        &self.result
+    }
 }
 
 /// Outcome of [`match_defects`] for one defect.

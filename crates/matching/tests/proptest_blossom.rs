@@ -3,8 +3,9 @@
 
 use proptest::prelude::*;
 use radqec_matching::{
-    is_valid_matching, matching_size, matching_weight, max_weight_matching,
-    min_weight_perfect_matching, min_weight_perfect_matching_dp, WeightedEdge,
+    is_valid_matching, match_defects, matching_size, matching_weight, max_weight_matching,
+    max_weight_matching_in, min_weight_perfect_matching, min_weight_perfect_matching_dp,
+    BlossomScratch, MatchingArena, WeightedEdge,
 };
 
 /// Strategy: a random simple graph on `n ≤ 12` vertices with i64 weights in
@@ -83,6 +84,44 @@ proptest! {
         let (bs, bw) = brute_force_max_weight(n, &edges, true);
         prop_assert_eq!(matching_size(&mate), bs);
         prop_assert_eq!(matching_weight(&edges, &mate), bw);
+    }
+
+    /// A warm (previously used, differently sized) scratch arena must give
+    /// bit-identical results to the allocating entry points.
+    #[test]
+    fn arena_reuse_is_bit_identical(
+        (n1, edges1) in graph_strategy(),
+        (n2, edges2) in graph_strategy(),
+        maxcard in any::<bool>(),
+    ) {
+        let mut scratch = BlossomScratch::default();
+        // Warm the scratch on the first instance, then solve the second.
+        let _ = max_weight_matching_in(&mut scratch, n1, &edges1, maxcard);
+        let reused = max_weight_matching_in(&mut scratch, n2, &edges2, maxcard).to_vec();
+        prop_assert_eq!(reused, max_weight_matching(n2, &edges2, maxcard));
+
+        let mut arena = MatchingArena::new();
+        let shifted1: Vec<WeightedEdge> = edges1.iter().map(|&(a, b, w)| (a, b, w + 25)).collect();
+        let shifted2: Vec<WeightedEdge> = edges2.iter().map(|&(a, b, w)| (a, b, w + 25)).collect();
+        let _ = arena.min_weight_perfect_matching(n1, &shifted1);
+        let reused = arena.min_weight_perfect_matching(n2, &shifted2).map(<[usize]>::to_vec);
+        prop_assert_eq!(reused, min_weight_perfect_matching(n2, &shifted2));
+    }
+
+    /// Arena `match_defects` equals the free function after arbitrary reuse.
+    #[test]
+    fn arena_match_defects_is_bit_identical(
+        d1 in 0usize..7,
+        d2 in 0usize..7,
+        weights in proptest::collection::vec(1i64..40, 64),
+        boundary in proptest::collection::vec(1i64..40, 8),
+    ) {
+        let pair = |a: usize, b: usize| weights[(a * 7 + b) % 64];
+        let bdry = |a: usize| boundary[a % 8];
+        let mut arena = MatchingArena::new();
+        let _ = arena.match_defects(d1, pair, bdry); // warm on a different size
+        let reused = arena.match_defects(d2, pair, bdry).to_vec();
+        prop_assert_eq!(reused, match_defects(d2, pair, bdry));
     }
 
     #[test]

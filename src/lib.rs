@@ -39,7 +39,7 @@ pub use radqec_transpiler as transpiler;
 pub mod prelude {
     pub use radqec_circuit::{Backend, Circuit, Gate, ShotRecord};
     pub use radqec_core::codes::{CodeSpec, QecCode, RepetitionCode, XxzzCode};
-    pub use radqec_core::decoder::{Decoder, MwpmDecoder, UnionFindDecoder};
+    pub use radqec_core::decoder::{BulkDecoder, Decoder, MwpmDecoder, UnionFindDecoder};
     pub use radqec_core::injection::{InjectionEngine, InjectionOutcome, SamplerKind};
     pub use radqec_noise::{FaultSpec, NoiseSpec, RadiationModel};
     pub use radqec_stabilizer::StabilizerBackend;
