@@ -1,0 +1,191 @@
+//! Online radiation-event detection: the strike-position × detector ×
+//! code-distance sweep plus stream-generation / detection throughput,
+//! emitting a `BENCH_detect.json` trajectory entry and (with
+//! `--csv <path>`) the per-row ROC/latency CSV.
+//!
+//! The `xxzz55` workload at `--shots 10000` (the default) is the ISSUE 3
+//! acceptance run: on the native 9×9 mesh with paper-default noise, the
+//! CUSUM detector must separate strike from intrinsic-only streams with
+//! ROC AUC ≥ 0.9 at the central impact point, alarm within 3 rounds
+//! (median), and the spatial clusterer must localize the strike within 2
+//! hops (median) — the bin prints a PASS/FAIL gate line per criterion.
+//!
+//! ```text
+//! cargo run --release -p radqec-bench --bin detect_throughput \
+//!     [--shots N] [--rounds N] [--seed N] [--csv PATH]
+//! ```
+
+use radqec_bench::{arg_flag, header, CsvSink};
+use radqec_core::codes::{CodeSpec, RepetitionCode, XxzzCode};
+use radqec_core::experiments::{run_detection, DetectionConfig, DetectionResult};
+use radqec_core::streaming::{StreamEngine, StreamFault};
+use radqec_detect::{CusumDetector, EventStream, OnlineDetector, ThresholdDetector};
+use radqec_noise::{NoiseSpec, RadiationModel};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+struct Workload {
+    name: &'static str,
+    spec: CodeSpec,
+    /// Whether this workload carries the acceptance gate.
+    acceptance: bool,
+}
+
+fn workloads() -> Vec<Workload> {
+    vec![
+        Workload { name: "rep5", spec: RepetitionCode::bit_flip(5).into(), acceptance: false },
+        Workload { name: "xxzz33", spec: XxzzCode::new(3, 3).into(), acceptance: false },
+        Workload { name: "xxzz55", spec: XxzzCode::new(5, 5).into(), acceptance: true },
+    ]
+}
+
+/// Shots/s of raw multi-round stream generation (frame sampler, strike at
+/// `root`).
+fn stream_throughput(engine: &StreamEngine, root: u32) -> f64 {
+    let fault = StreamFault::Strike { model: RadiationModel::default(), root };
+    let noise = NoiseSpec::paper_default();
+    let _ = engine.stream_batches(&fault, &noise); // warm-up (reference trace)
+    let start = Instant::now();
+    let batches = engine.stream_batches(&fault, &noise);
+    let secs = start.elapsed().as_secs_f64();
+    std::hint::black_box(&batches);
+    engine.shots() as f64 / secs
+}
+
+/// Shots/s of event extraction + both count detectors over a generated
+/// stream (the online-monitor inner loop).
+fn detect_throughput(engine: &StreamEngine, root: u32) -> f64 {
+    let fault = StreamFault::Strike { model: RadiationModel::default(), root };
+    let batches = engine.stream_batches(&fault, &NoiseSpec::paper_default());
+    let spec = engine.stream_spec();
+    let cusum = CusumDetector::calibrated(1.0);
+    let threshold = ThresholdDetector { threshold: 4.0 };
+    let start = Instant::now();
+    let mut counts = Vec::new();
+    let mut residuals: Vec<f64> = Vec::new();
+    let mut alarms = 0usize;
+    for batch in &batches {
+        let events = EventStream::extract(batch, spec);
+        for s in 0..events.shots() {
+            events.round_counts(s, &mut counts);
+            residuals.clear();
+            residuals.extend(counts.iter().map(|&c| f64::from(c)));
+            alarms += usize::from(cusum.detect(&residuals).alarm_round.is_some());
+            alarms += usize::from(threshold.detect(&residuals).alarm_round.is_some());
+        }
+    }
+    let secs = start.elapsed().as_secs_f64();
+    std::hint::black_box(alarms);
+    engine.shots() as f64 / secs
+}
+
+/// The sweep's distinct roots in row order; the central one is the
+/// canonical "impact point" of the acceptance gate.
+fn central_root(res: &DetectionResult) -> u32 {
+    let mut roots: Vec<u32> = Vec::new();
+    for row in &res.rows {
+        if !roots.contains(&row.root) {
+            roots.push(row.root);
+        }
+    }
+    roots[roots.len() / 2]
+}
+
+fn main() {
+    let shots: usize = arg_flag("shots", 10_000);
+    let rounds: usize = arg_flag("rounds", 10);
+    let seed: u64 = arg_flag("seed", 0xDE7EC7);
+    let mut sink = CsvSink::from_args();
+    let mut json = String::from("[\n");
+    let mut first = true;
+    let mut gates_ok = true;
+    for w in workloads() {
+        let mut cfg = DetectionConfig::new(w.spec);
+        cfg.shots = shots;
+        cfg.rounds = rounds;
+        cfg.seed = seed;
+        let res = run_detection(&cfg);
+        let root = central_root(&res);
+
+        let engine = StreamEngine::builder(w.spec, rounds).shots(shots).seed(seed).native().build();
+        let stream_sps = stream_throughput(&engine, root);
+        let detect_sps = detect_throughput(&engine, root);
+
+        header(&format!(
+            "{} — {} on {}, {} rounds, {} shots/campaign",
+            w.name,
+            res.code_name,
+            engine.topology().name(),
+            rounds,
+            shots
+        ));
+        println!(
+            "stream generation: {stream_sps:>10.0} shots/s   extraction+detection: \
+             {detect_sps:>10.0} shots/s"
+        );
+        println!(
+            "{:>6} {:>10} {:>7} {:>7} {:>7} {:>5} {:>5}",
+            "root", "detector", "auc", "det", "fa", "lat", "loc"
+        );
+        for r in &res.rows {
+            println!(
+                "{:>6} {:>10} {:>7.3} {:>7.3} {:>7.4} {:>5} {:>5}",
+                r.root,
+                r.detector,
+                r.auc,
+                r.detection_rate,
+                r.false_alarm_rate,
+                r.median_latency_rounds.map_or("-".into(), |v| v.to_string()),
+                r.median_loc_error_hops.map_or("-".into(), |v| v.to_string()),
+            );
+        }
+        sink.emit(w.name, &res.to_csv());
+
+        let cusum = res.row(root, "cusum").expect("cusum row");
+        let cluster = res.row(root, "cluster").expect("cluster row");
+        if w.acceptance {
+            let auc_ok = cusum.auc >= 0.9;
+            let lat_ok = cusum.median_latency_rounds.is_some_and(|l| l <= 3);
+            let loc_ok = cluster.median_loc_error_hops.is_some_and(|h| h <= 2);
+            gates_ok &= auc_ok && lat_ok && loc_ok;
+            println!(
+                "acceptance @ root {root}: cusum auc {:.3} (≥0.9 {}), median latency {:?} \
+                 (≤3 {}), cluster loc {:?} hops (≤2 {})",
+                cusum.auc,
+                if auc_ok { "PASS" } else { "FAIL" },
+                cusum.median_latency_rounds,
+                if lat_ok { "PASS" } else { "FAIL" },
+                cluster.median_loc_error_hops,
+                if loc_ok { "PASS" } else { "FAIL" },
+            );
+        }
+
+        if !first {
+            json.push_str(",\n");
+        }
+        first = false;
+        let _ = write!(
+            json,
+            "  {{\"workload\":\"{}\",\"code\":\"{}\",\"topology\":\"{}\",\
+             \"shots\":{shots},\"rounds\":{rounds},\"seed\":{seed},\
+             \"central_root\":{root},\
+             \"stream_shots_per_sec\":{stream_sps:.1},\
+             \"detect_shots_per_sec\":{detect_sps:.1},\
+             \"cusum_auc\":{:.4},\"cusum_detection_rate\":{:.4},\
+             \"cusum_false_alarm_rate\":{:.4},\"cusum_median_latency_rounds\":{},\
+             \"cluster_auc\":{:.4},\"cluster_median_loc_error_hops\":{}}}",
+            w.name,
+            res.code_name,
+            engine.topology().name(),
+            cusum.auc,
+            cusum.detection_rate,
+            cusum.false_alarm_rate,
+            cusum.median_latency_rounds.map_or("null".into(), |v| v.to_string()),
+            cluster.auc,
+            cluster.median_loc_error_hops.map_or("null".into(), |v| v.to_string()),
+        );
+    }
+    json.push_str("\n]\n");
+    std::fs::write("BENCH_detect.json", &json).expect("write BENCH_detect.json");
+    println!("\nwrote BENCH_detect.json{}", if gates_ok { "" } else { " (GATE FAILURES)" });
+}

@@ -8,11 +8,11 @@
 //! minutes on a laptop core; skip with `--deep-shots 0`).
 //! `--shots N` (default 400), `--seed N`, `--deep-shots N` (default 10⁵).
 
-use radqec_bench::{arg_flag, header, pct};
+use radqec_bench::{arg_flag, header, pct, CsvSink};
 use radqec_core::codes::{CodeSpec, RepetitionCode, XxzzCode};
 use radqec_core::experiments::{run_fig5, Fig5Config};
 
-fn print_panel(cfg: &Fig5Config, shots: usize) {
+fn print_panel(cfg: &Fig5Config, shots: usize, sink: &mut CsvSink) {
     let res = run_fig5(cfg);
     header(&format!(
         "Fig. 5 — {} on {} (root qubit 2, {} shots/point)",
@@ -31,26 +31,27 @@ fn print_panel(cfg: &Fig5Config, shots: usize) {
         println!();
     }
     println!("mean logical error at impact: {}", pct(res.mean_error_at_impact()));
-    println!("\ncsv:\n{}", res.to_csv());
+    sink.emit(&res.code_name, &res.to_csv());
 }
 
-fn run_panel(code: CodeSpec, shots: usize, seed: u64) {
+fn run_panel(code: CodeSpec, shots: usize, seed: u64, sink: &mut CsvSink) {
     let mut cfg = Fig5Config::new(code);
     cfg.shots = shots;
     cfg.seed = seed;
-    print_panel(&cfg, shots);
+    print_panel(&cfg, shots, sink);
 }
 
 fn main() {
     let shots: usize = arg_flag("shots", 400);
     let seed: u64 = arg_flag("seed", 0x515);
     let deep_shots: usize = arg_flag("deep-shots", 100_000);
-    run_panel(RepetitionCode::bit_flip(5).into(), shots, seed);
-    run_panel(XxzzCode::new(3, 3).into(), shots, seed);
+    let mut sink = CsvSink::from_args();
+    run_panel(RepetitionCode::bit_flip(5).into(), shots, seed, &mut sink);
+    run_panel(XxzzCode::new(3, 3).into(), shots, seed, &mut sink);
     if deep_shots > 0 {
         let mut cfg = Fig5Config::deep();
         cfg.shots = deep_shots;
         cfg.seed = seed;
-        print_panel(&cfg, deep_shots);
+        print_panel(&cfg, deep_shots, &mut sink);
     }
 }

@@ -8,10 +8,10 @@
 //! injection site (minutes on a laptop core; skip with `--deep-shots 0`).
 //! `--shots N` (default 300), `--seed N`, `--deep-shots N` (default 10⁵).
 
-use radqec_bench::{arg_flag, bar, header, pct};
+use radqec_bench::{arg_flag, bar, header, pct, CsvSink};
 use radqec_core::experiments::{run_fig6, Fig6Config, Fig6Result};
 
-fn print_panel(title: &str, res: &Fig6Result) {
+fn print_panel(title: &str, res: &Fig6Result, sink: &mut CsvSink) {
     header(title);
     println!("{:>12} {:>6} {:>8}  plot", "distance", "size", "median");
     for row in &res.rows {
@@ -23,22 +23,23 @@ fn print_panel(title: &str, res: &Fig6Result) {
             bar(row.median_logic_error, 0.5, 40)
         );
     }
-    println!("\ncsv:\n{}", res.to_csv());
+    sink.emit(title, &res.to_csv());
 }
 
 fn main() {
     let shots: usize = arg_flag("shots", 300);
     let seed: u64 = arg_flag("seed", 0x616);
+    let mut sink = CsvSink::from_args();
 
     let mut cfg = Fig6Config::repetition_panel();
     cfg.shots = shots;
     cfg.seed = seed;
-    print_panel("Fig. 6a — bit-flip repetition code", &run_fig6(&cfg));
+    print_panel("Fig. 6a — bit-flip repetition code", &run_fig6(&cfg), &mut sink);
 
     let mut cfg = Fig6Config::xxzz_panel();
     cfg.shots = shots;
     cfg.seed = seed;
-    print_panel("Fig. 6b — XXZZ code", &run_fig6(&cfg));
+    print_panel("Fig. 6b — XXZZ code", &run_fig6(&cfg), &mut sink);
 
     let deep_shots: usize = arg_flag("deep-shots", 100_000);
     if deep_shots > 0 {
@@ -48,6 +49,7 @@ fn main() {
         print_panel(
             &format!("Fig. 6 deep — distance-5 codes, {deep_shots} frame-sampler shots/site"),
             &run_fig6(&cfg),
+            &mut sink,
         );
     }
 }

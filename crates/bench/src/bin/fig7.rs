@@ -9,11 +9,11 @@
 //! `--shots N` (default 250), `--seed N`, `--subgraphs N` (default 12),
 //! `--deep-shots N` (default 10⁵).
 
-use radqec_bench::{arg_flag, bar, header, pct};
+use radqec_bench::{arg_flag, bar, header, pct, CsvSink};
 use radqec_core::codes::{CodeSpec, RepetitionCode, XxzzCode};
 use radqec_core::experiments::{run_fig7, Fig7Config};
 
-fn print_panel(cfg: &Fig7Config) {
+fn print_panel(cfg: &Fig7Config, sink: &mut CsvSink) {
     let res = run_fig7(cfg);
     header(&format!(
         "Fig. 7 — {} ({} shots, {} subgraphs/size)",
@@ -38,15 +38,15 @@ fn print_panel(cfg: &Fig7Config) {
         Some(k) => println!("crossover: erasures exceed the radiation fault at k = {k}"),
         None => println!("crossover: not reached"),
     }
-    println!("\ncsv:\n{}", res.to_csv());
+    sink.emit(&res.code_name, &res.to_csv());
 }
 
-fn run_panel(code: CodeSpec, shots: usize, seed: u64, subgraphs: usize) {
+fn run_panel(code: CodeSpec, shots: usize, seed: u64, subgraphs: usize, sink: &mut CsvSink) {
     let mut cfg = Fig7Config::new(code);
     cfg.shots = shots;
     cfg.seed = seed;
     cfg.subgraphs_per_size = subgraphs;
-    print_panel(&cfg);
+    print_panel(&cfg, sink);
 }
 
 fn main() {
@@ -54,12 +54,13 @@ fn main() {
     let seed: u64 = arg_flag("seed", 0x717);
     let subgraphs: usize = arg_flag("subgraphs", 12);
     let deep_shots: usize = arg_flag("deep-shots", 100_000);
-    run_panel(RepetitionCode::bit_flip(15).into(), shots, seed, subgraphs);
-    run_panel(XxzzCode::new(3, 3).into(), shots, seed, subgraphs);
+    let mut sink = CsvSink::from_args();
+    run_panel(RepetitionCode::bit_flip(15).into(), shots, seed, subgraphs, &mut sink);
+    run_panel(XxzzCode::new(3, 3).into(), shots, seed, subgraphs, &mut sink);
     if deep_shots > 0 {
         let mut cfg = Fig7Config::deep();
         cfg.shots = deep_shots;
         cfg.seed = seed;
-        print_panel(&cfg);
+        print_panel(&cfg, &mut sink);
     }
 }

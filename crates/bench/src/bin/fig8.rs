@@ -11,11 +11,11 @@
 //! skip with `--deep-shots 0` or shrink it.
 //! `--shots N` (default 150), `--seed N`, `--deep-shots N` (default 10⁵).
 
-use radqec_bench::{arg_flag, header, pct};
+use radqec_bench::{arg_flag, header, pct, CsvSink};
 use radqec_core::codes::{CodeSpec, RepetitionCode, XxzzCode};
 use radqec_core::experiments::{run_fig8, Fig8Config};
 
-fn run_panel(cfg: &Fig8Config, title: &str) {
+fn run_panel(cfg: &Fig8Config, title: &str, sink: &mut CsvSink) {
     let res = run_fig8(cfg);
     header(title);
     println!(
@@ -37,28 +37,33 @@ fn run_panel(cfg: &Fig8Config, title: &str) {
             pct(max)
         );
     }
-    println!("\ncsv:\n{}", res.to_csv());
+    sink.emit(title, &res.to_csv());
 }
 
 fn main() {
     let shots: usize = arg_flag("shots", 150);
     let seed: u64 = arg_flag("seed", 0x818);
+    let mut sink = CsvSink::from_args();
 
     let mut cfg = Fig8Config::repetition_panel(CodeSpec::from(RepetitionCode::bit_flip(11)));
     cfg.shots = shots;
     cfg.seed = seed;
-    run_panel(&cfg, "Fig. 8a — repetition-(11,1) across architectures");
+    run_panel(&cfg, "Fig. 8a — repetition-(11,1) across architectures", &mut sink);
 
     let mut cfg = Fig8Config::xxzz_panel(CodeSpec::from(XxzzCode::new(3, 3)));
     cfg.shots = shots;
     cfg.seed = seed;
-    run_panel(&cfg, "Fig. 8b — XXZZ-(3,3) across architectures");
+    run_panel(&cfg, "Fig. 8b — XXZZ-(3,3) across architectures", &mut sink);
 
     let deep_shots: usize = arg_flag("deep-shots", 100_000);
     if deep_shots > 0 {
         let mut cfg = Fig8Config::deep_panel();
         cfg.shots = deep_shots;
         cfg.seed = seed;
-        run_panel(&cfg, "Fig. 8 deep — XXZZ-(5,5) per-qubit criticality (frame sampler)");
+        run_panel(
+            &cfg,
+            "Fig. 8 deep — XXZZ-(5,5) per-qubit criticality (frame sampler)",
+            &mut sink,
+        );
     }
 }

@@ -39,6 +39,50 @@ pub fn arg_flag<T: std::str::FromStr>(name: &str, default: T) -> T {
     default
 }
 
+/// Where figure/detection binaries send their CSV series: stdout by
+/// default (the historical behaviour), or a file when the invocation
+/// carries `--csv <path>` — sections are written in emission order, each
+/// preceded by a `# <name>` comment line, so one file collects a whole
+/// binary's series.
+pub struct CsvSink {
+    path: Option<String>,
+    sections: usize,
+}
+
+impl CsvSink {
+    /// Build from the process arguments (`--csv <path>` / `--csv=<path>`).
+    pub fn from_args() -> Self {
+        let path = arg_flag("csv", String::new());
+        CsvSink { path: (!path.is_empty()).then_some(path), sections: 0 }
+    }
+
+    /// A sink that always prints to stdout (tests, embedding).
+    pub fn stdout() -> Self {
+        CsvSink { path: None, sections: 0 }
+    }
+
+    /// Emit one named CSV section. The first emission truncates the target
+    /// file; later ones append.
+    pub fn emit(&mut self, name: &str, csv: &str) {
+        match &self.path {
+            None => println!("\ncsv [{name}]:\n{csv}"),
+            Some(path) => {
+                use std::io::Write as _;
+                let mut opts = std::fs::OpenOptions::new();
+                if self.sections == 0 {
+                    opts.write(true).create(true).truncate(true);
+                } else {
+                    opts.append(true);
+                }
+                let mut file = opts.open(path).unwrap_or_else(|e| panic!("open {path}: {e}"));
+                write!(file, "# {name}\n{csv}").unwrap_or_else(|e| panic!("write {path}: {e}"));
+                println!("csv [{name}] -> {path}");
+            }
+        }
+        self.sections += 1;
+    }
+}
+
 /// Render a probability as a percentage with one decimal, e.g. `12.3%`.
 pub fn pct(x: f64) -> String {
     format!("{:.1}%", 100.0 * x)
@@ -80,5 +124,28 @@ mod tests {
     #[test]
     fn arg_flag_default_used_without_flag() {
         assert_eq!(arg_flag("definitely-not-passed", 42usize), 42);
+    }
+
+    #[test]
+    fn csv_sink_file_mode_truncates_then_appends() {
+        let path = std::env::temp_dir().join("radqec_csv_sink_test.csv");
+        let path_str = path.to_str().unwrap().to_string();
+        let mut sink = CsvSink { path: Some(path_str.clone()), sections: 0 };
+        sink.emit("stale", "old,data\n");
+        // A fresh sink must truncate what an earlier run left behind.
+        let mut sink = CsvSink { path: Some(path_str), sections: 0 };
+        sink.emit("a", "x,y\n1,2\n");
+        sink.emit("b", "u,v\n3,4\n");
+        let written = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(written, "# a\nx,y\n1,2\n# b\nu,v\n3,4\n");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn csv_sink_without_flag_prints() {
+        let mut sink = CsvSink::from_args();
+        assert!(sink.path.is_none(), "tests run without --csv");
+        sink.emit("noop", "h\n"); // must not touch the filesystem
+        assert_eq!(sink.sections, 1);
     }
 }

@@ -134,6 +134,19 @@ impl ShotBatch {
         r
     }
 
+    /// Write the word-wise XOR of rows `a` and `b` into `out` — the
+    /// detection-event bit-plane of two consecutive syndrome rounds, one
+    /// word operation per 64 shots (`radqec-detect` builds its event
+    /// streams from this).
+    pub fn xor_of_rows(&self, a: Clbit, b: Clbit, out: &mut [u64]) {
+        assert_eq!(out.len(), self.words, "output plane has wrong width");
+        let ra = self.row_range(a);
+        let rb = self.row_range(b);
+        for (i, dst) in out.iter_mut().enumerate() {
+            *dst = self.bits[ra.start + i] ^ self.bits[rb.start + i];
+        }
+    }
+
     /// All classical bits of one shot packed into little-endian `u64` words
     /// (clbit `c` at bit `c % 64` of word `c / 64`), reusing `out`'s
     /// allocation — the any-width counterpart of [`ShotBatch::packed_shot`]
@@ -224,6 +237,23 @@ mod tests {
         let mut reuse = ShotRecord::new(3);
         b.fill_record(4, &mut reuse);
         assert_eq!(reuse, b.record(4));
+    }
+
+    #[test]
+    fn xor_of_rows_matches_per_shot_xor() {
+        let mut b = ShotBatch::new(2, 70);
+        for s in [0usize, 3, 63, 64, 69] {
+            b.flip(0, s);
+        }
+        for s in [3usize, 5, 64] {
+            b.flip(1, s);
+        }
+        let mut plane = vec![0u64; b.words()];
+        b.xor_of_rows(0, 1, &mut plane);
+        for s in 0..70 {
+            let want = b.get(0, s) ^ b.get(1, s);
+            assert_eq!(plane[s / 64] >> (s % 64) & 1 == 1, want, "shot {s}");
+        }
     }
 
     #[test]

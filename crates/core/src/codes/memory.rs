@@ -1,0 +1,261 @@
+//! Multi-round memory experiments — the syndrome-streaming workload.
+//!
+//! Where [`assemble`](super::assemble) builds the paper's two-round
+//! logical-operation experiment (Figs. 1–2), [`assemble_memory`] builds the
+//! *streaming* counterpart: initialise the data block, then run `R`
+//! identical stabilisation rounds, each measuring every stabilizer into its
+//! own classical slot and resetting the ancillas. No logical operation, no
+//! readout chain — the product is the per-round syndrome stream that online
+//! radiation-event detection (`radqec-detect`) consumes.
+//!
+//! Each round starts with a `Barrier`, and barriers survive transpilation
+//! in order, so the `r`-th barrier of the routed physical circuit marks
+//! where round `r` begins — that is how the streaming engine aligns its
+//! piecewise-constant fault timeline (round `r` ↦ transient time
+//! `t = r / (R−1)`) with the physical op stream.
+
+use super::{CodeLayout, StabKind};
+use radqec_circuit::Circuit;
+
+/// One stabilizer generator of a memory experiment. Unlike
+/// [`Stabilizer`](super::Stabilizer) there are no fixed round-1/round-2
+/// classical bits: round `r`'s outcome lives at
+/// [`MemoryCircuit::cbit`]`(r, i)`.
+#[derive(Debug, Clone)]
+pub struct MemoryStabilizer {
+    /// Z or X type.
+    pub kind: StabKind,
+    /// The dedicated syndrome ancilla qubit.
+    pub ancilla: u32,
+    /// Data qubits in the stabilizer's support.
+    pub support: Vec<u32>,
+}
+
+/// A fully assembled `R`-round memory experiment: the circuit plus the
+/// structure syndrome-stream consumers need.
+#[derive(Debug, Clone)]
+pub struct MemoryCircuit {
+    /// Human-readable name, e.g. `rep-(5,1)-mem10`.
+    pub name: String,
+    /// The logical (pre-transpilation) circuit.
+    pub circuit: Circuit,
+    /// Number of stabilisation rounds `R` (≥ 2).
+    pub rounds: usize,
+    /// Data qubit count (data qubits are `0..n_data` by construction).
+    pub n_data: u32,
+    /// All stabilizer generators, in classical-register order.
+    pub stabilizers: Vec<MemoryStabilizer>,
+    /// Whether stabilizer `i`'s *first*-round outcome is deterministic on
+    /// the initial product state (Z-type on `|0⟩^n`, X-type on `|+⟩^n`).
+    /// Round-0 detection events are only defined for these; the others
+    /// start their event stream at round 1 (consecutive-round XOR).
+    pub first_round_deterministic: Vec<bool>,
+}
+
+impl MemoryCircuit {
+    /// Number of stabilizer generators.
+    pub fn num_stabs(&self) -> usize {
+        self.stabilizers.len()
+    }
+
+    /// Total qubits (data + stabilizer ancillas; memory experiments have no
+    /// readout ancilla).
+    pub fn total_qubits(&self) -> u32 {
+        self.circuit.num_qubits()
+    }
+
+    /// Classical bit receiving stabilizer `stab`'s round-`round` outcome.
+    #[inline]
+    pub fn cbit(&self, round: usize, stab: usize) -> u32 {
+        debug_assert!(round < self.rounds && stab < self.num_stabs());
+        (round * self.num_stabs() + stab) as u32
+    }
+
+    /// Op indices where each round starts in `circuit` (the per-round
+    /// barriers). Applying the same scan to a *transpiled* version of the
+    /// circuit yields the physical round boundaries, since barriers pass
+    /// through layout/routing untouched and in order.
+    pub fn round_starts_of(circuit: &Circuit, rounds: usize) -> Vec<usize> {
+        let starts: Vec<usize> = circuit
+            .ops()
+            .iter()
+            .enumerate()
+            .filter(|(_, g)| matches!(g, radqec_circuit::Gate::Barrier))
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(starts.len(), rounds, "memory circuit must carry one barrier per round");
+        starts
+    }
+}
+
+/// Assemble an `R`-round memory experiment from a code layout: initial
+/// product state, then `R` × (barrier, stabilizer measurement, ancilla
+/// reset). Shares the per-round gate pattern of [`assemble`](super::assemble)
+/// so streamed syndromes are directly comparable to the two-round
+/// experiment's.
+///
+/// # Panics
+/// Panics when `rounds < 2` (a stream needs at least one consecutive-round
+/// detection event).
+pub(crate) fn assemble_memory(layout: CodeLayout, rounds: usize) -> MemoryCircuit {
+    assert!(rounds >= 2, "memory experiment needs at least 2 rounds, got {rounds}");
+    let n_data = layout.n_data;
+    let n_stab = layout.stabs.len() as u32;
+    let total_qubits = n_data + n_stab;
+    let mut circuit = Circuit::new(total_qubits, n_stab * rounds as u32);
+
+    // Excite the data block so the strike's Z-basis resets are *visible*:
+    // on `|0…0⟩` a reset-to-|0⟩ is a no-op and no Z-check can ever fire.
+    // `X^⊗n` stores the all-ones bit string — every Z-type check has even
+    // weight (2 or 4 across both code families), so round-0 Z syndromes
+    // stay deterministically 0 while any reset flips its qubit to 0 and
+    // lights up the adjacent checks. Phase-flip codes use `|+⟩^n`, whose
+    // X-checks are deterministic and equally reset-sensitive. This mirrors
+    // the paper's two-round experiments, which likewise hold an excited
+    // (logical |1⟩) state.
+    for d in 0..n_data {
+        if layout.init_plus {
+            circuit.h(d);
+        } else {
+            circuit.x(d);
+        }
+    }
+
+    let stabilizers: Vec<MemoryStabilizer> = layout
+        .stabs
+        .iter()
+        .enumerate()
+        .map(|(i, (kind, support))| MemoryStabilizer {
+            kind: *kind,
+            ancilla: n_data + i as u32,
+            support: support.clone(),
+        })
+        .collect();
+
+    for r in 0..rounds {
+        circuit.barrier();
+        for s in &stabilizers {
+            match s.kind {
+                StabKind::Z => {
+                    for &d in &s.support {
+                        circuit.cx(d, s.ancilla);
+                    }
+                }
+                StabKind::X => {
+                    circuit.h(s.ancilla);
+                    for &d in &s.support {
+                        circuit.cx(s.ancilla, d);
+                    }
+                    circuit.h(s.ancilla);
+                }
+            }
+        }
+        for (i, s) in stabilizers.iter().enumerate() {
+            circuit.measure(s.ancilla, (r * layout.stabs.len() + i) as u32);
+        }
+        for s in &stabilizers {
+            circuit.reset(s.ancilla);
+        }
+    }
+
+    let first_round_deterministic: Vec<bool> = stabilizers
+        .iter()
+        .map(|s| match s.kind {
+            StabKind::Z => !layout.init_plus,
+            StabKind::X => layout.init_plus,
+        })
+        .collect();
+
+    MemoryCircuit {
+        name: format!("{}-mem{rounds}", layout.name),
+        circuit,
+        rounds,
+        n_data,
+        stabilizers,
+        first_round_deterministic,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{CodeSpec, QecCode, RepetitionCode, XxzzCode};
+    use super::*;
+    use radqec_circuit::execute;
+    use radqec_stabilizer::StabilizerBackend;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn repetition_memory_structure() {
+        let mem = RepetitionCode::bit_flip(5).build_memory(4);
+        assert_eq!(mem.name, "rep-(5,1)-mem4");
+        assert_eq!(mem.rounds, 4);
+        assert_eq!(mem.num_stabs(), 4);
+        assert_eq!(mem.total_qubits(), 9, "5 data + 4 ancillas, no readout");
+        assert_eq!(mem.circuit.num_clbits(), 16);
+        assert_eq!(mem.cbit(0, 0), 0);
+        assert_eq!(mem.cbit(2, 3), 11);
+        assert!(mem.first_round_deterministic.iter().all(|&d| d), "Z checks on |0⟩ⁿ");
+        let starts = MemoryCircuit::round_starts_of(&mem.circuit, 4);
+        assert_eq!(starts.len(), 4);
+        assert_eq!(starts[0], 5, "five X gates excite the data block before round 0");
+    }
+
+    #[test]
+    fn xxzz_memory_first_round_determinism_by_kind() {
+        let mem = XxzzCode::new(3, 3).build_memory(3);
+        assert_eq!(mem.num_stabs(), 8);
+        for (i, s) in mem.stabilizers.iter().enumerate() {
+            assert_eq!(
+                mem.first_round_deterministic[i],
+                s.kind == StabKind::Z,
+                "stab {i} {:?}",
+                s.kind
+            );
+        }
+    }
+
+    #[test]
+    fn phase_flip_memory_is_x_deterministic() {
+        let mem = RepetitionCode::phase_flip(3).build_memory(2);
+        assert!(mem.first_round_deterministic.iter().all(|&d| d), "X checks on |+⟩ⁿ");
+        // Init layer precedes the first round's barrier.
+        let starts = MemoryCircuit::round_starts_of(&mem.circuit, 2);
+        assert_eq!(starts[0], 3, "three H gates before round 0");
+    }
+
+    #[test]
+    fn noiseless_streams_are_quiet_after_round_zero() {
+        // Without noise, every stabilizer's syndrome is constant from round
+        // 1 on (round 0 projects the state into the joint eigenbasis), and
+        // deterministic-first-round stabs read 0 everywhere.
+        for spec in
+            [CodeSpec::from(RepetitionCode::bit_flip(5)), CodeSpec::from(XxzzCode::new(3, 3))]
+        {
+            let mem = spec.build_memory(5);
+            let mut backend = StabilizerBackend::new(mem.total_qubits());
+            let mut rng = StdRng::seed_from_u64(7);
+            let record = execute(&mem.circuit, &mut backend, &mut rng);
+            for i in 0..mem.num_stabs() {
+                let first = record.get(mem.cbit(0, i));
+                if mem.first_round_deterministic[i] {
+                    assert!(!first, "{}: stab {i} fired in round 0", mem.name);
+                }
+                for r in 1..mem.rounds {
+                    assert_eq!(
+                        record.get(mem.cbit(r, i)),
+                        first,
+                        "{}: stab {i} changed at round {r}",
+                        mem.name
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 rounds")]
+    fn single_round_memory_rejected() {
+        let _ = RepetitionCode::bit_flip(3).build_memory(1);
+    }
+}

@@ -6,9 +6,12 @@
 //! second round (→ `c1`), and a single-ancilla parity readout of the logical
 //! operator. The expected decoded output is logical |1⟩.
 
+mod memory;
 mod repetition;
 mod xxzz;
 
+pub(crate) use memory::assemble_memory;
+pub use memory::{MemoryCircuit, MemoryStabilizer};
 pub use repetition::RepetitionCode;
 pub use xxzz::XxzzCode;
 
@@ -214,6 +217,9 @@ impl CodeCircuit {
 pub trait QecCode {
     /// Build the full experiment circuit and its decoding structure.
     fn build(&self) -> CodeCircuit;
+    /// Build the `rounds`-round memory experiment (syndrome streaming; see
+    /// [`MemoryCircuit`]).
+    fn build_memory(&self, rounds: usize) -> MemoryCircuit;
     /// Short name (used in experiment tables).
     fn name(&self) -> String;
     /// Total qubits the built circuit will use.
@@ -243,6 +249,25 @@ impl CodeSpec {
         match self {
             CodeSpec::Repetition(c) => c.name(),
             CodeSpec::Xxzz(c) => c.name(),
+        }
+    }
+
+    /// Assemble the `rounds`-round memory experiment (syndrome streaming).
+    pub fn build_memory(&self, rounds: usize) -> MemoryCircuit {
+        match self {
+            CodeSpec::Repetition(c) => c.build_memory(rounds),
+            CodeSpec::Xxzz(c) => c.build_memory(rounds),
+        }
+    }
+
+    /// The code's native SWAP-free device embedding for the memory
+    /// register, when one exists: `(topology, logical→physical table)`.
+    /// See `RepetitionCode::native_embedding` /
+    /// `XxzzCode::native_embedding`.
+    pub fn native_embedding(&self) -> Option<(radqec_topology::Topology, Vec<u32>)> {
+        match self {
+            CodeSpec::Repetition(c) => Some(c.native_embedding()),
+            CodeSpec::Xxzz(c) => c.native_embedding(),
         }
     }
 

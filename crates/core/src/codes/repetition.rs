@@ -6,7 +6,10 @@
 //! parity checks), `(1, d)` against phase flips (X-basis checks on a
 //! |+⟩-encoded chain).
 
-use super::{assemble, Basis, CodeCircuit, CodeLayout, QecCode, StabKind};
+use super::{
+    assemble, assemble_memory, Basis, CodeCircuit, CodeLayout, MemoryCircuit, QecCode, StabKind,
+};
+use radqec_topology::{generators::linear, Topology};
 
 /// Repetition-code flavour.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -48,8 +51,8 @@ impl RepetitionCode {
     }
 }
 
-impl QecCode for RepetitionCode {
-    fn build(&self) -> CodeCircuit {
+impl RepetitionCode {
+    fn layout(&self) -> CodeLayout {
         let d = self.distance;
         let kind = match self.flavor {
             RepetitionFlavor::BitFlip => StabKind::Z,
@@ -58,7 +61,7 @@ impl QecCode for RepetitionCode {
         // Nearest-neighbour parity checks along the chain.
         let stabs: Vec<(StabKind, Vec<u32>)> = (0..d - 1).map(|i| (kind, vec![i, i + 1])).collect();
         let all: Vec<u32> = (0..d).collect();
-        assemble(CodeLayout {
+        CodeLayout {
             name: self.name(),
             n_data: d,
             primary_count: stabs.len(),
@@ -78,7 +81,30 @@ impl QecCode for RepetitionCode {
                 RepetitionFlavor::PhaseFlip => (1, d),
             },
             init_plus: self.flavor == RepetitionFlavor::PhaseFlip,
-        })
+        }
+    }
+
+    /// The code's native device embedding for the memory/streaming
+    /// workload: the chain interleaved on `linear(2d−1)` — data `i` at
+    /// physical `2i`, the ancilla of check `(i, i+1)` between them at
+    /// `2i+1` — so every stabilizer CX runs on a device edge and routing
+    /// inserts no SWAPs. Returns `(topology, logical→physical table)`
+    /// covering the memory circuit's register.
+    pub fn native_embedding(&self) -> (Topology, Vec<u32>) {
+        let d = self.distance;
+        let mut l2p: Vec<u32> = (0..d).map(|i| 2 * i).collect();
+        l2p.extend((0..d - 1).map(|i| 2 * i + 1));
+        (linear(2 * d - 1), l2p)
+    }
+}
+
+impl QecCode for RepetitionCode {
+    fn build(&self) -> CodeCircuit {
+        assemble(self.layout())
+    }
+
+    fn build_memory(&self, rounds: usize) -> MemoryCircuit {
+        assemble_memory(self.layout(), rounds)
     }
 
     fn name(&self) -> String {

@@ -14,7 +14,13 @@
 //! logical Z̄ a horizontal Z-chain (row 0, weight `d_X`) measured by the
 //! readout ancilla.
 
-use super::{assemble, Basis, CodeCircuit, CodeLayout, QecCode, StabKind};
+use super::{
+    assemble, assemble_memory, Basis, CodeCircuit, CodeLayout, MemoryCircuit, QecCode, StabKind,
+};
+use radqec_topology::{generators::mesh, Topology};
+
+/// One stabilizer face: `(kind, data-qubit support, (fr, fc) face coordinate)`.
+type Plaquette = (StabKind, Vec<u32>, (i64, i64));
 
 /// A parameterised XXZZ rotated surface code with distances `(d_Z, d_X)`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -36,13 +42,15 @@ impl XxzzCode {
         XxzzCode { dz, dx }
     }
 
-    /// Stabilizer supports as `(kind, data-qubit indices)`, primary (Z)
-    /// first.
-    fn plaquettes(&self) -> (Vec<(StabKind, Vec<u32>)>, usize) {
+    /// Stabilizer supports as `(kind, data-qubit indices)` plus the face
+    /// coordinate `(fr, fc)` (top-left corner; `(−1, −1)` for the
+    /// degenerate line codes, whose edges have no face geometry), primary
+    /// (Z) first.
+    fn plaquettes(&self) -> (Vec<Plaquette>, usize) {
         let (rows, cols) = (self.dz as i64, self.dx as i64);
         let at = |r: i64, c: i64| -> u32 { (r * cols + c) as u32 };
-        let mut z_faces: Vec<Vec<u32>> = Vec::new();
-        let mut x_faces: Vec<Vec<u32>> = Vec::new();
+        let mut z_faces: Vec<(Vec<u32>, (i64, i64))> = Vec::new();
+        let mut x_faces: Vec<(Vec<u32>, (i64, i64))> = Vec::new();
 
         if rows == 1 || cols == 1 {
             // Degenerate line code: (L−1)/2 edges each carry a ZZ *and* an
@@ -53,8 +61,8 @@ impl XxzzCode {
             let len = rows * cols;
             let mut i = 0;
             while i + 1 < len {
-                z_faces.push(vec![i as u32, (i + 1) as u32]);
-                x_faces.push(vec![i as u32, (i + 1) as u32]);
+                z_faces.push((vec![i as u32, (i + 1) as u32], (-1, -1)));
+                x_faces.push((vec![i as u32, (i + 1) as u32], (-1, -1)));
                 i += 2;
             }
         } else {
@@ -81,18 +89,18 @@ impl XxzzCode {
                     let include = interior || (top_bottom && !is_z) || (left_right && is_z);
                     if include {
                         if is_z {
-                            z_faces.push(support);
+                            z_faces.push((support, (fr, fc)));
                         } else {
-                            x_faces.push(support);
+                            x_faces.push((support, (fr, fc)));
                         }
                     }
                 }
             }
         }
         let primary = z_faces.len();
-        let mut stabs: Vec<(StabKind, Vec<u32>)> =
-            z_faces.into_iter().map(|s| (StabKind::Z, s)).collect();
-        stabs.extend(x_faces.into_iter().map(|s| (StabKind::X, s)));
+        let mut stabs: Vec<Plaquette> =
+            z_faces.into_iter().map(|(s, f)| (StabKind::Z, s, f)).collect();
+        stabs.extend(x_faces.into_iter().map(|(s, f)| (StabKind::X, s, f)));
         (stabs, primary)
     }
 
@@ -113,23 +121,71 @@ impl XxzzCode {
             ((0..rows).map(|r| r * cols).collect(), (0..cols).collect())
         }
     }
-}
 
-impl QecCode for XxzzCode {
-    fn build(&self) -> CodeCircuit {
+    fn layout(&self) -> CodeLayout {
         let (stabs, primary_count) = self.plaquettes();
         let (logical_op_support, logical_readout_support) = self.logical_supports();
-        assemble(CodeLayout {
+        CodeLayout {
             name: self.name(),
             n_data: self.dz * self.dx,
-            stabs,
+            stabs: stabs.into_iter().map(|(k, s, _)| (k, s)).collect(),
             primary_count,
             logical_op_support,
             logical_readout_support,
             readout_basis: Basis::Z,
             distance: (self.dz, self.dx),
             init_plus: false,
-        })
+        }
+    }
+
+    /// The code's *native* device embedding, for the memory/streaming
+    /// workload: the rotated lattice drawn at 45° on a
+    /// `(d_Z+d_X−1)²` mesh — data qubit `(r, c)` at mesh cell
+    /// `(r+c, c−r+d_Z−1)` and each plaquette ancilla at its face's centre
+    /// cell, which is mesh-adjacent to all of the face's corners. Every
+    /// stabilizer CX then runs on a device edge and routing inserts **no
+    /// SWAPs** — the layout real superconducting surface-code deployments
+    /// use, and the host on which a strike's spatial footprint stays sharp
+    /// (the fitted 5×k mesh needs hundreds of SWAPs per round, smearing it).
+    ///
+    /// Returns `(topology, logical→physical table)` covering the memory
+    /// circuit's register (data block then ancillas, in stabilizer order);
+    /// `None` for the degenerate line codes, whose paired ZZ/XX edges have
+    /// no face geometry.
+    pub fn native_embedding(&self) -> Option<(Topology, Vec<u32>)> {
+        if self.dz == 1 || self.dx == 1 {
+            return None;
+        }
+        let side = (self.dz + self.dx - 1) as i64;
+        // Doubled coordinates so data corners (integral) and face centres
+        // (half-integral) share one map.
+        let cell = |x2: i64, y2: i64| -> u32 {
+            let row = (x2 + y2) / 2;
+            let col = (y2 - x2) / 2 + self.dz as i64 - 1;
+            debug_assert!((0..side).contains(&row) && (0..side).contains(&col));
+            (row * side + col) as u32
+        };
+        let mut l2p = Vec::with_capacity(2 * (self.dz * self.dx) as usize - 1);
+        for r in 0..self.dz as i64 {
+            for c in 0..self.dx as i64 {
+                l2p.push(cell(2 * r, 2 * c));
+            }
+        }
+        let (stabs, _) = self.plaquettes();
+        for (_, _, (fr, fc)) in stabs {
+            l2p.push(cell(2 * fr + 1, 2 * fc + 1));
+        }
+        Some((mesh(side as u32, side as u32), l2p))
+    }
+}
+
+impl QecCode for XxzzCode {
+    fn build(&self) -> CodeCircuit {
+        assemble(self.layout())
+    }
+
+    fn build_memory(&self, rounds: usize) -> MemoryCircuit {
+        assemble_memory(self.layout(), rounds)
     }
 
     fn name(&self) -> String {

@@ -335,6 +335,42 @@ impl BulkDecoder {
         out
     }
 
+    /// Pass two of the sharded-mode batch decode: for every distinct
+    /// defect pattern that missed the cross-batch cache, re-probe once (a
+    /// concurrent chunk may have solved it since pass one), run the
+    /// blossom matcher otherwise (analytic already declined in pass one),
+    /// and scatter the flip to every waiting shot. Tier accounting
+    /// matches the per-shot path exactly: the group's solving shot counts
+    /// towards the solving tier, every other shot counts as a cache hit —
+    /// which is what each would have been under immediate solving.
+    fn solve_deferred(
+        &self,
+        pending: std::collections::HashMap<u128, Vec<usize>>,
+        out: &mut [bool],
+        ctx: &mut Ctx,
+        local: &mut LocalStats,
+    ) {
+        for (key, group) in pending {
+            let flip = match self.cache.get(key) {
+                Some(flip) => {
+                    local.cache_hits += group.len() as u64;
+                    flip
+                }
+                None => {
+                    let flip = self.match_key(key, ctx, local);
+                    self.cache.insert(key, flip);
+                    local.cache_hits += group.len() as u64 - 1;
+                    flip
+                }
+            };
+            if flip {
+                for shot in group {
+                    out[shot] = !out[shot];
+                }
+            }
+        }
+    }
+
     fn flush(&self, local: LocalStats) {
         self.stats.shots.fetch_add(local.shots, Ordering::Relaxed);
         self.stats.trivial.fetch_add(local.trivial, Ordering::Relaxed);
@@ -388,6 +424,16 @@ impl Decoder for BulkDecoder {
     /// the tier cascade per shot — no per-shot [`ShotRecord`]. Codes wider
     /// than the 128-bit key decode per record with a per-batch
     /// syndrome-keyed memo ([`Self::decode_batch_wide`]).
+    ///
+    /// In sharded-cache mode the *miss path* runs deferred: pass one
+    /// resolves trivial, analytic and cache-hit shots inline (the warm
+    /// steady state stays untouched) and groups cache *misses* by
+    /// distinct defect pattern; pass two solves each distinct missed
+    /// pattern with at most one blossom matching and scatters the flip to
+    /// every shot of the group ([`Self::solve_deferred`]). A cold
+    /// radiation-impact batch repeats the same heavy syndromes across
+    /// many shots, so this collapses its matcher work to one solve per
+    /// *distinct* syndrome per batch instead of racing per-shot solves.
     fn decode_batch(&self, batch: &ShotBatch) -> Vec<bool> {
         if self.planes > 128 {
             return self.decode_batch_wide(batch);
@@ -415,6 +461,10 @@ impl Decoder for BulkDecoder {
         let mut out = Vec::with_capacity(shots);
         let mut ctx = Ctx::default();
         let mut local = LocalStats { shots: shots as u64, ..Default::default() };
+        // Deferred heavy syndromes (sharded mode): distinct pattern → the
+        // shots awaiting its flip.
+        let defer = !self.cache.is_direct();
+        let mut pending: std::collections::HashMap<u128, Vec<usize>> = Default::default();
         for w in 0..words {
             let in_word = (shots - w * 64).min(64);
             let raw_word = readout[w];
@@ -435,11 +485,29 @@ impl Decoder for BulkDecoder {
                 if key == 0 {
                     local.trivial += 1;
                     out.push(raw);
+                } else if defer {
+                    // Cheap tiers and cache hits inline; only cache
+                    // *misses* join their pattern group.
+                    if self.tiers.analytic && key.count_ones() <= 2 {
+                        if let Some(flip) = self.analytic_flip(key) {
+                            local.analytic += 1;
+                            out.push(raw ^ flip);
+                            continue;
+                        }
+                    }
+                    if let Some(flip) = self.cache.get(key) {
+                        local.cache_hits += 1;
+                        out.push(raw ^ flip);
+                        continue;
+                    }
+                    pending.entry(key).or_default().push(out.len());
+                    out.push(raw);
                 } else {
                     out.push(raw ^ self.flip_of_key(key, &mut ctx, &mut local));
                 }
             }
         }
+        self.solve_deferred(pending, &mut out, &mut ctx, &mut local);
         self.flush(local);
         out
     }
@@ -540,6 +608,59 @@ mod tests {
         let after = bulk.decode_stats().unwrap();
         assert_eq!(after.matchings, baseline.matchings, "prefilled LUT must not re-match");
         assert_eq!(after.cache_hits - baseline.cache_hits, n_nontrivial);
+    }
+
+    #[test]
+    fn sharded_batch_solves_each_distinct_syndrome_once() {
+        // xxzz-(5,5) decodes through the sharded cache: the deferred
+        // solve-and-scatter path must stay bit-identical to MwpmDecoder
+        // and run exactly one matching per distinct heavy syndrome.
+        let code = XxzzCode::new(5, 5).build();
+        let bulk = BulkDecoder::new(&code);
+        assert!(!bulk.uses_lut());
+        let mwpm = MwpmDecoder::new(&code);
+        let nc = code.circuit.num_clbits();
+        let mut batch = ShotBatch::new(nc, 192);
+        // Two distinct heavy 4-defect syndromes (round-1-only firings put
+        // a defect in both detector layers per stabilizer, dodging the
+        // 1–2-defect analytic tier), repeated across the batch; readout
+        // bits vary freely.
+        for s in 0..192 {
+            if s % 2 == 0 {
+                batch.flip(code.readout_cbit, s);
+            }
+            match s % 3 {
+                0 => {}
+                1 => {
+                    for i in [0usize, 3] {
+                        batch.flip(code.stabilizers[i].cbit_round1, s);
+                    }
+                }
+                _ => {
+                    for i in [2usize, 5] {
+                        batch.flip(code.stabilizers[i].cbit_round1, s);
+                    }
+                }
+            }
+        }
+        let got = bulk.decode_batch(&batch);
+        for (s, &v) in got.iter().enumerate() {
+            assert_eq!(v, mwpm.decode(&batch.record(s)), "shot {s}");
+        }
+        let stats = bulk.decode_stats().unwrap();
+        assert_eq!(stats.shots, 192);
+        assert_eq!(stats.trivial, 64);
+        assert_eq!(stats.matchings, 2, "one blossom per distinct heavy syndrome");
+        assert_eq!(stats.cache_hits, 126, "the other 2×63 shots scatter from the group solve");
+        assert_eq!(
+            stats.shots,
+            stats.trivial + stats.cache_hits + stats.analytic + stats.matchings
+        );
+        // A second batch of the same syndromes is pure cross-batch cache.
+        let again = bulk.decode_batch(&batch);
+        assert_eq!(again, got);
+        let after = bulk.decode_stats().unwrap();
+        assert_eq!(after.matchings, 2, "warm cache must answer the repeat batch");
     }
 
     #[test]

@@ -1,24 +1,27 @@
 //! Reproduction harnesses, one module per artefact of the paper's
-//! evaluation (Sec. V):
+//! evaluation (Sec. V), plus the beyond-paper detection sweep:
 //!
-//! | Module | Paper artefact |
-//! |--------|----------------|
+//! | Module | Artefact |
+//! |--------|----------|
 //! | [`series`] | Fig. 3 (temporal decay), Fig. 4 (spatial decay) |
 //! | [`fig5`]   | Fig. 5 — noise × radiation logical-error landscape |
 //! | [`fig6`]   | Fig. 6 — criticality by code distance |
 //! | [`fig7`]   | Fig. 7 — spreading fault vs. erasure faults |
 //! | [`fig8`]   | Fig. 8 — per-qubit error across architectures |
+//! | [`detection`] | beyond-paper — online strike detection over streamed multi-round syndromes (ROC / latency / localization per strike position × detector) |
 //!
 //! Each harness exposes a `Config` (with paper defaults), a typed result
 //! with a `to_csv` renderer, and a `run_*` entry point. The
 //! `radqec-bench` crate wraps each in a binary.
 
+pub mod detection;
 pub mod fig5;
 pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod series;
 
+pub use detection::{run_detection, DetectionConfig, DetectionResult, DetectionRow};
 pub use fig5::{run_fig5, Fig5Config, Fig5Result, Fig5Row};
 pub use fig6::{run_fig6, Fig6Config, Fig6Result, Fig6Row};
 pub use fig7::{run_fig7, Fig7Config, Fig7Result, Fig7Row};

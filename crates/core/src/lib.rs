@@ -2,9 +2,10 @@
 //!
 //! The paper's primary contribution, assembled from the substrate crates:
 //! surface-code construction ([`codes`]), syndrome decoding ([`decoder`]),
-//! the radiation fault-injection engine ([`injection`]) and the experiment
-//! harnesses that regenerate every figure of the evaluation
-//! ([`experiments`]).
+//! the radiation fault-injection engine ([`injection`]), the multi-round
+//! syndrome-streaming engine behind online event detection ([`streaming`])
+//! and the experiment harnesses that regenerate every figure of the
+//! evaluation plus the beyond-paper detection sweep ([`experiments`]).
 //!
 //! Reproduces *"On the Efficacy of Surface Codes in Compensating for
 //! Radiation Events in Superconducting Devices"* (Vallero, Casagranda,
@@ -43,3 +44,4 @@ pub mod experiments;
 pub mod injection;
 pub mod logical;
 pub mod stats;
+pub mod streaming;

@@ -1,0 +1,452 @@
+//! Multi-round syndrome streaming: the engine that feeds online
+//! radiation-event detection (`radqec-detect`).
+//!
+//! Where [`InjectionEngine`](crate::injection::InjectionEngine) answers the
+//! paper's *offline* question — the logical error rate of the two-round
+//! experiment at temporal sample `t_k`, shots split across samples — the
+//! [`StreamEngine`] runs `R` stabilisation rounds *per shot* with the
+//! radiation transient decaying across rounds **within** the shot: round
+//! `r` maps to transient time `t = r / (R−1)` and gets the fault
+//! probabilities `F(t, d) = T(t)·S(d)` (the same `transient_decay`
+//! factorisation as the offline model, just sampled along the round axis).
+//!
+//! Both shot samplers carry over:
+//!
+//! * **frame batch** — the memory circuit is replayed as bit-packed Pauli
+//!   frames against one extended [`ReferenceTrace`], with the evolving
+//!   fault expressed as a piecewise-constant segment timeline
+//!   ([`run_noisy_batch_segmented`]); per-round exactness properties are
+//!   identical to the offline sampler's (see `radqec_stabilizer`);
+//! * **tableau** — per-shot CHP replay through
+//!   [`run_noisy_shot_segmented`]: exact everywhere, the oracle
+//!   `tests/round_stream_equivalence.rs` validates the frame path against.
+//!
+//! The engine hands detection consumers a [`StreamSpec`] describing the
+//! classical layout plus the *physical* ancilla position per (round,
+//! stabilizer) — recovered from the transpiled circuit's measure ops, so
+//! routing SWAPs that migrate an ancilla are tracked round by round.
+
+use crate::codes::{CodeSpec, MemoryCircuit};
+use crate::injection::{default_frame_chunk, mix_seed, SamplerKind};
+use radqec_circuit::{Backend, Gate, ShotBatch};
+use radqec_detect::StreamSpec;
+use radqec_noise::{
+    run_noisy_batch_segmented, run_noisy_shot_segmented, temporal_decay, ActiveFault, NoiseSpec,
+    RadiationModel,
+};
+use radqec_stabilizer::{PauliFrameBatch, ReferenceTrace, StabilizerBackend};
+use radqec_topology::{generators::fitting_mesh, Topology};
+use radqec_transpiler::{transpile, transpile_with_layout, Layout, TranspileOptions, Transpiled};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rayon::prelude::*;
+use std::sync::OnceLock;
+
+/// Fault injected into a streamed campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StreamFault {
+    /// Intrinsic noise only — the null streams of a ROC sweep.
+    None,
+    /// A radiation strike at physical qubit `root` at the start of round 0,
+    /// decaying across rounds with the model's `γ` (`model.num_samples` is
+    /// ignored: the round count plays that role).
+    Strike {
+        /// Fault model parameters (γ, spatial constant).
+        model: RadiationModel,
+        /// Struck physical qubit.
+        root: u32,
+    },
+}
+
+/// Fluent configuration for [`StreamEngine`].
+pub struct StreamEngineBuilder {
+    spec: CodeSpec,
+    rounds: usize,
+    topology: Option<Topology>,
+    initial_layout: Option<Vec<u32>>,
+    transpile_opts: TranspileOptions,
+    sampler: SamplerKind,
+    shots: usize,
+    seed: u64,
+    frame_chunk: Option<usize>,
+}
+
+impl StreamEngineBuilder {
+    /// Override the architecture graph (default: the smallest 5×k mesh
+    /// that fits the memory circuit).
+    pub fn topology(mut self, topo: Topology) -> Self {
+        self.topology = Some(topo);
+        self
+    }
+
+    /// Pin the initial logical→physical placement instead of searching
+    /// (routing still runs; with a good table it inserts no SWAPs).
+    pub fn initial_layout(mut self, l2p: Vec<u32>) -> Self {
+        self.initial_layout = Some(l2p);
+        self
+    }
+
+    /// Use the code's native SWAP-free embedding
+    /// ([`CodeSpec::native_embedding`]) — topology and placement together.
+    /// Falls back to the default fitted mesh + layout search for codes
+    /// without one (the degenerate XXZZ line codes).
+    pub fn native(mut self) -> Self {
+        if let Some((topo, l2p)) = self.spec.native_embedding() {
+            self.topology = Some(topo);
+            self.initial_layout = Some(l2p);
+        }
+        self
+    }
+
+    /// Select the shot sampler (default [`SamplerKind::FrameBatch`]).
+    pub fn sampler(mut self, kind: SamplerKind) -> Self {
+        self.sampler = kind;
+        self
+    }
+
+    /// Streamed shots per campaign (default 1000).
+    pub fn shots(mut self, shots: usize) -> Self {
+        assert!(shots > 0, "need at least one shot");
+        self.shots = shots;
+        self
+    }
+
+    /// Master seed (see `InjectionEngineBuilder::seed` for the stream
+    /// derivation guarantees).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Override the shots-per-frame-batch size (default:
+    /// [`default_frame_chunk`]).
+    pub fn frame_chunk(mut self, chunk: usize) -> Self {
+        assert!(chunk > 0, "frame chunk must be positive");
+        self.frame_chunk = Some(chunk);
+        self
+    }
+
+    /// Build the engine (runs the transpiler once).
+    pub fn build(self) -> StreamEngine {
+        let memory = self.spec.build_memory(self.rounds);
+        let topology = self.topology.unwrap_or_else(|| fitting_mesh(memory.total_qubits()));
+        assert!(
+            topology.num_qubits() >= memory.total_qubits(),
+            "topology {} too small for {}",
+            topology.name(),
+            memory.name
+        );
+        let transpiled = match self.initial_layout {
+            Some(l2p) => transpile_with_layout(
+                &memory.circuit,
+                &topology,
+                Layout::new(l2p, topology.num_qubits()),
+                &self.transpile_opts,
+            ),
+            None => transpile(&memory.circuit, &topology, &self.transpile_opts),
+        };
+        let round_starts = MemoryCircuit::round_starts_of(&transpiled.circuit, memory.rounds);
+        let stream_spec = stream_spec_of(&memory, &transpiled);
+        StreamEngine {
+            memory,
+            topology,
+            transpiled,
+            round_starts,
+            stream_spec,
+            sampler: self.sampler,
+            shots: self.shots,
+            seed: self.seed,
+            frame_chunk: self.frame_chunk.unwrap_or_else(|| default_frame_chunk(self.shots)),
+            reference: OnceLock::new(),
+        }
+    }
+}
+
+/// Recover the per-(round, stabilizer) classical layout and physical
+/// ancilla positions from the transpiled circuit's measure ops.
+fn stream_spec_of(memory: &MemoryCircuit, transpiled: &Transpiled) -> StreamSpec {
+    let grid = memory.rounds * memory.num_stabs();
+    let mut ancilla_physical = vec![u32::MAX; grid];
+    for gate in transpiled.circuit.ops() {
+        if let Gate::Measure { qubit, cbit } = *gate {
+            ancilla_physical[cbit as usize] = qubit;
+        }
+    }
+    assert!(
+        ancilla_physical.iter().all(|&q| q != u32::MAX),
+        "transpiled memory circuit is missing measurements"
+    );
+    StreamSpec {
+        rounds: memory.rounds,
+        num_stabs: memory.num_stabs(),
+        first_round_deterministic: memory.first_round_deterministic.clone(),
+        ancilla_physical,
+    }
+}
+
+/// A ready-to-run multi-round streaming campaign for one (code, rounds,
+/// topology) triple.
+pub struct StreamEngine {
+    memory: MemoryCircuit,
+    topology: Topology,
+    transpiled: Transpiled,
+    /// Op index in the *transpiled* circuit where each round begins.
+    round_starts: Vec<usize>,
+    stream_spec: StreamSpec,
+    sampler: SamplerKind,
+    shots: usize,
+    seed: u64,
+    frame_chunk: usize,
+    reference: OnceLock<ReferenceTrace>,
+}
+
+impl StreamEngine {
+    /// Start configuring a `rounds`-round streaming engine for `spec`.
+    pub fn builder(spec: CodeSpec, rounds: usize) -> StreamEngineBuilder {
+        StreamEngineBuilder {
+            spec,
+            rounds,
+            topology: None,
+            initial_layout: None,
+            transpile_opts: TranspileOptions::auto(),
+            sampler: SamplerKind::default(),
+            shots: 1000,
+            seed: 0,
+            frame_chunk: None,
+        }
+    }
+
+    /// The assembled memory experiment.
+    pub fn memory(&self) -> &MemoryCircuit {
+        &self.memory
+    }
+
+    /// The architecture graph in use.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The transpiled physical circuit and layouts.
+    pub fn transpiled(&self) -> &Transpiled {
+        &self.transpiled
+    }
+
+    /// The stream layout handed to `radqec-detect` consumers.
+    pub fn stream_spec(&self) -> &StreamSpec {
+        &self.stream_spec
+    }
+
+    /// Streamed shots per campaign.
+    pub fn shots(&self) -> usize {
+        self.shots
+    }
+
+    /// Stabilisation rounds per shot.
+    pub fn rounds(&self) -> usize {
+        self.memory.rounds
+    }
+
+    /// The sampler backing this engine's shots.
+    pub fn sampler(&self) -> SamplerKind {
+        self.sampler
+    }
+
+    /// The per-round fault ladder of `fault`: round `r` gets the transient
+    /// at `t = r / (R−1)` (`F(t, d) = T(t)·S(d)`, Eq. 7 sampled along the
+    /// round axis).
+    pub fn round_faults(&self, fault: &StreamFault) -> Vec<ActiveFault> {
+        let rounds = self.memory.rounds;
+        match fault {
+            StreamFault::None => {
+                vec![ActiveFault::none(self.topology.num_qubits() as usize); rounds]
+            }
+            StreamFault::Strike { model, root } => {
+                let event = model.strike(&self.topology, *root);
+                let spatial = event.spatial_profile();
+                (0..rounds)
+                    .map(|r| {
+                        let t = r as f64 / (rounds - 1) as f64;
+                        let temporal = temporal_decay(t, model.gamma);
+                        ActiveFault::from_probs(spatial.iter().map(|s| temporal * s).collect())
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    /// Stream one campaign: every shot's full multi-round record, as
+    /// bit-packed batches on the engine's chunk grid (chunk-parallel on
+    /// the frame sampler, shot-parallel on the tableau oracle).
+    pub fn stream_batches(&self, fault: &StreamFault, noise: &NoiseSpec) -> Vec<ShotBatch> {
+        let faults = self.round_faults(fault);
+        match self.sampler {
+            SamplerKind::FrameBatch => self.frame_stream(&faults, noise),
+            SamplerKind::Tableau => self.tableau_stream(&faults, noise),
+        }
+    }
+
+    /// Segment timeline over the transpiled op stream. The first segment is
+    /// pinned to op 0 so any initialisation layer before round 0's barrier
+    /// shares round 0's fault (the strike is live from `t = 0`).
+    fn segments<'a>(&self, faults: &'a [ActiveFault]) -> Vec<(usize, &'a ActiveFault)> {
+        let mut segments: Vec<(usize, &ActiveFault)> =
+            self.round_starts.iter().zip(faults).map(|(&start, f)| (start, f)).collect();
+        segments[0].0 = 0;
+        segments
+    }
+
+    fn frame_stream(&self, faults: &[ActiveFault], noise: &NoiseSpec) -> Vec<ShotBatch> {
+        let circuit = &self.transpiled.circuit;
+        let n_phys = self.topology.num_qubits() as usize;
+        let reference = self.reference.get_or_init(|| {
+            ReferenceTrace::compute(circuit, n_phys, mix_seed(self.seed, 0x57E4, 0x5EED))
+        });
+        let segments = self.segments(faults);
+        (0..self.shots.div_ceil(self.frame_chunk))
+            .into_par_iter()
+            .map(|chunk| {
+                let width = self.frame_chunk.min(self.shots - chunk * self.frame_chunk);
+                let mut rng = StdRng::seed_from_u64(mix_seed(
+                    self.seed ^ 0x57E4_0000_0000_0001,
+                    0,
+                    chunk as u64,
+                ));
+                let mut frame = PauliFrameBatch::new(n_phys, width, &mut rng);
+                run_noisy_batch_segmented(
+                    circuit, reference, &mut frame, noise, &segments, &mut rng,
+                )
+            })
+            .collect()
+    }
+
+    fn tableau_stream(&self, faults: &[ActiveFault], noise: &NoiseSpec) -> Vec<ShotBatch> {
+        let circuit = &self.transpiled.circuit;
+        let n_phys = self.topology.num_qubits();
+        let segments = self.segments(faults);
+        (0..self.shots.div_ceil(self.frame_chunk))
+            .map(|chunk| {
+                let width = self.frame_chunk.min(self.shots - chunk * self.frame_chunk);
+                let records: Vec<_> = (0..width)
+                    .into_par_iter()
+                    .map_init(
+                        || StabilizerBackend::new(n_phys),
+                        |backend, shot| {
+                            let global = chunk * self.frame_chunk + shot;
+                            let mut rng = StdRng::seed_from_u64(mix_seed(
+                                self.seed ^ 0x57E4_0000_0000_0002,
+                                0,
+                                global as u64,
+                            ));
+                            backend.reset_all();
+                            run_noisy_shot_segmented(circuit, backend, noise, &segments, &mut rng)
+                        },
+                    )
+                    .collect();
+                let mut batch = ShotBatch::new(circuit.num_clbits(), width);
+                for (shot, record) in records.iter().enumerate() {
+                    for c in 0..circuit.num_clbits() {
+                        if record.get(c) {
+                            batch.flip(c, shot);
+                        }
+                    }
+                }
+                batch
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codes::{RepetitionCode, XxzzCode};
+    use radqec_detect::EventStream;
+
+    #[test]
+    fn noiseless_faultless_streams_are_event_free() {
+        for spec in
+            [CodeSpec::from(RepetitionCode::bit_flip(3)), CodeSpec::from(XxzzCode::new(3, 3))]
+        {
+            for sampler in [SamplerKind::FrameBatch, SamplerKind::Tableau] {
+                let engine =
+                    StreamEngine::builder(spec, 4).shots(65).seed(1).sampler(sampler).build();
+                let batches = engine.stream_batches(&StreamFault::None, &NoiseSpec::noiseless());
+                for batch in &batches {
+                    let ev = EventStream::extract(batch, engine.stream_spec());
+                    assert_eq!(
+                        ev.total_events(),
+                        0,
+                        "{} {sampler:?}: noiseless stream fired",
+                        engine.memory().name
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn round_fault_ladder_decays_like_the_transient() {
+        let engine = StreamEngine::builder(RepetitionCode::bit_flip(3).into(), 5).shots(1).build();
+        let model = RadiationModel::default();
+        let faults = engine.round_faults(&StreamFault::Strike { model, root: 0 });
+        assert_eq!(faults.len(), 5);
+        assert_eq!(faults[0].prob(0), 1.0, "impact point at t = 0");
+        for r in 1..5 {
+            let t = r as f64 / 4.0;
+            let want = radqec_noise::transient_decay(t, 0, model.gamma, model.spatial_n);
+            assert!((faults[r].prob(0) - want).abs() < 1e-12, "round {r}");
+            assert!(faults[r].prob(0) < faults[r - 1].prob(0), "must decay");
+        }
+        // Spatial damping carries over per round.
+        assert!(faults[0].prob(1) < faults[0].prob(0));
+    }
+
+    #[test]
+    fn strike_floods_early_rounds_then_quiets() {
+        let engine =
+            StreamEngine::builder(RepetitionCode::bit_flip(5).into(), 8).shots(256).seed(3).build();
+        let fault = StreamFault::Strike { model: RadiationModel::default(), root: 2 };
+        let batches = engine.stream_batches(&fault, &NoiseSpec::noiseless());
+        let spec = engine.stream_spec();
+        let mut per_round = vec![0u64; engine.rounds()];
+        for batch in &batches {
+            let ev = EventStream::extract(batch, spec);
+            for (r, sum) in per_round.iter_mut().enumerate() {
+                for i in 0..ev.num_stabs() {
+                    *sum += u64::from(ev.plane(r, i).iter().map(|w| w.count_ones()).sum::<u32>());
+                }
+            }
+        }
+        assert!(per_round[0] > 0, "impact round must fire: {per_round:?}");
+        let early: u64 = per_round[..2].iter().sum();
+        let late: u64 = per_round[6..].iter().sum();
+        assert!(early > 10 * late.max(1), "decay not visible: {per_round:?}");
+    }
+
+    #[test]
+    fn streams_are_reproducible() {
+        let engine = StreamEngine::builder(XxzzCode::new(3, 3).into(), 4)
+            .shots(130)
+            .seed(9)
+            .frame_chunk(64)
+            .build();
+        let fault = StreamFault::Strike { model: RadiationModel::default(), root: 1 };
+        let a = engine.stream_batches(&fault, &NoiseSpec::paper_default());
+        let b = engine.stream_batches(&fault, &NoiseSpec::paper_default());
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 3, "130 shots in 64-shot chunks");
+    }
+
+    #[test]
+    fn stream_spec_tracks_physical_ancillas() {
+        let engine = StreamEngine::builder(RepetitionCode::bit_flip(3).into(), 3).shots(1).build();
+        let spec = engine.stream_spec();
+        assert_eq!(spec.rounds, 3);
+        assert_eq!(spec.num_stabs, 2);
+        assert_eq!(spec.ancilla_physical.len(), 6);
+        let n_phys = engine.topology().num_qubits();
+        for (g, &q) in spec.ancilla_physical.iter().enumerate() {
+            assert!(q < n_phys, "grid slot {g} has no physical position");
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! Detection-event extraction: from bit-packed multi-round syndrome
+//! records to per-round event bit-planes, 64 shots per word operation.
+
+use radqec_circuit::ShotBatch;
+
+/// Static description of a syndrome stream's classical layout — everything
+/// extraction and localization need to know about the producing circuit.
+///
+/// The producer (the streaming engine in `radqec-core`) guarantees that
+/// stabilizer `i`'s round-`r` outcome occupies classical bit
+/// `r · num_stabs + i` of each record.
+#[derive(Debug, Clone)]
+pub struct StreamSpec {
+    /// Number of stabilisation rounds `R` per shot.
+    pub rounds: usize,
+    /// Number of stabilizer generators measured per round.
+    pub num_stabs: usize,
+    /// Whether stabilizer `i`'s round-0 outcome is deterministic on the
+    /// initial state (so round 0 gets a detection event for it; other
+    /// stabilizers' streams start at round 1).
+    pub first_round_deterministic: Vec<bool>,
+    /// Physical qubit measured for (round `r`, stabilizer `i`), flattened
+    /// as `r · num_stabs + i` — ancillas can migrate between rounds when
+    /// routing SWAPs through them, so the position is per round.
+    pub ancilla_physical: Vec<u32>,
+}
+
+impl StreamSpec {
+    /// Classical bit of stabilizer `stab`'s round-`round` outcome.
+    #[inline]
+    pub fn cbit(&self, round: usize, stab: usize) -> u32 {
+        debug_assert!(round < self.rounds && stab < self.num_stabs);
+        (round * self.num_stabs + stab) as u32
+    }
+
+    /// Physical qubit whose measurement produced (round, stab).
+    #[inline]
+    pub fn ancilla_at(&self, round: usize, stab: usize) -> u32 {
+        self.ancilla_physical[round * self.num_stabs + stab]
+    }
+}
+
+/// Per-round detection-event bit-planes for a batch of streamed shots.
+///
+/// Plane `(r, i)` holds one bit per shot: did stabilizer `i`'s syndrome
+/// *change* at round `r`? (`r = 0` compares against the deterministic
+/// initial value where one exists, else the plane is all zero.)
+#[derive(Debug, Clone)]
+pub struct EventStream {
+    rounds: usize,
+    num_stabs: usize,
+    shots: usize,
+    words: usize,
+    /// Plane `(r, i)` at `[(r·num_stabs + i)·words ..][..words]`.
+    planes: Vec<u64>,
+}
+
+impl EventStream {
+    /// Extract the event planes from a streamed batch — word-parallel: one
+    /// XOR per 64 shots per (round, stabilizer) pair, via
+    /// [`ShotBatch::xor_of_rows`].
+    ///
+    /// # Panics
+    /// Panics when `batch` has fewer classical bits than the spec's
+    /// `rounds × num_stabs` grid.
+    pub fn extract(batch: &ShotBatch, spec: &StreamSpec) -> Self {
+        assert!(
+            batch.num_clbits() as usize >= spec.rounds * spec.num_stabs,
+            "batch too narrow for {}x{} stream",
+            spec.rounds,
+            spec.num_stabs
+        );
+        let words = batch.words();
+        let mut planes = vec![0u64; spec.rounds * spec.num_stabs * words];
+        for i in 0..spec.num_stabs {
+            if spec.first_round_deterministic[i] {
+                // Round 0 detects any deviation from the deterministic
+                // initial syndrome 0: the event plane is the syndrome row.
+                planes[i * words..(i + 1) * words].copy_from_slice(batch.row(spec.cbit(0, i)));
+            }
+            for r in 1..spec.rounds {
+                let base = (r * spec.num_stabs + i) * words;
+                batch.xor_of_rows(
+                    spec.cbit(r, i),
+                    spec.cbit(r - 1, i),
+                    &mut planes[base..base + words],
+                );
+            }
+        }
+        EventStream {
+            rounds: spec.rounds,
+            num_stabs: spec.num_stabs,
+            shots: batch.shots(),
+            words,
+            planes,
+        }
+    }
+
+    /// Number of rounds.
+    #[inline]
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    /// Number of stabilizers.
+    #[inline]
+    pub fn num_stabs(&self) -> usize {
+        self.num_stabs
+    }
+
+    /// Number of shots.
+    #[inline]
+    pub fn shots(&self) -> usize {
+        self.shots
+    }
+
+    /// The bit-plane of (round, stab): one bit per shot.
+    #[inline]
+    pub fn plane(&self, round: usize, stab: usize) -> &[u64] {
+        let base = (round * self.num_stabs + stab) * self.words;
+        &self.planes[base..base + self.words]
+    }
+
+    /// Did stabilizer `stab` produce a detection event at `round` in shot
+    /// `shot`?
+    #[inline]
+    pub fn event(&self, round: usize, stab: usize, shot: usize) -> bool {
+        debug_assert!(shot < self.shots);
+        self.plane(round, stab)[shot / 64] >> (shot % 64) & 1 == 1
+    }
+
+    /// Per-round total event counts of one shot, written into `out`
+    /// (resized to `rounds`) — the input every [`OnlineDetector`] consumes.
+    ///
+    /// [`OnlineDetector`]: crate::OnlineDetector
+    pub fn round_counts(&self, shot: usize, out: &mut Vec<u32>) {
+        out.clear();
+        out.resize(self.rounds, 0);
+        let (w, b) = (shot / 64, shot % 64);
+        for (r, slot) in out.iter_mut().enumerate() {
+            let mut count = 0u32;
+            for i in 0..self.num_stabs {
+                count += (self.plane(r, i)[w] >> b & 1) as u32;
+            }
+            *slot = count;
+        }
+    }
+
+    /// Total detection events across the whole stream (popcount of every
+    /// plane) — a cheap aggregate for rate monitoring and tests.
+    pub fn total_events(&self) -> u64 {
+        self.planes.iter().map(|w| u64::from(w.count_ones())).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(rounds: usize, num_stabs: usize) -> StreamSpec {
+        StreamSpec {
+            rounds,
+            num_stabs,
+            first_round_deterministic: vec![true; num_stabs],
+            ancilla_physical: vec![0; rounds * num_stabs],
+        }
+    }
+
+    #[test]
+    fn extraction_matches_per_shot_xor() {
+        let spec = spec(3, 2);
+        let mut batch = ShotBatch::new(6, 70);
+        // Stab 0: fires from round 1 on in shot 3 → event exactly at round 1.
+        batch.flip(spec.cbit(1, 0), 3);
+        batch.flip(spec.cbit(2, 0), 3);
+        // Stab 1: fires only in round 0 of shot 65 → events at rounds 0 and 1.
+        batch.flip(spec.cbit(0, 1), 65);
+        let ev = EventStream::extract(&batch, &spec);
+        for shot in 0..70 {
+            for r in 0..3 {
+                for i in 0..2 {
+                    let prev = if r == 0 { false } else { batch.get(spec.cbit(r - 1, i), shot) };
+                    let want = batch.get(spec.cbit(r, i), shot) != prev;
+                    assert_eq!(ev.event(r, i, shot), want, "shot {shot} r{r} s{i}");
+                }
+            }
+        }
+        assert_eq!(ev.total_events(), 3);
+    }
+
+    #[test]
+    fn non_deterministic_first_round_is_suppressed() {
+        let mut s = spec(2, 1);
+        s.first_round_deterministic = vec![false];
+        let mut batch = ShotBatch::new(2, 4);
+        batch.flip(0, 1); // round-0 syndrome fires...
+        let ev = EventStream::extract(&batch, &s);
+        assert!(!ev.event(0, 0, 1), "...but round 0 carries no detector");
+        assert!(ev.event(1, 0, 1), "the change is caught by the round-1 XOR");
+    }
+
+    #[test]
+    fn round_counts_sum_events() {
+        let spec = spec(2, 3);
+        let mut batch = ShotBatch::new(6, 2);
+        batch.flip(spec.cbit(0, 0), 1);
+        batch.flip(spec.cbit(0, 2), 1);
+        let ev = EventStream::extract(&batch, &spec);
+        let mut counts = Vec::new();
+        ev.round_counts(1, &mut counts);
+        // Round 0: stabs 0 and 2 fire. Round 1: both XOR back to events.
+        assert_eq!(counts, vec![2, 2]);
+        ev.round_counts(0, &mut counts);
+        assert_eq!(counts, vec![0, 0]);
+    }
+}

@@ -33,7 +33,7 @@
 //! remains the exact oracle.
 
 use crate::depolarizing::NoiseSpec;
-use crate::fault::{ActiveFault, ResetBasis};
+use crate::fault::{validate_segments, ActiveFault, ResetBasis};
 use radqec_circuit::{Circuit, Gate, ShotBatch};
 use radqec_stabilizer::{PauliFrameBatch, ReferenceTrace};
 use rand::{Rng, RngCore};
@@ -91,11 +91,35 @@ pub fn run_noisy_batch(
     fault: &ActiveFault,
     rng: &mut dyn RngCore,
 ) -> ShotBatch {
+    run_noisy_batch_segmented(circuit, reference, frame, noise, &[(0, fault)], rng)
+}
+
+/// [`run_noisy_batch`] with a piecewise-constant fault timeline: segment
+/// `(start_op, fault)` applies `fault` to every operation from `start_op`
+/// up to the next segment's start. This is how multi-round syndrome
+/// streaming evolves a radiation transient *within* a shot — round `r`'s
+/// op range gets the fault at `t = r / (R−1)` (see
+/// `radqec_core::streaming`).
+///
+/// # Panics
+/// Panics on an empty segment list, a first segment not starting at op 0,
+/// non-ascending segment starts, or the [`run_noisy_batch`] mismatches.
+/// All segments must share one reset basis (the timeline models a single
+/// evolving event, not several different ones).
+pub fn run_noisy_batch_segmented(
+    circuit: &Circuit,
+    reference: &ReferenceTrace,
+    frame: &mut PauliFrameBatch,
+    noise: &NoiseSpec,
+    segments: &[(usize, &ActiveFault)],
+    rng: &mut dyn RngCore,
+) -> ShotBatch {
     assert_eq!(reference.len(), circuit.len(), "reference trace does not match circuit");
     assert!(
         circuit.num_qubits() as usize <= frame.num_qubits(),
         "frame batch too small for circuit"
     );
+    validate_segments(segments);
     let shots = frame.shots();
     let mut record = ShotBatch::new(circuit.num_clbits(), shots);
     let mut mask = vec![0u64; frame.words()];
@@ -103,8 +127,15 @@ pub fn run_noisy_batch(
     // Hoisted channel flags: inactive channels cost nothing per gate.
     let depolarize = p > 0.0;
     let measure_flips = noise.measure_flip_p > 0.0;
-    let fault_on = fault.is_active();
+    let mut segment = 0usize;
+    let mut fault = segments[0].1;
+    let mut fault_on = fault.is_active();
     for (i, gate) in circuit.ops().iter().enumerate() {
+        while segment + 1 < segments.len() && segments[segment + 1].0 <= i {
+            segment += 1;
+            fault = segments[segment].1;
+            fault_on = fault.is_active();
+        }
         match *gate {
             Gate::Barrier => continue,
             Gate::Measure { qubit, cbit } => {
@@ -382,6 +413,73 @@ mod tests {
             ones += usize::from(batch.get(0, s));
         }
         assert!((400..620).contains(&ones), "ones={ones}");
+    }
+
+    #[test]
+    fn segmented_timeline_switches_fault_mid_circuit() {
+        // Ops: x(0), measure(0,0), x(0), measure(0,1). Segment 1 (ops 0–1)
+        // has a certain reset on qubit 0, segment 2 (ops 2–3) none: the
+        // first readout must be pinned to 0, the second must read 1.
+        let mut c = Circuit::new(1, 2);
+        c.x(0).measure(0, 0).x(0).measure(0, 1);
+        let n = c.num_qubits() as usize;
+        let reference = ReferenceTrace::compute(&c, n, 5);
+        let hot = ActiveFault::from_probs(vec![1.0]);
+        let cold = ActiveFault::none(1);
+        let mut rng = StdRng::seed_from_u64(41);
+        let mut frame = PauliFrameBatch::new(n, 128, &mut rng);
+        let batch = run_noisy_batch_segmented(
+            &c,
+            &reference,
+            &mut frame,
+            &NoiseSpec::noiseless(),
+            &[(0, &hot), (2, &cold)],
+            &mut rng,
+        );
+        for s in 0..128 {
+            assert!(!batch.get(0, s), "shot {s}: fault segment must reset the first X");
+            assert!(batch.get(1, s), "shot {s}: faultless segment must leave the second X");
+        }
+    }
+
+    #[test]
+    fn single_segment_timeline_matches_plain_batch() {
+        let mut c = Circuit::new(2, 2);
+        c.x(0).cx(0, 1).measure(0, 0).measure(1, 1);
+        let n = c.num_qubits() as usize;
+        let reference = ReferenceTrace::compute(&c, n, 9);
+        let fault = ActiveFault::from_probs(vec![0.3, 0.6]);
+        let noise = NoiseSpec::depolarizing(0.05);
+        let run_plain = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut frame = PauliFrameBatch::new(n, 256, &mut rng);
+            run_noisy_batch(&c, &reference, &mut frame, &noise, &fault, &mut rng)
+        };
+        let run_seg = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut frame = PauliFrameBatch::new(n, 256, &mut rng);
+            run_noisy_batch_segmented(&c, &reference, &mut frame, &noise, &[(0, &fault)], &mut rng)
+        };
+        assert_eq!(run_plain(77), run_seg(77), "same streams must give identical batches");
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascend")]
+    fn segment_starts_must_ascend() {
+        let mut c = Circuit::new(1, 1);
+        c.measure(0, 0);
+        let reference = ReferenceTrace::compute(&c, 1, 0);
+        let f = ActiveFault::none(1);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut frame = PauliFrameBatch::new(1, 1, &mut rng);
+        let _ = run_noisy_batch_segmented(
+            &c,
+            &reference,
+            &mut frame,
+            &NoiseSpec::noiseless(),
+            &[(0, &f), (0, &f)],
+            &mut rng,
+        );
     }
 
     #[test]

@@ -30,15 +30,42 @@ pub fn run_noisy_shot<B: Backend + ?Sized>(
     fault: &ActiveFault,
     rng: &mut dyn RngCore,
 ) -> ShotRecord {
+    run_noisy_shot_segmented(circuit, backend, noise, &[(0, fault)], rng)
+}
+
+/// [`run_noisy_shot`] with a piecewise-constant fault timeline — the
+/// tableau-oracle counterpart of
+/// [`run_noisy_batch_segmented`](crate::run_noisy_batch_segmented), with
+/// identical segment semantics: `(start_op, fault)` applies `fault` from
+/// `start_op` until the next segment's start.
+///
+/// # Panics
+/// Panics on the [`run_noisy_shot`] mismatches or an invalid timeline
+/// (empty, first segment not at op 0, non-ascending starts, mixed bases).
+pub fn run_noisy_shot_segmented<B: Backend + ?Sized>(
+    circuit: &Circuit,
+    backend: &mut B,
+    noise: &NoiseSpec,
+    segments: &[(usize, &ActiveFault)],
+    rng: &mut dyn RngCore,
+) -> ShotRecord {
     assert!(circuit.num_qubits() <= backend.num_qubits(), "backend too small for circuit");
+    crate::fault::validate_segments(segments);
     let mut record = ShotRecord::new(circuit.num_clbits());
     let p = noise.depolarizing_p;
     // Hoisted channel flags: an inactive channel costs nothing per gate, so
     // noiseless/faultless segments run at plain-execution speed.
     let depolarize = p > 0.0;
     let measure_flips = noise.measure_flip_p > 0.0;
-    let fault_on = fault.is_active();
-    for gate in circuit.ops() {
+    let mut segment = 0usize;
+    let mut fault = segments[0].1;
+    let mut fault_on = fault.is_active();
+    for (i, gate) in circuit.ops().iter().enumerate() {
+        while segment + 1 < segments.len() && segments[segment + 1].0 <= i {
+            segment += 1;
+            fault = segments[segment].1;
+            fault_on = fault.is_active();
+        }
         match *gate {
             Gate::Barrier => continue,
             Gate::Measure { qubit, cbit } => {
@@ -195,6 +222,45 @@ mod tests {
             }
         }
         assert!((120..280).contains(&ones), "ones={ones}");
+    }
+
+    #[test]
+    fn segmented_timeline_switches_fault_mid_circuit() {
+        // Same scenario as the batch executor's test: a certain reset
+        // covering only the first X/measure pair.
+        let mut c = Circuit::new(1, 2);
+        c.x(0).measure(0, 0).x(0).measure(0, 1);
+        let hot = ActiveFault::from_probs(vec![1.0]);
+        let cold = ActiveFault::none(1);
+        let mut rng = StdRng::seed_from_u64(13);
+        for _ in 0..20 {
+            let mut b = StabilizerBackend::new(1);
+            let rec = run_noisy_shot_segmented(
+                &c,
+                &mut b,
+                &NoiseSpec::noiseless(),
+                &[(0, &hot), (2, &cold)],
+                &mut rng,
+            );
+            assert!(!rec.get(0), "fault segment must reset the first X");
+            assert!(rec.get(1), "faultless segment must leave the second X");
+        }
+    }
+
+    #[test]
+    fn single_segment_matches_plain_shot() {
+        let c = ghz_circuit(3);
+        let fault = ActiveFault::from_probs(vec![0.4, 0.0, 0.7]);
+        let noise = NoiseSpec::depolarizing(0.03);
+        for seed in 0..10 {
+            let mut b1 = StabilizerBackend::new(3);
+            let mut b2 = StabilizerBackend::new(3);
+            let mut r1 = StdRng::seed_from_u64(seed);
+            let mut r2 = StdRng::seed_from_u64(seed);
+            let plain = run_noisy_shot(&c, &mut b1, &noise, &fault, &mut r1);
+            let seg = run_noisy_shot_segmented(&c, &mut b2, &noise, &[(0, &fault)], &mut r2);
+            assert_eq!(plain, seg, "seed {seed}");
+        }
     }
 
     #[test]

@@ -145,6 +145,18 @@ impl ActiveFault {
     }
 }
 
+/// Shared validation of a piecewise-constant fault timeline (see
+/// `run_noisy_batch_segmented` / `run_noisy_shot_segmented`): non-empty,
+/// first segment at op 0, strictly ascending starts, one reset basis.
+pub(crate) fn validate_segments(segments: &[(usize, &ActiveFault)]) {
+    assert!(!segments.is_empty(), "fault timeline needs at least one segment");
+    assert_eq!(segments[0].0, 0, "first fault segment must start at op 0");
+    for w in segments.windows(2) {
+        assert!(w[0].0 < w[1].0, "fault segment starts must strictly ascend");
+        assert_eq!(w[0].1.basis(), w[1].1.basis(), "fault segments must share one reset basis");
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

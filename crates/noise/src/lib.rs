@@ -16,6 +16,11 @@
 //!   shots per word against a precomputed noiseless reference (the fast
 //!   path behind the injection engine's default sampler).
 //!
+//! Both executors also come in `_segmented` variants taking a
+//! piecewise-constant fault timeline (`&[(start_op, &ActiveFault)]`) — the
+//! primitive behind multi-round syndrome streaming, where the radiation
+//! transient decays from one stabilizer round to the next *within* a shot.
+//!
 //! ```
 //! use radqec_noise::{temporal_decay, spatial_damping};
 //!
@@ -33,10 +38,10 @@ mod executor;
 mod fault;
 mod radiation;
 
-pub use batch::run_noisy_batch;
+pub use batch::{run_noisy_batch, run_noisy_batch_segmented};
 pub use depolarizing::NoiseSpec;
-pub use executor::run_noisy_shot;
+pub use executor::{run_noisy_shot, run_noisy_shot_segmented};
 pub use fault::{ActiveFault, FaultSpec, ResetBasis};
 pub use radiation::{
-    spatial_damping, temporal_decay, transient_decay, RadiationEvent, RadiationModel,
+    spatial_damping, temporal_decay, transient_decay, RadiationEvent, RadiationModel, StrikeError,
 };

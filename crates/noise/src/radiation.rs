@@ -71,16 +71,47 @@ impl RadiationModel {
 
     /// Materialise a strike at `root` on `topo`: computes the per-qubit
     /// spatial damping from BFS distances.
+    ///
+    /// # Panics
+    /// Panics when `root` is outside `topo`. Use [`Self::try_strike`] when
+    /// the root comes from untrusted configuration (sweep harnesses,
+    /// CLI-provided positions) and the caller wants to surface the error.
     pub fn strike(&self, topo: &Topology, root: u32) -> RadiationEvent {
-        assert!(root < topo.num_qubits(), "root {root} outside topology");
+        self.try_strike(topo, root).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Self::strike`]: `Err` when `root` is not a qubit of
+    /// `topo`, instead of panicking.
+    pub fn try_strike(&self, topo: &Topology, root: u32) -> Result<RadiationEvent, StrikeError> {
+        if root >= topo.num_qubits() {
+            return Err(StrikeError { root, num_qubits: topo.num_qubits() });
+        }
         let spatial: Vec<f64> = topo
             .distances_from(root)
             .into_iter()
             .map(|d| spatial_damping(d, self.spatial_n))
             .collect();
-        RadiationEvent { root, spatial, temporal: self.temporal_samples() }
+        Ok(RadiationEvent { root, spatial, temporal: self.temporal_samples() })
     }
 }
+
+/// A strike root outside the target topology (see
+/// [`RadiationModel::try_strike`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StrikeError {
+    /// The requested root qubit.
+    pub root: u32,
+    /// Number of qubits the topology actually has.
+    pub num_qubits: u32,
+}
+
+impl std::fmt::Display for StrikeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "root {} outside topology of {} qubits", self.root, self.num_qubits)
+    }
+}
+
+impl std::error::Error for StrikeError {}
 
 /// A concrete radiation strike: root qubit, per-qubit spatial damping and
 /// the temporal sample ladder.
@@ -220,5 +251,14 @@ mod tests {
     #[should_panic(expected = "outside topology")]
     fn strike_root_validated() {
         RadiationModel::default().strike(&linear(3), 5);
+    }
+
+    #[test]
+    fn try_strike_reports_bad_root_without_panicking() {
+        let err = RadiationModel::default().try_strike(&linear(3), 5).unwrap_err();
+        assert_eq!(err, StrikeError { root: 5, num_qubits: 3 });
+        assert_eq!(err.to_string(), "root 5 outside topology of 3 qubits");
+        let ok = RadiationModel::default().try_strike(&linear(3), 2).unwrap();
+        assert_eq!(ok.root(), 2);
     }
 }

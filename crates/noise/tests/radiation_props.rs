@@ -1,0 +1,100 @@
+//! Property tests hardening the radiation-model edges (ISSUE 3 satellite):
+//! the closed forms `temporal_decay` / `spatial_damping` /
+//! `transient_decay` at degenerate parameters (`γ = 0`, `d == u32::MAX`,
+//! `spatial_n ≠ 1`), the `sample_times` ladder down to `num_samples == 1`,
+//! and the fallible strike constructor.
+
+use proptest::prelude::*;
+use radqec_noise::{spatial_damping, temporal_decay, transient_decay, RadiationModel, StrikeError};
+use radqec_topology::generators::{linear, mesh};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn temporal_decay_is_bounded_and_monotone(t in 0.0f64..=1.0, gamma in 0.0f64..=50.0) {
+        let v = temporal_decay(t, gamma);
+        prop_assert!((0.0..=1.0).contains(&v), "T({t}, {gamma}) = {v}");
+        // Monotone non-increasing in both t and γ.
+        prop_assert!(temporal_decay(t + 0.1, gamma) <= v + 1e-15);
+        prop_assert!(temporal_decay(t, gamma + 1.0) <= v + 1e-15);
+    }
+
+    #[test]
+    fn gamma_zero_means_no_temporal_decay(t in 0.0f64..=1.0) {
+        prop_assert_eq!(temporal_decay(t, 0.0), 1.0);
+    }
+
+    #[test]
+    fn spatial_damping_general_n(d in 0u32..10_000, n in 0.1f64..=8.0) {
+        let v = spatial_damping(d, n);
+        // S(d) = n²/(d+n)² ∈ (0, 1], S(0) = 1 for every n, monotone in d.
+        prop_assert!(v > 0.0 && v <= 1.0, "S({d}, {n}) = {v}");
+        prop_assert_eq!(spatial_damping(0, n), 1.0);
+        prop_assert!(spatial_damping(d + 1, n) < v);
+        // Larger spatial constants damp less at fixed distance ≥ 1.
+        if d >= 1 {
+            prop_assert!(spatial_damping(d, n + 0.5) > v);
+        }
+    }
+
+    #[test]
+    fn unreachable_distance_damps_to_zero(n in 0.1f64..=8.0, t in 0.0f64..=1.0,
+                                          gamma in 0.0f64..=50.0) {
+        prop_assert_eq!(spatial_damping(u32::MAX, n), 0.0);
+        prop_assert_eq!(transient_decay(t, u32::MAX, gamma, n), 0.0);
+    }
+
+    #[test]
+    fn transient_decay_factorises(t in 0.0f64..=1.0, d in 0u32..1000,
+                                  gamma in 0.0f64..=50.0, n in 0.1f64..=8.0) {
+        let f = transient_decay(t, d, gamma, n);
+        let product = temporal_decay(t, gamma) * spatial_damping(d, n);
+        prop_assert!((f - product).abs() < 1e-15, "F = {f}, T·S = {product}");
+        prop_assert!((0.0..=1.0).contains(&f));
+    }
+
+    #[test]
+    fn sample_times_ladder_is_well_formed(ns in 1usize..=64, gamma in 0.0f64..=50.0) {
+        let m = RadiationModel { gamma, num_samples: ns, ..Default::default() };
+        let ts = m.sample_times();
+        prop_assert_eq!(ts.len(), ns);
+        prop_assert_eq!(ts[0], 0.0);
+        if ns > 1 {
+            prop_assert_eq!(*ts.last().unwrap(), 1.0);
+            prop_assert!(ts.windows(2).all(|w| w[1] > w[0]), "{ts:?} not increasing");
+        }
+        let th = m.temporal_samples();
+        prop_assert_eq!(th.len(), ns);
+        prop_assert_eq!(th[0], 1.0);
+        prop_assert!(th.windows(2).all(|w| w[1] <= w[0]), "{th:?} not decaying");
+    }
+
+    #[test]
+    fn try_strike_accepts_inside_and_rejects_outside(root in 0u32..60, n in 0.25f64..=4.0) {
+        let topo = mesh(5, 6); // 30 qubits
+        let model = RadiationModel { spatial_n: n, ..Default::default() };
+        match model.try_strike(&topo, root) {
+            Ok(ev) => {
+                prop_assert!(root < 30);
+                prop_assert_eq!(ev.root(), root);
+                prop_assert_eq!(ev.spatial_profile().len(), 30);
+                prop_assert_eq!(ev.probability(root, 0), 1.0);
+            }
+            Err(e) => {
+                prop_assert!(root >= 30);
+                prop_assert_eq!(e, StrikeError { root, num_qubits: 30 });
+            }
+        }
+    }
+}
+
+#[test]
+fn single_sample_model_is_impact_only() {
+    let m = RadiationModel { num_samples: 1, ..Default::default() };
+    assert_eq!(m.sample_times(), vec![0.0]);
+    assert_eq!(m.temporal_samples(), vec![1.0]);
+    let ev = m.strike(&linear(4), 1);
+    assert_eq!(ev.num_samples(), 1);
+    assert_eq!(ev.probabilities_at(0), ev.spatial_profile().to_vec());
+}

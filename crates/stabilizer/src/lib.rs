@@ -50,6 +50,17 @@
 //! exact agreement where exactness holds and bounds the bias envelope
 //! elsewhere; keep `SamplerKind::Tableau` as the exact oracle.
 //!
+//! The same trade-off carries over verbatim to **multi-round syndrome
+//! streaming** (`radqec_core::streaming::StreamEngine`): a memory
+//! experiment of `R` stabilisation rounds is just a longer circuit, so one
+//! [`ReferenceTrace`] spans all rounds and the batch executor replays the
+//! evolving radiation transient as a piecewise-constant fault timeline
+//! against it. For online detection the erasure substitution is
+//! *conservative in the useful direction* — it can only raise
+//! detection-event rates, never hide a strike —
+//! and `tests/round_stream_equivalence.rs` pins the streamed per-round
+//! event rates to the tableau oracle's.
+//!
 //! ```
 //! use radqec_circuit::{execute, Circuit};
 //! use radqec_stabilizer::StabilizerBackend;

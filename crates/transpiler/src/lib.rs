@@ -31,4 +31,4 @@ mod transpile;
 
 pub use layout::{choose_layout, Layout, LayoutStrategy};
 pub use router::{route, RoutedCircuit, RouterKind};
-pub use transpile::{transpile, TranspileOptions, Transpiled};
+pub use transpile::{transpile, transpile_with_layout, TranspileOptions, Transpiled};

@@ -85,6 +85,42 @@ pub fn transpile(circuit: &Circuit, topo: &Topology, opts: &TranspileOptions) ->
     t
 }
 
+/// [`transpile`] with a caller-provided initial placement instead of a
+/// layout search — for circuits whose author knows a (near-)native
+/// embedding on the device, e.g. the rotated surface code's checkerboard
+/// on a mesh (`radqec_core::codes::CodeSpec::native_embedding`), where the
+/// layout heuristics cannot be expected to rediscover the structure.
+/// `opts.layout` and `opts.auto` are ignored; routing and SWAP
+/// decomposition behave as in [`transpile`].
+///
+/// # Panics
+/// Panics when `initial` does not fit the (circuit, topology) pair or
+/// operands are unreachable.
+pub fn transpile_with_layout(
+    circuit: &Circuit,
+    topo: &Topology,
+    initial: Layout,
+    opts: &TranspileOptions,
+) -> Transpiled {
+    assert!(
+        initial.num_logical() >= circuit.num_qubits() as usize,
+        "layout covers {} logical qubits, circuit needs {}",
+        initial.num_logical(),
+        circuit.num_qubits()
+    );
+    let routed = route(circuit, topo, &initial, opts.router);
+    let mut t = Transpiled {
+        circuit: routed.circuit,
+        initial_layout: initial,
+        final_layout: routed.final_layout,
+        swap_count: routed.swap_count,
+    };
+    if !opts.keep_swaps {
+        t.circuit = t.circuit.decompose_swaps();
+    }
+    t
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

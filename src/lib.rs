@@ -28,6 +28,7 @@
 
 pub use radqec_circuit as circuit;
 pub use radqec_core as core;
+pub use radqec_detect as detect;
 pub use radqec_matching as matching;
 pub use radqec_noise as noise;
 pub use radqec_stabilizer as stabilizer;
@@ -41,6 +42,8 @@ pub mod prelude {
     pub use radqec_core::codes::{CodeSpec, QecCode, RepetitionCode, XxzzCode};
     pub use radqec_core::decoder::{BulkDecoder, Decoder, MwpmDecoder, UnionFindDecoder};
     pub use radqec_core::injection::{InjectionEngine, InjectionOutcome, SamplerKind};
+    pub use radqec_core::streaming::{StreamEngine, StreamFault};
+    pub use radqec_detect::{CusumDetector, EventStream, Localizer, OnlineDetector};
     pub use radqec_noise::{FaultSpec, NoiseSpec, RadiationModel};
     pub use radqec_stabilizer::StabilizerBackend;
     pub use radqec_topology::Topology;

@@ -88,6 +88,39 @@ macro_rules! impl_sample_range_uint {
 }
 impl_sample_range_uint!(u8, u16, u32, u64, usize);
 
+macro_rules! impl_sample_range_float {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample from empty range");
+                // Rounding in the scale-and-shift (or the f64→f32 cast)
+                // can land exactly on the excluded upper bound; resample
+                // like upstream rand (p ≲ 2⁻²⁵ per draw), with a clamp to
+                // the start as the unreachable-in-practice backstop.
+                for _ in 0..8 {
+                    // 53 high bits give a uniform f64 in [0, 1).
+                    let u = ((rng.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64);
+                    let v = self.start + (u as $t) * (self.end - self.start);
+                    if v < self.end {
+                        return v;
+                    }
+                }
+                self.start
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample from empty range");
+                // Scale to [0, 1] so both endpoints are reachable.
+                let u = ((rng.next_u64() >> 11) as f64) * (1.0 / ((1u64 << 53) - 1) as f64);
+                lo + (u as $t) * (hi - lo)
+            }
+        }
+    )*};
+}
+impl_sample_range_float!(f32, f64);
+
 macro_rules! impl_sample_range_int {
     ($($t:ty),*) => {$(
         impl SampleRange<$t> for core::ops::Range<$t> {
@@ -266,6 +299,21 @@ mod tests {
         for _ in 0..1000 {
             let v = rng.gen_range(-3i64..=3);
             assert!((-3..=3).contains(&v));
+        }
+    }
+
+    #[test]
+    fn float_gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&v), "{v}");
+            let v = rng.gen_range(-1.0f64..=1.0);
+            assert!((-1.0..=1.0).contains(&v), "{v}");
+            // f32: the f64→f32 cast rounds, the very case that could land
+            // on the excluded end without the resample guard.
+            let v = rng.gen_range(0.0f32..1.0);
+            assert!((0.0..1.0).contains(&v), "{v}");
         }
     }
 
