@@ -1,14 +1,28 @@
 //! Online radiation-event detection: the strike-position × detector ×
-//! code-distance sweep plus stream-generation / detection throughput,
-//! emitting a `BENCH_detect.json` trajectory entry and (with
-//! `--csv <path>`) the per-row ROC/latency CSV.
+//! code-distance sweep plus the streaming pipeline's per-stage throughput
+//! (generate / extract / detect), emitting a `BENCH_detect.json`
+//! trajectory entry and (with `--csv <path>`) the per-row ROC/latency CSV.
 //!
-//! The `xxzz55` workload at `--shots 10000` (the default) is the ISSUE 3
-//! acceptance run: on the native 9×9 mesh with paper-default noise, the
-//! CUSUM detector must separate strike from intrinsic-only streams with
-//! ROC AUC ≥ 0.9 at the central impact point, alarm within 3 rounds
-//! (median), and the spatial clusterer must localize the strike within 2
-//! hops (median) — the bin prints a PASS/FAIL gate line per criterion.
+//! The `xxzz55` workload at `--shots 10000` (the default) carries two
+//! gates:
+//!
+//! * the ISSUE 3 acceptance run — on the native 9×9 mesh with
+//!   paper-default noise, the CUSUM detector must separate strike from
+//!   intrinsic-only streams with ROC AUC ≥ 0.9 at the central impact
+//!   point, alarm within 3 rounds (median), and the spatial clusterer
+//!   must localize the strike within 2 hops (median);
+//! * the ISSUE 4 streaming-overhaul gate — `stream_shots_per_sec`
+//!   (materialised generation, same semantics as PR 3) must be ≥ 3× the
+//!   PR 3 value of 520.6 k shots/s, with all detection metrics unchanged
+//!   (streams bit-identical; see `tests/golden_stream.rs`).
+//!
+//! Per-stage timing runs on the incremental decode-as-you-stream pipeline
+//! ([`StreamEngine::for_each_round`]): generation hands each round to the
+//! consumer the moment its ops finish, the consumer feeds an
+//! [`EventAccumulator`] (extract) and advances per-shot threshold/CUSUM
+//! states ([`OnlineDetector::push`], detect). `round_latency_us` is the
+//! mean wall-clock from a round becoming available to its detector states
+//! being updated — the figure a real-time monitor would quote.
 //!
 //! ```text
 //! cargo run --release -p radqec-bench --bin detect_throughput \
@@ -19,15 +33,16 @@ use radqec_bench::{arg_flag, header, CsvSink};
 use radqec_core::codes::{CodeSpec, RepetitionCode, XxzzCode};
 use radqec_core::experiments::{run_detection, DetectionConfig, DetectionResult};
 use radqec_core::streaming::{StreamEngine, StreamFault};
-use radqec_detect::{CusumDetector, EventStream, OnlineDetector, ThresholdDetector};
+use radqec_detect::{CusumDetector, EventAccumulator, OnlineDetector, ThresholdDetector};
 use radqec_noise::{NoiseSpec, RadiationModel};
 use std::fmt::Write as _;
+use std::sync::Mutex;
 use std::time::Instant;
 
 struct Workload {
     name: &'static str,
     spec: CodeSpec,
-    /// Whether this workload carries the acceptance gate.
+    /// Whether this workload carries the acceptance gates.
     acceptance: bool,
 }
 
@@ -40,11 +55,12 @@ fn workloads() -> Vec<Workload> {
 }
 
 /// Shots/s of raw multi-round stream generation (frame sampler, strike at
-/// `root`).
+/// `root`) — the materialised `stream_batches` path, measured with the
+/// same semantics as PR 3's `stream_shots_per_sec`.
 fn stream_throughput(engine: &StreamEngine, root: u32) -> f64 {
     let fault = StreamFault::Strike { model: RadiationModel::default(), root };
     let noise = NoiseSpec::paper_default();
-    let _ = engine.stream_batches(&fault, &noise); // warm-up (reference trace)
+    let _ = engine.stream_batches(&fault, &noise); // warm-up (reference, workspaces, skip tables)
     let start = Instant::now();
     let batches = engine.stream_batches(&fault, &noise);
     let secs = start.elapsed().as_secs_f64();
@@ -52,43 +68,119 @@ fn stream_throughput(engine: &StreamEngine, root: u32) -> f64 {
     engine.shots() as f64 / secs
 }
 
-/// Shots/s of event extraction + both count detectors over a generated
-/// stream (the online-monitor inner loop).
-fn detect_throughput(engine: &StreamEngine, root: u32) -> f64 {
+/// Per-stage timing of the incremental decode-as-you-stream pipeline.
+struct PipelineTiming {
+    /// End-to-end wall clock of the overlapped pipeline (shots/s).
+    pipeline_sps: f64,
+    /// Extraction-stage rate (shots/s over accumulated stage time).
+    extract_sps: f64,
+    /// Detection-stage rate (shots/s over accumulated stage time).
+    detect_sps: f64,
+    /// Generation-stage rate, measured by a dedicated empty-sink pass of
+    /// the incremental driver (shots/s) — well-defined on any worker
+    /// count, unlike wall-minus-consumer-CPU arithmetic.
+    generate_sps: f64,
+    /// Mean wall-clock from a round landing to its detector states being
+    /// current, in µs (per chunk-round).
+    round_latency_us: f64,
+}
+
+/// Drive the incremental pipeline once: per-chunk [`EventAccumulator`]s
+/// (extract) feeding per-shot threshold + CUSUM states (detect), all
+/// updated the moment each round is generated.
+fn pipeline_timing(engine: &StreamEngine, root: u32) -> PipelineTiming {
     let fault = StreamFault::Strike { model: RadiationModel::default(), root };
-    let batches = engine.stream_batches(&fault, &NoiseSpec::paper_default());
+    let noise = NoiseSpec::paper_default();
     let spec = engine.stream_spec();
     let cusum = CusumDetector::calibrated(1.0);
     let threshold = ThresholdDetector { threshold: 4.0 };
-    let start = Instant::now();
-    let mut counts = Vec::new();
-    let mut residuals: Vec<f64> = Vec::new();
-    let mut alarms = 0usize;
-    for batch in &batches {
-        let events = EventStream::extract(batch, spec);
-        for s in 0..events.shots() {
-            events.round_counts(s, &mut counts);
-            residuals.clear();
-            residuals.extend(counts.iter().map(|&c| f64::from(c)));
-            alarms += usize::from(cusum.detect(&residuals).alarm_round.is_some());
-            alarms += usize::from(threshold.detect(&residuals).alarm_round.is_some());
-        }
+
+    struct ChunkState {
+        acc: EventAccumulator,
+        cusum: Vec<radqec_detect::CountDetectorState>,
+        threshold: Vec<radqec_detect::CountDetectorState>,
+        counts: Vec<u32>,
     }
-    let secs = start.elapsed().as_secs_f64();
+    // One consumer slot per chunk; each chunk is driven by exactly one
+    // worker, so the mutexes never contend.
+    let slots: Vec<Mutex<Option<ChunkState>>> =
+        (0..engine.num_chunks()).map(|_| Mutex::new(None)).collect();
+    let extract_ns = std::sync::atomic::AtomicU64::new(0);
+    let detect_ns = std::sync::atomic::AtomicU64::new(0);
+    let rounds_seen = std::sync::atomic::AtomicU64::new(0);
+
+    // Generation stage in isolation: the same incremental driver with a
+    // sink that drops every round — first a warm-up, then the timed pass.
+    // (Subtracting the consumer's summed per-worker CPU time from the
+    // pipeline wall clock would go negative on multicore hosts, where the
+    // stages genuinely overlap.)
+    let drop_sink = |slice: radqec_core::streaming::RoundSlice| {
+        std::hint::black_box(slice.round);
+    };
+    engine.for_each_round(&fault, &noise, drop_sink);
+    let gen_start = Instant::now();
+    engine.for_each_round(&fault, &noise, drop_sink);
+    let generate_wall = gen_start.elapsed().as_secs_f64();
+
+    let start = Instant::now();
+    engine.for_each_round(&fault, &noise, |slice| {
+        let mut slot = slots[slice.chunk].lock().expect("chunk slot poisoned");
+        let state = slot.get_or_insert_with(|| ChunkState {
+            acc: EventAccumulator::new(spec, slice.shots),
+            cusum: vec![cusum.begin(); slice.shots],
+            threshold: vec![threshold.begin(); slice.shots],
+            counts: Vec::new(),
+        });
+        let t0 = Instant::now();
+        state.acc.push_round(slice.round, slice.syndrome_rows());
+        let t1 = Instant::now();
+        // Baseline-free residuals, as in the detect-stage inner loop the
+        // online monitor runs (calibration is the sweep's job).
+        state.acc.stream().round_shot_counts(slice.round, &mut state.counts);
+        for (s, &c) in state.counts.iter().enumerate() {
+            cusum.push(&mut state.cusum[s], slice.round, f64::from(c));
+            threshold.push(&mut state.threshold[s], slice.round, f64::from(c));
+        }
+        let t2 = Instant::now();
+        extract_ns.fetch_add((t1 - t0).as_nanos() as u64, std::sync::atomic::Ordering::Relaxed);
+        detect_ns.fetch_add((t2 - t1).as_nanos() as u64, std::sync::atomic::Ordering::Relaxed);
+        rounds_seen.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    });
+    let wall = start.elapsed().as_secs_f64();
+    let alarms: usize = slots
+        .iter()
+        .map(|slot| {
+            slot.lock().expect("chunk slot poisoned").as_ref().map_or(0, |st| {
+                st.cusum.iter().filter(|d| d.detection().alarm_round.is_some()).count()
+                    + st.threshold.iter().filter(|d| d.detection().alarm_round.is_some()).count()
+            })
+        })
+        .sum();
     std::hint::black_box(alarms);
-    engine.shots() as f64 / secs
+    let shots = engine.shots() as f64;
+    let extract = extract_ns.load(std::sync::atomic::Ordering::Relaxed) as f64 * 1e-9;
+    let detect = detect_ns.load(std::sync::atomic::Ordering::Relaxed) as f64 * 1e-9;
+    let rounds = rounds_seen.load(std::sync::atomic::Ordering::Relaxed).max(1) as f64;
+    PipelineTiming {
+        pipeline_sps: shots / wall,
+        extract_sps: shots / extract.max(1e-12),
+        detect_sps: shots / detect.max(1e-12),
+        generate_sps: shots / generate_wall.max(1e-12),
+        round_latency_us: (extract + detect) / rounds * 1e6,
+    }
 }
 
 /// The sweep's distinct roots in row order; the central one is the
-/// canonical "impact point" of the acceptance gate.
-fn central_root(res: &DetectionResult) -> u32 {
+/// canonical "impact point" of the acceptance gate, the first the
+/// boundary ("corner") one of the calibration study.
+fn sweep_roots(res: &DetectionResult) -> Vec<u32> {
     let mut roots: Vec<u32> = Vec::new();
     for row in &res.rows {
         if !roots.contains(&row.root) {
             roots.push(row.root);
         }
     }
-    roots[roots.len() / 2]
+    roots
 }
 
 fn main() {
@@ -105,11 +197,28 @@ fn main() {
         cfg.rounds = rounds;
         cfg.seed = seed;
         let res = run_detection(&cfg);
-        let root = central_root(&res);
+        let roots = sweep_roots(&res);
+        let root = roots[roots.len() / 2];
+        let corner = roots[0];
 
+        // The engine shares its transpile + reference with run_detection's
+        // through the process-wide stream-context cache.
         let engine = StreamEngine::builder(w.spec, rounds).shots(shots).seed(seed).native().build();
         let stream_sps = stream_throughput(&engine, root);
-        let detect_sps = detect_throughput(&engine, root);
+        let pipe = pipeline_timing(&engine, root);
+        let stats = engine.stream_stats();
+
+        // Boundary-calibration study: the same sweep's corner + central
+        // roots with per-root null calibration on (cluster rows only).
+        let mut norm_cfg = DetectionConfig::new(w.spec);
+        norm_cfg.shots = shots;
+        norm_cfg.rounds = rounds;
+        norm_cfg.seed = seed;
+        norm_cfg.roots = Some(vec![corner, root]);
+        norm_cfg.boundary_norm = true;
+        let norm_res = run_detection(&norm_cfg);
+        let corner_raw = res.row(corner, "cluster").expect("corner cluster row").auc;
+        let corner_norm = norm_res.row(corner, "cluster").expect("corner norm row").auc;
 
         header(&format!(
             "{} — {} on {}, {} rounds, {} shots/campaign",
@@ -120,8 +229,26 @@ fn main() {
             shots
         ));
         println!(
-            "stream generation: {stream_sps:>10.0} shots/s   extraction+detection: \
-             {detect_sps:>10.0} shots/s"
+            "stream generation: {stream_sps:>10.0} shots/s   incremental pipeline: \
+             {:>10.0} shots/s",
+            pipe.pipeline_sps
+        );
+        println!(
+            "per stage: generate {:>10.0}  extract {:>10.0}  detect {:>10.0} shots/s   \
+             round latency {:.1} µs",
+            pipe.generate_sps, pipe.extract_sps, pipe.detect_sps, pipe.round_latency_us
+        );
+        println!(
+            "stream stats: {} rounds, {} chunks ({} stolen), workspace {} allocs / {} reuses",
+            stats.rounds_generated,
+            stats.chunks_generated,
+            stats.chunks_stolen,
+            stats.workspace_allocations,
+            stats.workspace_reuses
+        );
+        println!(
+            "boundary calibration @ root {corner}: cluster auc {corner_raw:.3} raw vs \
+             {corner_norm:.3} per-root-calibrated"
         );
         println!(
             "{:>6} {:>10} {:>7} {:>7} {:>7} {:>5} {:>5}",
@@ -170,13 +297,31 @@ fn main() {
              \"shots\":{shots},\"rounds\":{rounds},\"seed\":{seed},\
              \"central_root\":{root},\
              \"stream_shots_per_sec\":{stream_sps:.1},\
-             \"detect_shots_per_sec\":{detect_sps:.1},\
+             \"pipeline_shots_per_sec\":{:.1},\
+             \"generate_shots_per_sec\":{:.1},\
+             \"extract_shots_per_sec\":{:.1},\
+             \"detect_shots_per_sec\":{:.1},\
+             \"round_latency_us\":{:.2},\
+             \"rounds_generated\":{},\"chunks_stolen\":{},\
+             \"workspace_allocations\":{},\"workspace_reuses\":{},\
              \"cusum_auc\":{:.4},\"cusum_detection_rate\":{:.4},\
              \"cusum_false_alarm_rate\":{:.4},\"cusum_median_latency_rounds\":{},\
-             \"cluster_auc\":{:.4},\"cluster_median_loc_error_hops\":{}}}",
+             \"cluster_auc\":{:.4},\"cluster_median_loc_error_hops\":{},\
+             \"corner_root\":{corner},\
+             \"cluster_corner_auc_raw\":{corner_raw:.4},\
+             \"cluster_corner_auc_calibrated\":{corner_norm:.4}}}",
             w.name,
             res.code_name,
             engine.topology().name(),
+            pipe.pipeline_sps,
+            pipe.generate_sps,
+            pipe.extract_sps,
+            pipe.detect_sps,
+            pipe.round_latency_us,
+            stats.rounds_generated,
+            stats.chunks_stolen,
+            stats.workspace_allocations,
+            stats.workspace_reuses,
             cusum.auc,
             cusum.detection_rate,
             cusum.false_alarm_rate,

@@ -29,6 +29,22 @@ impl ShotBatch {
         ShotBatch { num_clbits, shots, words, bits: vec![0; num_clbits as usize * words] }
     }
 
+    /// Re-shape this batch in place to an all-zero `(num_clbits, shots)`
+    /// grid, recycling the word buffer (workspace pooling). Returns
+    /// whether the existing buffer was large enough to avoid
+    /// reallocating.
+    pub fn reset(&mut self, num_clbits: u32, shots: usize) -> bool {
+        assert!(shots > 0, "batch needs at least one shot");
+        let words = shots.div_ceil(64);
+        let reused = self.bits.capacity() >= num_clbits as usize * words;
+        self.num_clbits = num_clbits;
+        self.shots = shots;
+        self.words = words;
+        self.bits.clear();
+        self.bits.resize(num_clbits as usize * words, 0);
+        reused
+    }
+
     /// Number of classical bits per shot.
     #[inline]
     pub fn num_clbits(&self) -> u32 {

@@ -227,7 +227,7 @@ pub trait QecCode {
 }
 
 /// Enumerable code kind for experiment configuration tables.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CodeSpec {
     /// Repetition code.
     Repetition(RepetitionCode),

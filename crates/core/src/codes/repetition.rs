@@ -12,7 +12,7 @@ use super::{
 use radqec_topology::{generators::linear, Topology};
 
 /// Repetition-code flavour.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RepetitionFlavor {
     /// Distance `(d, 1)`: ZZ checks, detects bit flips — the variant the
     /// paper evaluates throughout.
@@ -23,7 +23,7 @@ pub enum RepetitionFlavor {
 }
 
 /// A parameterised repetition code.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct RepetitionCode {
     /// Chain length `n` (odd, ≥ 3).
     pub distance: u32,

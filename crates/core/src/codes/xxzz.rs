@@ -23,7 +23,7 @@ use radqec_topology::{generators::mesh, Topology};
 type Plaquette = (StabKind, Vec<u32>, (i64, i64));
 
 /// A parameterised XXZZ rotated surface code with distances `(d_Z, d_X)`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct XxzzCode {
     /// Bit-flip distance (rows of the data grid).
     pub dz: u32,

@@ -21,8 +21,8 @@ use crate::injection::SamplerKind;
 use crate::streaming::{StreamEngine, StreamFault};
 use radqec_circuit::ShotBatch;
 use radqec_detect::{
-    median_u32, roc_auc, ClusterDetector, CusumDetector, EventStream, Localizer, OnlineDetector,
-    ThresholdDetector,
+    median_u32, quantile, roc_auc, ClusterDetector, CusumDetector, EventStream, Localizer,
+    OnlineDetector, RootCalibration, ThresholdDetector,
 };
 use radqec_noise::{NoiseSpec, RadiationModel};
 
@@ -50,6 +50,16 @@ pub struct DetectionConfig {
     /// intrinsic event rate and smear the strike's spatial footprint.
     /// `false` falls back to the paper's fitted-mesh transpilation.
     pub native: bool,
+    /// Boundary-aware per-root cluster-score calibration — default
+    /// false, preserving the raw matched-filter score. When true, the
+    /// sweep fits a [`RootCalibration`] from the null campaign (per-root
+    /// score quantiles, pooled over 2-hop neighbourhoods) and rescales
+    /// every cluster score by its elected root's null level before
+    /// thresholding and ROC analysis. (The model-based alternative,
+    /// `Localizer::with_boundary_norm`, is a separate opt-in on the
+    /// localizer itself; measurements show both leave the corner AUC gap
+    /// essentially unchanged — it is signal-limited, see ROADMAP.)
+    pub boundary_norm: bool,
     /// Shot sampler (default frame batch).
     pub sampler: SamplerKind,
     /// Master seed.
@@ -71,6 +81,7 @@ impl DetectionConfig {
             model: RadiationModel::default(),
             roots: None,
             native: true,
+            boundary_norm: false,
             sampler: SamplerKind::FrameBatch,
             seed: 0xDE7EC7,
             window: Localizer::DEFAULT_WINDOW,
@@ -246,12 +257,42 @@ fn run_cluster_detector(det: &ClusterDetector, campaign: &Campaign) -> CampaignT
     trace
 }
 
-/// `p`-quantile (0..=1) of a sample by sorting (deterministic; nearest-rank).
-fn quantile(xs: &[f64], p: f64) -> f64 {
-    let mut v = xs.to_vec();
-    v.sort_by(f64::total_cmp);
-    let idx = ((v.len() as f64 * p).ceil() as usize).clamp(1, v.len()) - 1;
-    v[idx]
+/// Raw single-event score floor of the cluster alarm (a lone event — or
+/// its time-like repeat — may never alarm, whatever the calibration).
+const CLUSTER_RAW_FLOOR: f64 = 1.05;
+
+/// The boundary-calibrated cluster evaluation (`DetectionConfig::
+/// boundary_norm`): every window score is rescaled by the shot's elected
+/// root's *null* reference level ([`RootCalibration`]) before scoring and
+/// thresholding, so corner-rooted strikes are compared against
+/// corner-null behaviour instead of the chip-wide (centre-dominated)
+/// score pool. The raw floor still gates alarms.
+fn run_cluster_calibrated(
+    probe: &ClusterDetector,
+    campaign: &Campaign,
+    cal: &RootCalibration,
+    level: f64,
+) -> CampaignTrace {
+    let mut trace = CampaignTrace { scores: Vec::new(), alarms: Vec::new(), roots: Vec::new() };
+    let mut windows = Vec::new();
+    for ev in &campaign.events {
+        for s in 0..ev.shots() {
+            let root = probe.window_trace(ev, s, &mut windows);
+            let mut score = 0.0f64;
+            let mut alarm = None;
+            for (r, &raw) in windows.iter().enumerate() {
+                let norm = cal.normalize(root, raw);
+                score = score.max(norm);
+                if alarm.is_none() && norm >= level && raw >= CLUSTER_RAW_FLOOR {
+                    alarm = Some(r);
+                }
+            }
+            trace.scores.push(score);
+            trace.alarms.push(alarm);
+            trace.roots.push(root);
+        }
+    }
+    trace
 }
 
 fn rate_of(alarms: &[Option<usize>]) -> f64 {
@@ -309,11 +350,45 @@ pub fn run_detection(cfg: &DetectionConfig) -> DetectionResult {
             null_window_scores.push(windows);
         }
     }
-    let cluster_level = (1.1 * quantile(&null_cluster.scores, 0.995)).max(1.05);
-    null_cluster.alarms = null_window_scores
-        .iter()
-        .map(|windows| windows.iter().position(|&s| s >= cluster_level))
-        .collect();
+    // Boundary-aware mode: fit each root's null score baseline from the
+    // probe pass and re-express scores and the alarm level on the
+    // calibrated scale (see `run_cluster_calibrated`).
+    let calibration = cfg.boundary_norm.then(|| {
+        RootCalibration::fit(
+            null_cluster.roots.iter().copied().zip(null_cluster.scores.iter().copied()),
+            engine.topology(),
+            0.9,
+        )
+    });
+    let cluster_level;
+    match &calibration {
+        Some(cal) => {
+            let norm_scores: Vec<f64> = null_cluster
+                .roots
+                .iter()
+                .zip(&null_cluster.scores)
+                .map(|(&root, &s)| cal.normalize(root, s))
+                .collect();
+            cluster_level = 1.1 * quantile(&norm_scores, 0.995);
+            null_cluster.alarms = null_window_scores
+                .iter()
+                .zip(&null_cluster.roots)
+                .map(|(windows, &root)| {
+                    windows.iter().position(|&raw| {
+                        cal.normalize(root, raw) >= cluster_level && raw >= CLUSTER_RAW_FLOOR
+                    })
+                })
+                .collect();
+            null_cluster.scores = norm_scores;
+        }
+        None => {
+            cluster_level = (1.1 * quantile(&null_cluster.scores, 0.995)).max(CLUSTER_RAW_FLOOR);
+            null_cluster.alarms = null_window_scores
+                .iter()
+                .map(|windows| windows.iter().position(|&s| s >= cluster_level))
+                .collect();
+        }
+    }
     let cluster = ClusterDetector::new(localizer, cluster_level);
 
     let roots = cfg.roots.clone().unwrap_or_else(|| {
@@ -338,10 +413,14 @@ pub fn run_detection(cfg: &DetectionConfig) -> DetectionResult {
             engine.stream_batches(&StreamFault::Strike { model: cfg.model, root }, &cfg.noise);
         let strike = campaign(&strike_batches, &engine);
         let dists = engine.topology().distances_from(root);
+        let cluster_trace = match &calibration {
+            Some(cal) => run_cluster_calibrated(&probe, &strike, cal, cluster_level),
+            None => run_cluster_detector(&cluster, &strike),
+        };
         let traces: [(String, CampaignTrace); 3] = [
             (threshold.name().into(), run_counts_detector(&threshold, &strike, &baseline)),
             (cusum.name().into(), run_counts_detector(&cusum, &strike, &baseline)),
-            ("cluster".into(), run_cluster_detector(&cluster, &strike)),
+            ("cluster".into(), cluster_trace),
         ];
         for ((detector, trace), null_trace) in traces.into_iter().zip(&null_traces) {
             let loc_errors: Vec<u32> = trace

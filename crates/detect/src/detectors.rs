@@ -21,14 +21,50 @@ pub struct Detection {
     pub alarm_round: Option<usize>,
 }
 
+/// Running state of one shot's count detector — the decode-as-you-stream
+/// mirror of [`OnlineDetector::detect`]: residuals are pushed round by
+/// round as the stream generates them, and [`Self::detection`] at any
+/// point equals the batch call on the rounds seen so far (the batch path
+/// *is* a fold over [`OnlineDetector::push`], so the two can never
+/// disagree).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CountDetectorState {
+    /// Detector-specific running statistic (CUSUM's `S_r`; unused by the
+    /// threshold rule).
+    pub stat: f64,
+    /// Running anomaly score.
+    pub peak: f64,
+    /// First alarming round, if any.
+    pub alarm_round: Option<usize>,
+}
+
+impl CountDetectorState {
+    /// The detection verdict of the rounds pushed so far.
+    pub fn detection(&self) -> Detection {
+        Detection { score: self.peak, alarm_round: self.alarm_round }
+    }
+}
+
 /// An online change detector over per-round detection-event residuals.
 pub trait OnlineDetector: Send + Sync {
     /// Detector display name.
     fn name(&self) -> &str;
 
+    /// Fresh per-shot state for the incremental API.
+    fn begin(&self) -> CountDetectorState;
+
+    /// Advance one shot's state by round `round`'s residual.
+    fn push(&self, state: &mut CountDetectorState, round: usize, residual: f64);
+
     /// Process one shot's per-round baseline-subtracted event counts
-    /// (index = round).
-    fn detect(&self, residuals: &[f64]) -> Detection;
+    /// (index = round) — a fold over [`Self::push`].
+    fn detect(&self, residuals: &[f64]) -> Detection {
+        let mut state = self.begin();
+        for (r, &c) in residuals.iter().enumerate() {
+            self.push(&mut state, r, c);
+        }
+        state.detection()
+    }
 }
 
 /// Per-round event-rate threshold: alarm as soon as a single round runs
@@ -45,16 +81,15 @@ impl OnlineDetector for ThresholdDetector {
         "threshold"
     }
 
-    fn detect(&self, residuals: &[f64]) -> Detection {
-        let mut alarm = None;
-        let mut peak = f64::NEG_INFINITY;
-        for (r, &c) in residuals.iter().enumerate() {
-            peak = peak.max(c);
-            if alarm.is_none() && c >= self.threshold {
-                alarm = Some(r);
-            }
+    fn begin(&self) -> CountDetectorState {
+        CountDetectorState { stat: 0.0, peak: f64::NEG_INFINITY, alarm_round: None }
+    }
+
+    fn push(&self, state: &mut CountDetectorState, round: usize, residual: f64) {
+        state.peak = state.peak.max(residual);
+        if state.alarm_round.is_none() && residual >= self.threshold {
+            state.alarm_round = Some(round);
         }
-        Detection { score: peak, alarm_round: alarm }
     }
 }
 
@@ -91,18 +126,16 @@ impl OnlineDetector for CusumDetector {
         "cusum"
     }
 
-    fn detect(&self, residuals: &[f64]) -> Detection {
-        let mut s = 0.0f64;
-        let mut peak = 0.0f64;
-        let mut alarm = None;
-        for (r, &c) in residuals.iter().enumerate() {
-            s = (s + c - self.drift).max(0.0);
-            peak = peak.max(s);
-            if alarm.is_none() && s >= self.threshold {
-                alarm = Some(r);
-            }
+    fn begin(&self) -> CountDetectorState {
+        CountDetectorState { stat: 0.0, peak: 0.0, alarm_round: None }
+    }
+
+    fn push(&self, state: &mut CountDetectorState, round: usize, residual: f64) {
+        state.stat = (state.stat + residual - self.drift).max(0.0);
+        state.peak = state.peak.max(state.stat);
+        if state.alarm_round.is_none() && state.stat >= self.threshold {
+            state.alarm_round = Some(round);
         }
-        Detection { score: peak, alarm_round: alarm }
     }
 }
 
@@ -141,6 +174,26 @@ mod tests {
         let d = det.detect(&[3.0, 0.0, 3.0, 0.0, 3.0, 0.0]);
         assert_eq!(d.alarm_round, None);
         assert!(d.score < 5.0);
+    }
+
+    #[test]
+    fn incremental_push_equals_batch_detect() {
+        let residuals = [0.0, 3.0, -1.0, 5.0, 2.0, 0.5, 4.0];
+        let cusum = CusumDetector { drift: 1.0, threshold: 6.0 };
+        let threshold = ThresholdDetector { threshold: 4.0 };
+        for det in [&cusum as &dyn OnlineDetector, &threshold] {
+            let mut state = det.begin();
+            for (r, &c) in residuals.iter().enumerate() {
+                det.push(&mut state, r, c);
+                // Mid-stream verdict equals the batch verdict on the prefix.
+                assert_eq!(
+                    state.detection(),
+                    det.detect(&residuals[..=r]),
+                    "{} round {r}",
+                    det.name()
+                );
+            }
+        }
     }
 
     #[test]

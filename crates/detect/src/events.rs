@@ -146,10 +146,133 @@ impl EventStream {
         }
     }
 
+    /// Per-shot event counts of **one** round, written into `out`
+    /// (resized to `shots`) — the incremental counterpart of
+    /// [`Self::round_counts`], used by decode-as-you-stream consumers to
+    /// advance their per-shot detector states the moment a round lands.
+    pub fn round_shot_counts(&self, round: usize, out: &mut Vec<u32>) {
+        out.clear();
+        out.resize(self.shots, 0);
+        for i in 0..self.num_stabs {
+            for (w, &word) in self.plane(round, i).iter().enumerate() {
+                let mut bits = word;
+                while bits != 0 {
+                    let b = bits.trailing_zeros() as usize;
+                    out[w * 64 + b] += 1;
+                    bits &= bits - 1;
+                }
+            }
+        }
+    }
+
     /// Total detection events across the whole stream (popcount of every
     /// plane) — a cheap aggregate for rate monitoring and tests.
     pub fn total_events(&self) -> u64 {
         self.planes.iter().map(|w| u64::from(w.count_ones())).sum()
+    }
+}
+
+impl PartialEq for EventStream {
+    fn eq(&self, other: &Self) -> bool {
+        self.rounds == other.rounds
+            && self.num_stabs == other.num_stabs
+            && self.shots == other.shots
+            && self.planes == other.planes
+    }
+}
+
+/// Incremental [`EventStream`] builder for decode-as-you-stream: rounds
+/// are pushed one at a time as the producer generates them, and each
+/// round's event planes are available immediately — the consumer never
+/// waits for the full multi-round record to materialise.
+///
+/// `push_round` takes the round's **raw syndrome rows** (stabilizer-major
+/// bit-planes, one row of `words` words per stabilizer — exactly the
+/// layout of `radqec_core::streaming::RoundSlice::syndrome_rows`) and
+/// XORs them against the retained previous round, word-parallel.
+/// `finish` returns an [`EventStream`] bit-identical to
+/// [`EventStream::extract`] over the materialised batch.
+#[derive(Debug, Clone)]
+pub struct EventAccumulator {
+    stream: EventStream,
+    first_round_deterministic: Vec<bool>,
+    /// Last pushed round's raw syndromes, stabilizer-major.
+    prev: Vec<u64>,
+    next_round: usize,
+}
+
+impl EventAccumulator {
+    /// Start accumulating a `shots`-shot stream laid out by `spec`.
+    pub fn new(spec: &StreamSpec, shots: usize) -> Self {
+        assert!(shots > 0, "stream needs at least one shot");
+        let words = shots.div_ceil(64);
+        EventAccumulator {
+            stream: EventStream {
+                rounds: spec.rounds,
+                num_stabs: spec.num_stabs,
+                shots,
+                words,
+                planes: vec![0u64; spec.rounds * spec.num_stabs * words],
+            },
+            first_round_deterministic: spec.first_round_deterministic.clone(),
+            prev: vec![0u64; spec.num_stabs * words],
+            next_round: 0,
+        }
+    }
+
+    /// Rounds pushed so far (event planes for rounds `< rounds_pushed()`
+    /// are final).
+    pub fn rounds_pushed(&self) -> usize {
+        self.next_round
+    }
+
+    /// Push round `round`'s raw syndrome rows (stabilizer-major, `words`
+    /// words per stabilizer) and compute its detection-event planes.
+    ///
+    /// # Panics
+    /// Panics when rounds arrive out of order or `rows` has the wrong
+    /// width.
+    pub fn push_round(&mut self, round: usize, rows: &[u64]) {
+        assert_eq!(round, self.next_round, "rounds must be pushed in order");
+        assert!(round < self.stream.rounds, "more rounds than the spec declares");
+        let words = self.stream.words;
+        assert_eq!(rows.len(), self.stream.num_stabs * words, "syndrome rows have wrong width");
+        for i in 0..self.stream.num_stabs {
+            let base = (round * self.stream.num_stabs + i) * words;
+            let row = &rows[i * words..(i + 1) * words];
+            if round == 0 {
+                // Round 0 detects deviation from the deterministic initial
+                // syndrome 0 where one exists; other stabilizers carry no
+                // round-0 detector.
+                if self.first_round_deterministic[i] {
+                    self.stream.planes[base..base + words].copy_from_slice(row);
+                }
+            } else {
+                for (w, (plane, &cur)) in
+                    self.stream.planes[base..base + words].iter_mut().zip(row).enumerate()
+                {
+                    *plane = cur ^ self.prev[i * words + w];
+                }
+            }
+            self.prev[i * words..(i + 1) * words].copy_from_slice(row);
+        }
+        self.next_round += 1;
+    }
+
+    /// The event planes accumulated so far (planes of un-pushed rounds are
+    /// zero). Borrow for mid-stream detection; `finish` for the owned
+    /// stream.
+    pub fn stream(&self) -> &EventStream {
+        &self.stream
+    }
+
+    /// Finish the stream.
+    ///
+    /// # Panics
+    /// Panics when not every round was pushed.
+    pub fn finish(self) -> EventStream {
+        assert_eq!(self.next_round, self.stream.rounds, "stream is missing rounds");
+        self.stream
     }
 }
 
@@ -200,6 +323,42 @@ mod tests {
     }
 
     #[test]
+    fn accumulator_matches_extract() {
+        let mut spec = spec(4, 3);
+        spec.first_round_deterministic = vec![true, false, true];
+        let mut batch = ShotBatch::new(12, 130);
+        // A scatter of syndrome bits across rounds, stabs and both words.
+        for (r, i, s) in [(0, 0, 3), (0, 1, 64), (1, 0, 3), (1, 2, 129), (2, 2, 129), (3, 1, 7)] {
+            batch.flip(spec.cbit(r, i), s);
+        }
+        let oneshot = EventStream::extract(&batch, &spec);
+        let mut acc = EventAccumulator::new(&spec, 130);
+        let words = batch.words();
+        for r in 0..4 {
+            let mut rows = Vec::with_capacity(3 * words);
+            for i in 0..3 {
+                rows.extend_from_slice(batch.row(spec.cbit(r, i)));
+            }
+            acc.push_round(r, &rows);
+            // Already-pushed planes are final mid-stream.
+            for rr in 0..=r {
+                for i in 0..3 {
+                    assert_eq!(acc.stream().plane(rr, i), oneshot.plane(rr, i), "r{rr} s{i}");
+                }
+            }
+        }
+        assert_eq!(acc.finish(), oneshot);
+    }
+
+    #[test]
+    #[should_panic(expected = "pushed in order")]
+    fn accumulator_rejects_out_of_order_rounds() {
+        let spec = spec(3, 1);
+        let mut acc = EventAccumulator::new(&spec, 4);
+        acc.push_round(1, &[0]);
+    }
+
+    #[test]
     fn round_counts_sum_events() {
         let spec = spec(2, 3);
         let mut batch = ShotBatch::new(6, 2);
@@ -212,5 +371,11 @@ mod tests {
         assert_eq!(counts, vec![2, 2]);
         ev.round_counts(0, &mut counts);
         assert_eq!(counts, vec![0, 0]);
+        // The transposed single-round view agrees.
+        let mut per_shot = Vec::new();
+        ev.round_shot_counts(0, &mut per_shot);
+        assert_eq!(per_shot, vec![0, 2]);
+        ev.round_shot_counts(1, &mut per_shot);
+        assert_eq!(per_shot, vec![0, 2]);
     }
 }

@@ -48,7 +48,8 @@ mod detectors;
 mod events;
 mod roc;
 
-pub use cluster::{ClusterDetector, Localizer, WindowCluster};
+pub use cluster::{ClusterDetector, Localizer, RootCalibration, WindowCluster};
+pub use detectors::CountDetectorState;
 pub use detectors::{CusumDetector, Detection, OnlineDetector, ThresholdDetector};
-pub use events::{EventStream, StreamSpec};
-pub use roc::{median_f64, median_u32, roc_auc};
+pub use events::{EventAccumulator, EventStream, StreamSpec};
+pub use roc::{median_f64, median_u32, quantile, roc_auc};

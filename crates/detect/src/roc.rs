@@ -1,5 +1,18 @@
 //! ROC analysis and small order statistics for detection sweeps.
 
+/// Nearest-rank `p`-quantile (`0..=1`) of a sample, by sorting a copy —
+/// deterministic, shared by every calibration path (cluster per-root
+/// levels, detection alarm levels). Returns 0 for an empty sample.
+pub fn quantile(xs: &[f64], p: f64) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(f64::total_cmp);
+    let idx = ((v.len() as f64 * p).ceil() as usize).clamp(1, v.len()) - 1;
+    v[idx]
+}
+
 /// Area under the ROC curve separating `positives` (strike-stream scores)
 /// from `negatives` (intrinsic-noise-only scores): the tie-corrected
 /// Mann–Whitney statistic

@@ -33,44 +33,72 @@
 //! remains the exact oracle.
 
 use crate::depolarizing::NoiseSpec;
-use crate::fault::{validate_segments, ActiveFault, ResetBasis};
+use crate::fault::{skip_denominator, validate_segments, ActiveFault, QubitChannel, ResetBasis};
+use crate::skip::{formula_skip, skip_cells_for, SkipCells};
 use radqec_circuit::{Circuit, Gate, ShotBatch};
 use radqec_stabilizer::{PauliFrameBatch, ReferenceTrace};
 use rand::{Rng, RngCore};
 
 /// First shot index ≥ `start` selected by an independent Bernoulli(`p`)
 /// draw per shot, via geometric skip sampling. Returns `usize::MAX` when no
-/// later shot is selected.
+/// later shot is selected. `den` is the precomputed [`skip_denominator`]
+/// `ln(1 − p)` and `cells` the channel's optional exact skip table — both
+/// hoisted out of the per-event loop by every caller, since they only
+/// depend on the channel's probability, not on the draw. With or without
+/// a table the draw count and the returned index are identical (see
+/// `crate::skip`).
 #[inline]
-fn next_hit(rng: &mut dyn RngCore, p: f64, start: usize) -> usize {
+fn next_hit<R: RngCore + ?Sized>(
+    rng: &mut R,
+    p: f64,
+    den: f64,
+    cells: Option<&SkipCells>,
+    start: usize,
+) -> usize {
     debug_assert!(p > 0.0);
+    debug_assert_eq!(den, skip_denominator(p));
     if p >= 1.0 {
         return start;
     }
-    // u ∈ (0, 1]; floor(ln u / ln(1-p)) is the number of failures before
-    // the next success of a Bernoulli(p) process. ln_1p keeps the
-    // denominator accurate (and non-zero) for p down to the subnormal
-    // range, where (1.0 - p).ln() would round to 0 and hit every shot.
-    let u = ((rng.next_u64() >> 11) + 1) as f64 * (1.0 / (1u64 << 53) as f64);
-    let skip = u.ln() / (-p).ln_1p();
-    if skip >= usize::MAX as f64 {
-        return usize::MAX;
-    }
-    start.saturating_add(skip as usize)
+    // m is 53 uniform bits; u = (m+1)·2⁻⁵³ ∈ (0, 1]. floor(ln u / ln(1-p))
+    // is the number of failures before the next success of a Bernoulli(p)
+    // process; ln_1p keeps the denominator accurate (and non-zero) for p
+    // down to the subnormal range, where (1.0 - p).ln() would round to 0
+    // and hit every shot. The table answers the same floor exactly for
+    // the draws it covers.
+    let m = rng.next_u64() >> 11;
+    let skip = match cells.and_then(|c| c.lookup(m)) {
+        Some(skip) => skip,
+        None => formula_skip(den, m),
+    };
+    start.saturating_add(skip)
 }
 
 /// Fill `mask` with an independent Bernoulli(`p`) draw per shot; returns
-/// whether any bit was set.
-fn fill_bernoulli_mask(rng: &mut dyn RngCore, p: f64, shots: usize, mask: &mut [u64]) -> bool {
+/// whether any bit was set. When it returns `false` the mask contents are
+/// untouched (the common small-`p` case costs one draw and no memory
+/// traffic). `den`/`cells` as in [`next_hit`].
+fn fill_bernoulli_mask<R: RngCore + ?Sized>(
+    rng: &mut R,
+    p: f64,
+    den: f64,
+    cells: Option<&SkipCells>,
+    shots: usize,
+    mask: &mut [u64],
+) -> bool {
+    // Lets the optimizer drop the bounds check on the per-hit bit set
+    // below (s < shots ⇒ s/64 < mask.len()).
+    assert!(shots <= mask.len() * 64, "mask narrower than the shot count");
+    let mut s = next_hit(rng, p, den, cells, 0);
+    if s >= shots {
+        return false;
+    }
     mask.fill(0);
-    let mut any = false;
-    let mut s = next_hit(rng, p, 0);
     while s < shots {
         mask[s / 64] |= 1u64 << (s % 64);
-        any = true;
-        s = next_hit(rng, p, s + 1);
+        s = next_hit(rng, p, den, cells, s + 1);
     }
-    any
+    true
 }
 
 /// Execute a whole batch of noisy shots as Pauli frames against `reference`.
@@ -83,13 +111,13 @@ fn fill_bernoulli_mask(rng: &mut dyn RngCore, p: f64, shots: usize, mask: &mut [
 /// # Panics
 /// Panics when `reference` was not computed from `circuit` (length
 /// mismatch) or when the frame is too small for the circuit.
-pub fn run_noisy_batch(
+pub fn run_noisy_batch<R: RngCore + ?Sized>(
     circuit: &Circuit,
     reference: &ReferenceTrace,
     frame: &mut PauliFrameBatch,
     noise: &NoiseSpec,
     fault: &ActiveFault,
-    rng: &mut dyn RngCore,
+    rng: &mut R,
 ) -> ShotBatch {
     run_noisy_batch_segmented(circuit, reference, frame, noise, &[(0, fault)], rng)
 }
@@ -106,35 +134,97 @@ pub fn run_noisy_batch(
 /// non-ascending segment starts, or the [`run_noisy_batch`] mismatches.
 /// All segments must share one reset basis (the timeline models a single
 /// evolving event, not several different ones).
-pub fn run_noisy_batch_segmented(
+pub fn run_noisy_batch_segmented<R: RngCore + ?Sized>(
     circuit: &Circuit,
     reference: &ReferenceTrace,
     frame: &mut PauliFrameBatch,
     noise: &NoiseSpec,
     segments: &[(usize, &ActiveFault)],
-    rng: &mut dyn RngCore,
+    rng: &mut R,
 ) -> ShotBatch {
+    let mut record = ShotBatch::new(circuit.num_clbits(), frame.shots());
+    let mut mask = vec![0u64; frame.words()];
+    run_noisy_ops_segmented(
+        circuit,
+        reference,
+        frame,
+        noise,
+        segments,
+        0..circuit.len(),
+        &mut record,
+        &mut mask,
+        rng,
+    );
+    record
+}
+
+/// The op-range core of [`run_noisy_batch_segmented`]: advance `frame`
+/// through ops `[ops.start, ops.end)` of `circuit`, writing measurement
+/// rows into `record` (which the caller owns and reuses) and using `mask`
+/// as the Bernoulli scratch plane. Running `0..circuit.len()` in one call
+/// is bit-identical to running it round range by round range with the same
+/// RNG — this is what lets the streaming engine yield each syndrome round
+/// as soon as its ops have executed, without materialising the rest of the
+/// shot first.
+///
+/// # Panics
+/// Panics on the [`run_noisy_batch_segmented`] mismatches, a record not
+/// shaped `(circuit.num_clbits(), frame.shots())`, or a mask narrower than
+/// the frame's word count.
+#[allow(clippy::too_many_arguments)]
+pub fn run_noisy_ops_segmented<R: RngCore + ?Sized>(
+    circuit: &Circuit,
+    reference: &ReferenceTrace,
+    frame: &mut PauliFrameBatch,
+    noise: &NoiseSpec,
+    segments: &[(usize, &ActiveFault)],
+    ops: std::ops::Range<usize>,
+    record: &mut ShotBatch,
+    mask: &mut [u64],
+    rng: &mut R,
+) {
     assert_eq!(reference.len(), circuit.len(), "reference trace does not match circuit");
     assert!(
         circuit.num_qubits() as usize <= frame.num_qubits(),
         "frame batch too small for circuit"
     );
     validate_segments(segments);
+    assert!(ops.end <= circuit.len(), "op range outside circuit");
+    assert_eq!(record.num_clbits(), circuit.num_clbits(), "record width mismatch");
+    assert_eq!(record.shots(), frame.shots(), "record shot-count mismatch");
+    assert!(mask.len() >= frame.words(), "mask narrower than the frame");
     let shots = frame.shots();
-    let mut record = ShotBatch::new(circuit.num_clbits(), shots);
-    let mut mask = vec![0u64; frame.words()];
+    let mask = &mut mask[..frame.words()];
     let p = noise.depolarizing_p;
-    // Hoisted channel flags: inactive channels cost nothing per gate.
+    // Hoisted channel flags: inactive channels cost nothing per gate. The
+    // skip denominators and exact skip tables are per-channel constants,
+    // resolved once per call.
     let depolarize = p > 0.0;
+    let den_p = skip_denominator(p);
+    let cells_p = if depolarize { skip_cells_for(p, den_p) } else { None };
+    let cells_p = cells_p.as_deref();
     let measure_flips = noise.measure_flip_p > 0.0;
+    let den_mf = skip_denominator(noise.measure_flip_p);
+    let cells_mf = if measure_flips { skip_cells_for(noise.measure_flip_p, den_mf) } else { None };
+    let cells_mf = cells_mf.as_deref();
+    // Resume the piecewise-constant timeline at the segment covering the
+    // first op of the range.
     let mut segment = 0usize;
-    let mut fault = segments[0].1;
+    while segment + 1 < segments.len() && segments[segment + 1].0 <= ops.start {
+        segment += 1;
+    }
+    let mut fault = segments[segment].1;
     let mut fault_on = fault.is_active();
-    for (i, gate) in circuit.ops().iter().enumerate() {
+    let empty_channels: [QubitChannel; 0] = [];
+    let mut fault_channels: &[QubitChannel] =
+        if fault_on { fault.channels() } else { &empty_channels };
+    for i in ops {
+        let gate = &circuit.ops()[i];
         while segment + 1 < segments.len() && segments[segment + 1].0 <= i {
             segment += 1;
             fault = segments[segment].1;
             fault_on = fault.is_active();
+            fault_channels = if fault_on { fault.channels() } else { &empty_channels };
         }
         match *gate {
             Gate::Barrier => continue,
@@ -144,9 +234,10 @@ pub fn run_noisy_batch_segmented(
                 debug_assert_eq!(ref_cbit, cbit);
                 // Outcome = reference XOR the frame's X component.
                 record.set_row(cbit, ref_outcome, frame.x_row(qubit));
-                if measure_flips && fill_bernoulli_mask(rng, noise.measure_flip_p, shots, &mut mask)
+                if measure_flips
+                    && fill_bernoulli_mask(rng, noise.measure_flip_p, den_mf, cells_mf, shots, mask)
                 {
-                    record.xor_row(cbit, &mask);
+                    record.xor_row(cbit, mask);
                 }
                 // Collapse: the phase of the measured qubit is re-randomized.
                 frame.randomize_z(qubit, rng);
@@ -162,17 +253,23 @@ pub fn run_noisy_batch_segmented(
                 if depolarize {
                     for &q in unitary.qubits().as_slice() {
                         // X, Y, Z each with probability p/3 per shot.
-                        let mut s = next_hit(rng, p, 0);
+                        let mut s = next_hit(rng, p, den_p, cells_p, 0);
+                        if s >= shots {
+                            continue;
+                        }
+                        let (xs, zs) = frame.xz_rows_mut(q);
+                        // As in fill_bernoulli_mask: make s/64 provably
+                        // in-bounds so the hit loop stays check-free.
+                        assert!(shots <= xs.len() * 64 && shots <= zs.len() * 64);
                         while s < shots {
-                            match rng.gen_range(0u8..3) {
-                                0 => frame.flip_x(q, s),
-                                1 => {
-                                    frame.flip_x(q, s);
-                                    frame.flip_z(q, s);
-                                }
-                                _ => frame.flip_z(q, s),
-                            }
-                            s = next_hit(rng, p, s + 1);
+                            let (w, bit) = (s / 64, 1u64 << (s % 64));
+                            // 0 → X, 1 → Y (= XZ), 2 → Z, branchless: a
+                            // three-way branch on a uniform draw is a
+                            // guaranteed mispredict per event.
+                            let r = rng.gen_range(0u8..3);
+                            xs[w] ^= if r < 2 { bit } else { 0 };
+                            zs[w] ^= if r > 0 { bit } else { 0 };
+                            s = next_hit(rng, p, den_p, cells_p, s + 1);
                         }
                     }
                 }
@@ -180,8 +277,10 @@ pub fn run_noisy_batch_segmented(
         }
         if fault_on {
             for &q in gate.qubits().as_slice() {
-                let pq = fault.prob(q);
-                if pq > 0.0 && fill_bernoulli_mask(rng, pq, shots, &mut mask) {
+                let ch = &fault_channels[q as usize];
+                if ch.p > 0.0
+                    && fill_bernoulli_mask(rng, ch.p, ch.den, ch.cells.as_deref(), shots, mask)
+                {
                     let knowledge = reference.op(i).knowledge_for(q);
                     match fault.basis() {
                         ResetBasis::Z => {
@@ -189,26 +288,25 @@ pub fn run_noisy_batch_segmented(
                             // value pinned to b, the exact new frame is X^b;
                             // otherwise the collapse is a uniform frame.
                             match knowledge.and_then(|k| k.z_value) {
-                                Some(b) => frame.set_x_masked(q, &mask, b),
-                                None => frame.randomize_x_masked(q, &mask, rng),
+                                Some(b) => frame.set_x_masked(q, mask, b),
+                                None => frame.randomize_x_masked(q, mask, rng),
                             }
-                            frame.randomize_z_masked(q, &mask, rng);
+                            frame.randomize_z_masked(q, mask, rng);
                         }
                         ResetBasis::X => {
                             // Post-reset state |+⟩: the roles of X and Z
                             // swap (Z^s pins the sign, X is the free phase).
                             match knowledge.and_then(|k| k.x_value) {
-                                Some(s) => frame.set_z_masked(q, &mask, s),
-                                None => frame.randomize_z_masked(q, &mask, rng),
+                                Some(s) => frame.set_z_masked(q, mask, s),
+                                None => frame.randomize_z_masked(q, mask, rng),
                             }
-                            frame.randomize_x_masked(q, &mask, rng);
+                            frame.randomize_x_masked(q, mask, rng);
                         }
                     }
                 }
             }
         }
     }
-    record
 }
 
 #[cfg(test)]
@@ -490,7 +588,7 @@ mod tests {
         let mut mask = vec![0u64; 16];
         let mut hits = 0u32;
         for _ in 0..1000 {
-            fill_bernoulli_mask(&mut rng, 1e-17, 1024, &mut mask);
+            fill_bernoulli_mask(&mut rng, 1e-17, skip_denominator(1e-17), None, 1024, &mut mask);
             hits += mask.iter().map(|w| w.count_ones()).sum::<u32>();
         }
         // Expected hit count ≈ 1e-11; anything nonzero at this budget means
@@ -504,12 +602,12 @@ mod tests {
         let mut mask = vec![0u64; 16];
         let mut total = 0u32;
         for _ in 0..100 {
-            fill_bernoulli_mask(&mut rng, 0.1, 1024, &mut mask);
+            fill_bernoulli_mask(&mut rng, 0.1, skip_denominator(0.1), None, 1024, &mut mask);
             total += mask.iter().map(|w| w.count_ones()).sum::<u32>();
         }
         // 100 × 1024 × 0.1 ≈ 10240 expected hits.
         assert!((9300..11200).contains(&total), "total={total}");
-        assert!(fill_bernoulli_mask(&mut rng, 1.0, 100, &mut mask));
+        assert!(fill_bernoulli_mask(&mut rng, 1.0, skip_denominator(1.0), None, 100, &mut mask));
         assert_eq!(mask.iter().map(|w| w.count_ones()).sum::<u32>(), 100);
     }
 }

@@ -2,7 +2,9 @@
 //! into a run, and its per-shot resolution into concrete probabilities.
 
 use crate::radiation::{RadiationEvent, RadiationModel};
+use crate::skip::{skip_cells_for, SkipCells};
 use radqec_topology::Topology;
+use std::sync::{Arc, OnceLock};
 
 /// Basis of the injected non-unitary reset.
 ///
@@ -93,17 +95,67 @@ impl FaultSpec {
 
 /// Per-shot fault activity: probability of appending a reset after each gate
 /// that touches each qubit.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Clone)]
 pub struct ActiveFault {
     probs: Vec<f64>,
+    /// Cached `ln(1 - p)` per qubit — the geometric-skip denominator the
+    /// batch executor divides by on every Bernoulli draw. Computing it once
+    /// here keeps one transcendental out of the per-event hot loop without
+    /// changing a single draw (the division below is unchanged).
+    dens: Vec<f64>,
+    /// Lazily resolved per-qubit hot-path channel data (probability,
+    /// denominator, exact skip table — see `crate::skip`), shared with the
+    /// process-wide interning cache. Purely an accelerator: identical
+    /// draws with or without it.
+    channels: OnceLock<Vec<QubitChannel>>,
     any: bool,
     basis: ResetBasis,
+}
+
+/// Per-qubit Bernoulli channel of an active fault, packed for the batch
+/// executor's per-operand lookup: one indexed load instead of three.
+#[derive(Clone)]
+pub(crate) struct QubitChannel {
+    pub(crate) p: f64,
+    pub(crate) den: f64,
+    pub(crate) cells: Option<Arc<SkipCells>>,
+}
+
+impl std::fmt::Debug for ActiveFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ActiveFault")
+            .field("probs", &self.probs)
+            .field("any", &self.any)
+            .field("basis", &self.basis)
+            .finish()
+    }
+}
+
+impl PartialEq for ActiveFault {
+    fn eq(&self, other: &Self) -> bool {
+        // dens is a pure function of probs; cells is a cache.
+        self.probs == other.probs && self.basis == other.basis
+    }
+}
+
+/// The geometric-skip denominator of a Bernoulli(`p`) process: `ln(1 − p)`
+/// via `ln_1p`, which stays accurate (and non-zero) for `p` down to the
+/// subnormal range where `(1.0 - p).ln()` would round to 0.
+#[inline]
+pub(crate) fn skip_denominator(p: f64) -> f64 {
+    (-p).ln_1p()
 }
 
 impl ActiveFault {
     /// No fault on an `n`-qubit device.
     pub fn none(n: usize) -> Self {
-        ActiveFault { probs: vec![0.0; n], any: false, basis: ResetBasis::Z }
+        ActiveFault {
+            probs: vec![0.0; n],
+            dens: vec![0.0; n],
+            channels: OnceLock::new(),
+            any: false,
+            basis: ResetBasis::Z,
+        }
     }
 
     /// From explicit per-qubit probabilities (Z-basis resets).
@@ -112,7 +164,8 @@ impl ActiveFault {
             assert!((0.0..=1.0).contains(&p), "probability {p} out of range");
         }
         let any = probs.iter().any(|&p| p > 0.0);
-        ActiveFault { probs, any, basis: ResetBasis::Z }
+        let dens = probs.iter().map(|&p| skip_denominator(p)).collect();
+        ActiveFault { probs, dens, channels: OnceLock::new(), any, basis: ResetBasis::Z }
     }
 
     /// Switch the reset basis (builder style).
@@ -131,6 +184,19 @@ impl ActiveFault {
     #[inline]
     pub fn prob(&self, qubit: u32) -> f64 {
         self.probs[qubit as usize]
+    }
+
+    /// Per-qubit packed channels, resolved once per fault from the
+    /// process-wide skip-table cache (`cells: None`: table-ineligible
+    /// probabilities, which stay on the formula path).
+    pub(crate) fn channels(&self) -> &[QubitChannel] {
+        self.channels.get_or_init(|| {
+            self.probs
+                .iter()
+                .zip(&self.dens)
+                .map(|(&p, &den)| QubitChannel { p, den, cells: skip_cells_for(p, den) })
+                .collect()
+        })
     }
 
     /// Fast check: does this fault do anything at all?

@@ -37,11 +37,14 @@ mod depolarizing;
 mod executor;
 mod fault;
 mod radiation;
+mod skip;
+mod workspace;
 
-pub use batch::{run_noisy_batch, run_noisy_batch_segmented};
+pub use batch::{run_noisy_batch, run_noisy_batch_segmented, run_noisy_ops_segmented};
 pub use depolarizing::NoiseSpec;
 pub use executor::{run_noisy_shot, run_noisy_shot_segmented};
 pub use fault::{ActiveFault, FaultSpec, ResetBasis};
 pub use radiation::{
     spatial_damping, temporal_decay, transient_decay, RadiationEvent, RadiationModel, StrikeError,
 };
+pub use workspace::StreamWorkspace;

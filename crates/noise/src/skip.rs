@@ -1,0 +1,277 @@
+//! Exact integer-domain acceleration of the geometric-skip sampler.
+//!
+//! The batch executor's Bernoulli channels draw a 53-bit uniform `m` and
+//! compute `skip = ⌊ln u / ln(1−p)⌋` with `u = (m+1)·2⁻⁵³` (see
+//! `next_hit` in `crate::batch`). Profiling shows the `ln` + division pair
+//! dominates the streaming hot path — roughly 400 k evaluations per 10⁴
+//! XXZZ-(5,5) streamed shots — yet `skip` is a *step function of the
+//! integer `m`* that is fully determined by `p`. [`SkipCells`] tabulates
+//! that step function so the hot path answers a draw with bit tests, a
+//! table load and one integer compare instead of two transcendentals.
+//!
+//! ## Exactness
+//!
+//! The table is **not** built from the mathematical geometric quantiles —
+//! it is built by evaluating *the executor's own float formula* at cell
+//! boundaries and bisecting it for the exact integer `m` where the floor
+//! steps. Every answer the table returns is therefore bit-identical to
+//! what the `ln`/division path would have produced for the same draw, by
+//! construction; `lookup` falls back to `None` (caller re-runs the
+//! formula) for any region the table does not cover. Streams sampled with
+//! and without the table are identical, which the round-stream golden
+//! tests pin.
+//!
+//! ## Layout
+//!
+//! `u` space is split into binades `[2^-(b+1), 2^-b)`; each covered binade
+//! is cut into `2^CELL_BITS` equal cells of `m` values. A cell spans at
+//! most two adjacent `skip` values (eligibility requires
+//! `ln 2 / (|ln(1−p)| · 2^CELL_BITS) < 1`), so it stores the smaller value
+//! plus the exact `v = m+1` cut where the larger one starts. Deep binades
+//! (`u < 2^-TABLE_BINADES`, probability `2^-TABLE_BINADES` per draw) stay
+//! on the formula path, keeping tables small; they are built lazily so
+//! never-struck probabilities cost nothing. Tables are interned in a
+//! process-wide cache keyed by the probability's bits — the depolarizing
+//! rate and the per-(distance, round) fault probabilities recur across
+//! chunks, campaigns and sweep points, so each table is built once.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Max log2(cells per binade); tables that would need more to resolve
+/// every skip step are ineligible.
+const MAX_CELL_BITS: u32 = 10;
+/// Binades of `u` covered by cells; smaller `u` falls back to the formula
+/// (probability 2^-TABLE_BINADES per draw).
+const TABLE_BINADES: usize = 8;
+/// Bits of a packed cell holding the in-cell cut offset (the rest hold
+/// the cell's smaller skip value). Cells are at least 2^4 per binade and
+/// binades at most 2^53 wide, so offsets fit 48 bits; skips in covered
+/// binades top out near 2^13 (see `try_new`), well inside 16.
+const CUT_BITS: u32 = 48;
+
+/// The executor's skip formula, verbatim (see `next_hit`): `m` is the
+/// 53-bit draw `rng.next_u64() >> 11`, `den` is `ln(1−p)`.
+#[inline]
+pub(crate) fn formula_skip(den: f64, m: u64) -> usize {
+    let u = (m + 1) as f64 * (1.0 / (1u64 << 53) as f64);
+    let skip = u.ln() / den;
+    if skip >= usize::MAX as f64 {
+        return usize::MAX;
+    }
+    skip as usize
+}
+
+/// Exact skip table for one Bernoulli probability (see module docs).
+///
+/// The cell count per binade adapts to `p`: a cell must span at most two
+/// adjacent skip values, which takes `≈ 2/|ln(1−p)|` cells — 8 for
+/// `p = 0.25`, 256 for `p = 0.01`. Cells pack the smaller skip value and
+/// the exact in-cell cut offset into one `u64`, so a whole fault
+/// timeline's tables stay cache-resident (the naive fixed-1024-cell
+/// layout thrashed L2: one 64 KiB table per distinct probability,
+/// round-robined per operand).
+pub(crate) struct SkipCells {
+    /// log2(cells per binade) for this probability.
+    cell_bits: u32,
+    /// Binade-major packed cells: `skip = (c >> CUT_BITS) + ((v & (w−1)) <
+    /// (c & cut_mask))` with `w` the cell width in `v`-space.
+    cells: Box<[u64]>,
+}
+
+impl SkipCells {
+    /// Build the table for `p`, or `None` when cells cannot resolve `p`'s
+    /// skip steps (tiny `p`: more than two steps per cell even at
+    /// [`MAX_CELL_BITS`]) or no draw could ever skip (`p ≥ 1` never
+    /// reaches the sampler).
+    fn try_new(p: f64, den: f64) -> Option<SkipCells> {
+        if !(p > 0.0 && p < 1.0) {
+            return None;
+        }
+        // Worst-case skip span of one cell: cells split a binade linearly
+        // in u, so the widest (lowest-u) cell spans ln(1 + 1/cells) <
+        // 1/cells in log-u, i.e. < 1/(cells·|den|) skip steps — identical
+        // for every binade. Pick the smallest cell count that keeps it
+        // strictly under 1, so a cell holds ≤ 2 values; the builder's
+        // step assert backstops the bound.
+        let cell_bits = (4..=MAX_CELL_BITS).find(|&b| 1.0 / (-den * (1u64 << b) as f64) < 0.999)?;
+        let cells = (0..TABLE_BINADES).flat_map(|b| build_binade(den, b, cell_bits)).collect();
+        Some(SkipCells { cell_bits, cells })
+    }
+
+    /// Exact `skip` for draw `m`, or `None` when `m` is outside the
+    /// covered binades (caller falls back to [`formula_skip`]).
+    #[inline]
+    pub(crate) fn lookup(&self, m: u64) -> Option<usize> {
+        let v = m + 1;
+        if v >= 1u64 << 53 {
+            // u = 1.0 exactly: ln u = 0, skip = 0 for every probability.
+            return Some(0);
+        }
+        let bits = 64 - v.leading_zeros(); // v ∈ [2^(bits−1), 2^bits)
+        let b = (53 - bits) as usize; // 0 ⇒ u ∈ [0.5, 1), deeper ⇒ smaller u
+        if b >= TABLE_BINADES {
+            return None;
+        }
+        let cell_shift = bits - 1 - self.cell_bits;
+        let j = ((v >> cell_shift) & ((1u64 << self.cell_bits) - 1)) as usize;
+        let packed = self.cells[(b << self.cell_bits) + j];
+        let v_rel = v & ((1u64 << cell_shift) - 1);
+        let cut_rel = packed & ((1u64 << CUT_BITS) - 1);
+        Some((packed >> CUT_BITS) as usize + usize::from(v_rel < cut_rel))
+    }
+}
+
+/// Tabulate binade `b` (`v ∈ [2^(52−b), 2^(53−b))`) by evaluating the
+/// formula at every cell boundary and bisecting the in-cell step.
+fn build_binade(den: f64, b: usize, cell_bits: u32) -> Vec<u64> {
+    let bits = 53 - b as u32;
+    let lo_v = 1u64 << (bits - 1);
+    let cell_w = 1u64 << (bits - 1 - cell_bits);
+    let pack = |hi: usize, cut_rel: u64| {
+        let hi = u64::try_from(hi).expect("skip fits");
+        assert!(hi < 1 << (64 - CUT_BITS), "skip too large to pack");
+        debug_assert!(cut_rel < 1 << CUT_BITS);
+        (hi << CUT_BITS) | cut_rel
+    };
+    (0..1u64 << cell_bits)
+        .map(|j| {
+            let first = lo_v + j * cell_w;
+            let last = first + cell_w - 1;
+            // skip is non-increasing in v.
+            let s_first = formula_skip(den, first - 1);
+            let s_last = formula_skip(den, last - 1);
+            debug_assert!(s_first >= s_last);
+            if s_first == s_last {
+                pack(s_last, 0)
+            } else {
+                assert_eq!(
+                    s_first,
+                    s_last + 1,
+                    "cell spans more than one skip step (p too small for cells)"
+                );
+                // Smallest v in the cell whose skip equals s_last.
+                let (mut lo, mut hi) = (first, last);
+                while lo < hi {
+                    let mid = lo + (hi - lo) / 2;
+                    if formula_skip(den, mid - 1) > s_last {
+                        lo = mid + 1;
+                    } else {
+                        hi = mid;
+                    }
+                }
+                pack(s_last, lo - first)
+            }
+        })
+        .collect()
+}
+
+/// Process-wide interning cache: probability bits → shared table (`None`
+/// cached too, so ineligible probabilities are only examined once).
+fn cache() -> &'static Mutex<HashMap<u64, Option<Arc<SkipCells>>>> {
+    static CACHE: OnceLock<Mutex<HashMap<u64, Option<Arc<SkipCells>>>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// The shared skip table for Bernoulli probability `p` with denominator
+/// `den = ln(1−p)`, if `p` is table-eligible.
+pub(crate) fn skip_cells_for(p: f64, den: f64) -> Option<Arc<SkipCells>> {
+    cache()
+        .lock()
+        .expect("skip-table cache poisoned")
+        .entry(p.to_bits())
+        .or_insert_with(|| SkipCells::try_new(p, den).map(Arc::new))
+        .clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::skip_denominator;
+    use rand::rngs::StdRng;
+    use rand::{RngCore, SeedableRng};
+
+    fn table(p: f64) -> Arc<SkipCells> {
+        skip_cells_for(p, skip_denominator(p)).expect("eligible p")
+    }
+
+    #[test]
+    fn lookup_matches_formula_on_random_draws() {
+        for p in [0.01, 0.031_41, 0.25, 0.5, 0.931, 0.001] {
+            let den = skip_denominator(p);
+            let t = table(p);
+            let mut rng = StdRng::seed_from_u64(0xACCE1);
+            let mut covered = 0usize;
+            for _ in 0..200_000 {
+                let m = rng.next_u64() >> 11;
+                if let Some(skip) = t.lookup(m) {
+                    covered += 1;
+                    assert_eq!(skip, formula_skip(den, m), "p={p} m={m}");
+                }
+            }
+            // The covered binades hold 1 − 2^-TABLE_BINADES of the mass.
+            assert!(covered > 180_000, "p={p}: only {covered} draws covered");
+        }
+    }
+
+    #[test]
+    fn lookup_is_exact_around_every_first_binade_cut() {
+        // Dense scan across each cell boundary and each in-cell cut of the
+        // hottest binade: the floor's step positions must match the
+        // formula exactly, m by m.
+        for p in [0.01, 0.2] {
+            let den = skip_denominator(p);
+            let t = table(p);
+            let probe = |m: u64| {
+                if let Some(skip) = t.lookup(m) {
+                    assert_eq!(skip, formula_skip(den, m), "p={p} m={m}");
+                }
+            };
+            for j in 0..1u64 << t.cell_bits {
+                let first_v = (1u64 << 52) + j * (1u64 << (52 - t.cell_bits));
+                for dv in 0..64u64 {
+                    probe(first_v - 1 + dv); // m = v − 1
+                }
+            }
+            // Steps inside cells: probe a window around every skip
+            // boundary of the binade, located by inverting the geometric
+            // quantile (the probe itself re-checks against the formula, so
+            // an off-by-a-few guess only widens the window).
+            let max_skip = formula_skip(den, (1u64 << 52) - 1);
+            for k in 1..=max_skip.min(1 << MAX_CELL_BITS) {
+                let guess = ((den * k as f64).exp() * (1u64 << 53) as f64) as u64;
+                for m in guess.saturating_sub(32)..=(guess + 32).min((1 << 53) - 1) {
+                    probe(m);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn extreme_draws_are_exact() {
+        let p = 0.05;
+        let den = skip_denominator(p);
+        let t = table(p);
+        for m in [0u64, 1, (1 << 53) - 2, (1 << 53) - 1, (1 << 52), (1 << 52) - 1] {
+            if let Some(skip) = t.lookup(m) {
+                assert_eq!(skip, formula_skip(den, m), "m={m}");
+            }
+        }
+        // The u = 1.0 endpoint (m = 2^53 − 1) must be covered and zero.
+        assert_eq!(t.lookup((1 << 53) - 1), Some(0));
+    }
+
+    #[test]
+    fn tiny_probabilities_are_ineligible() {
+        assert!(skip_cells_for(1e-6, skip_denominator(1e-6)).is_none());
+        assert!(skip_cells_for(0.0, 0.0).is_none());
+        assert!(skip_cells_for(1.0, skip_denominator(1.0)).is_none());
+    }
+
+    #[test]
+    fn cache_interns_by_bits() {
+        let a = table(0.25);
+        let b = table(0.25);
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+}

@@ -1,0 +1,201 @@
+//! [`StreamWorkspace`] — the reusable per-(worker, chunk) arena of the
+//! streaming hot path.
+//!
+//! Every streamed chunk needs three buffers: the bit-packed
+//! [`PauliFrameBatch`] (two planes × qubits × words), the classical
+//! [`ShotBatch`] record, and the Bernoulli scratch mask. The pre-overhaul
+//! engine allocated all three afresh for every chunk of every sweep
+//! point; the workspace allocates them once and *recycles* them — a chunk
+//! begins by re-initialising the frame in place with **exactly the draw
+//! sequence of a fresh construction**, so recycled and fresh chunks
+//! produce bit-identical streams (pinned by `tests/golden_stream.rs`).
+//!
+//! The workspace also counts its buffer (re)allocations, so engines can
+//! report reuse rates (`StreamEngine::stream_stats`) and regression tests
+//! can assert that reuse actually happens.
+
+use crate::depolarizing::NoiseSpec;
+use crate::fault::ActiveFault;
+use radqec_circuit::{Circuit, ShotBatch};
+use radqec_stabilizer::{PauliFrameBatch, ReferenceTrace};
+use rand::RngCore;
+
+/// Reusable buffers for streaming one chunk of shots (see module docs).
+#[derive(Debug, Default)]
+pub struct StreamWorkspace {
+    frame: Option<PauliFrameBatch>,
+    record: Option<ShotBatch>,
+    mask: Vec<u64>,
+    allocations: u64,
+    reuses: u64,
+}
+
+impl StreamWorkspace {
+    /// An empty workspace; buffers are allocated on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Buffer allocations performed so far (frame + record + mask grows).
+    pub fn allocations(&self) -> u64 {
+        self.allocations
+    }
+
+    /// Chunk set-ups that reused every buffer without allocating.
+    pub fn reuses(&self) -> u64 {
+        self.reuses
+    }
+
+    /// Prepare the workspace for a `shots`-wide chunk of `circuit` on
+    /// `n_qubits` physical qubits: the frame is (re)initialised with the
+    /// same draws a fresh [`PauliFrameBatch::new`] would make, the record
+    /// is zeroed and the mask sized. Returns `(frame, record, mask)`
+    /// ready for [`run_noisy_ops_segmented`](crate::run_noisy_ops_segmented).
+    pub fn begin_chunk<R: RngCore + ?Sized>(
+        &mut self,
+        circuit: &Circuit,
+        n_qubits: usize,
+        shots: usize,
+        rng: &mut R,
+    ) -> (&mut PauliFrameBatch, &mut ShotBatch, &mut [u64]) {
+        let words = shots.div_ceil(64);
+        let mut fresh = 0u64;
+        match &mut self.frame {
+            Some(frame) => fresh += u64::from(!frame.reinit(n_qubits, shots, rng)),
+            None => {
+                self.frame = Some(PauliFrameBatch::new(n_qubits, shots, rng));
+                fresh += 1;
+            }
+        }
+        match &mut self.record {
+            Some(record) => fresh += u64::from(!record.reset(circuit.num_clbits(), shots)),
+            None => {
+                self.record = Some(ShotBatch::new(circuit.num_clbits(), shots));
+                fresh += 1;
+            }
+        }
+        if self.mask.len() < words {
+            self.mask.resize(words, 0);
+            fresh += 1;
+        }
+        self.allocations += fresh;
+        self.reuses += u64::from(fresh == 0);
+        (
+            self.frame.as_mut().expect("frame just initialised"),
+            self.record.as_mut().expect("record just initialised"),
+            &mut self.mask[..words],
+        )
+    }
+
+    /// The prepared buffers of the chunk begun by [`Self::begin_chunk`],
+    /// for callers that advance the executor op range by op range (the
+    /// round-by-round stream). `words` must be the current chunk's word
+    /// count.
+    ///
+    /// # Panics
+    /// Panics when called before `begin_chunk`.
+    pub fn parts(&mut self, words: usize) -> (&mut PauliFrameBatch, &mut ShotBatch, &mut [u64]) {
+        (
+            self.frame.as_mut().expect("begin_chunk first"),
+            self.record.as_mut().expect("begin_chunk first"),
+            &mut self.mask[..words],
+        )
+    }
+
+    /// Run a whole segmented chunk through the workspace and hand back the
+    /// finished record by value (the buffers stay pooled for the next
+    /// chunk; only the returned record is a fresh allocation, exactly as
+    /// the unpooled path would have made).
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_chunk<R: RngCore + ?Sized>(
+        &mut self,
+        circuit: &Circuit,
+        reference: &ReferenceTrace,
+        noise: &NoiseSpec,
+        segments: &[(usize, &ActiveFault)],
+        n_qubits: usize,
+        shots: usize,
+        rng: &mut R,
+    ) -> ShotBatch {
+        let (frame, record, mask) = self.begin_chunk(circuit, n_qubits, shots, rng);
+        crate::run_noisy_ops_segmented(
+            circuit,
+            reference,
+            frame,
+            noise,
+            segments,
+            0..circuit.len(),
+            record,
+            mask,
+            rng,
+        );
+        record.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use radqec_circuit::Circuit;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn ghz(n: u32) -> Circuit {
+        let mut c = Circuit::new(n, n);
+        c.h(0);
+        for q in 1..n {
+            c.cx(q - 1, q);
+        }
+        for q in 0..n {
+            c.measure(q, q);
+        }
+        c
+    }
+
+    #[test]
+    fn recycled_chunks_match_fresh_chunks_bit_for_bit() {
+        let c = ghz(4);
+        let reference = ReferenceTrace::compute(&c, 4, 7);
+        let noise = NoiseSpec::depolarizing(0.05);
+        let fault = ActiveFault::from_probs(vec![0.3, 0.0, 0.1, 0.0]);
+        let segments = [(0usize, &fault)];
+        let fresh: Vec<ShotBatch> = (0..4u64)
+            .map(|chunk| {
+                let mut rng = StdRng::seed_from_u64(100 + chunk);
+                let mut frame = PauliFrameBatch::new(4, 100, &mut rng);
+                crate::run_noisy_batch_segmented(
+                    &c, &reference, &mut frame, &noise, &segments, &mut rng,
+                )
+            })
+            .collect();
+        let mut ws = StreamWorkspace::new();
+        let pooled: Vec<ShotBatch> = (0..4u64)
+            .map(|chunk| {
+                let mut rng = StdRng::seed_from_u64(100 + chunk);
+                ws.run_chunk(&c, &reference, &noise, &segments, 4, 100, &mut rng)
+            })
+            .collect();
+        assert_eq!(fresh, pooled);
+        assert!(ws.reuses() >= 3, "3 of 4 chunks must reuse: {ws:?}");
+        assert_eq!(ws.allocations(), 3, "one frame, one record, one mask");
+    }
+
+    #[test]
+    fn workspace_handles_shrinking_and_growing_chunks() {
+        let c = ghz(3);
+        let reference = ReferenceTrace::compute(&c, 3, 1);
+        let noise = NoiseSpec::noiseless();
+        let fault = ActiveFault::none(3);
+        let segments = [(0usize, &fault)];
+        let mut ws = StreamWorkspace::new();
+        for shots in [100usize, 30, 200, 64] {
+            let mut rng = StdRng::seed_from_u64(shots as u64);
+            let batch = ws.run_chunk(&c, &reference, &noise, &segments, 3, shots, &mut rng);
+            assert_eq!(batch.shots(), shots);
+            // GHZ correlation sanity on the recycled buffers.
+            for s in 0..shots {
+                assert_eq!(batch.get(0, s), batch.get(2, s), "shots={shots} s={s}");
+            }
+        }
+    }
+}

@@ -44,7 +44,7 @@ impl PauliFrameBatch {
     ///
     /// X planes start zero; Z planes start uniformly random (the initial
     /// frame randomization that seeds emergent measurement randomness).
-    pub fn new(n: usize, shots: usize, rng: &mut dyn RngCore) -> Self {
+    pub fn new<R: RngCore + ?Sized>(n: usize, shots: usize, rng: &mut R) -> Self {
         assert!(n > 0, "frame batch needs at least one qubit");
         assert!(shots > 0, "frame batch needs at least one shot");
         let words = shots.div_ceil(64);
@@ -54,6 +54,30 @@ impl PauliFrameBatch {
             f.randomize_z(q as Qubit, rng);
         }
         f
+    }
+
+    /// Re-initialise this batch in place for `n` qubits and `shots` shots,
+    /// with **exactly** the draw sequence of [`PauliFrameBatch::new`]: X
+    /// planes cleared, Z planes re-randomized qubit by qubit. Workspace
+    /// pooling uses this to recycle the plane buffers across chunks and
+    /// sweep points without perturbing the sampled streams. Returns
+    /// whether the existing buffers were large enough to be reused
+    /// without reallocating.
+    pub fn reinit<R: RngCore + ?Sized>(&mut self, n: usize, shots: usize, rng: &mut R) -> bool {
+        assert!(n > 0, "frame batch needs at least one qubit");
+        assert!(shots > 0, "frame batch needs at least one shot");
+        let words = shots.div_ceil(64);
+        let reused = self.x.capacity() >= n * words && self.z.capacity() >= n * words;
+        self.n = n;
+        self.shots = shots;
+        self.words = words;
+        self.x.clear();
+        self.x.resize(n * words, 0);
+        self.z.resize(n * words, 0);
+        for q in 0..n {
+            self.randomize_z(q as Qubit, rng);
+        }
+        reused
     }
 
     /// Number of qubits tracked.
@@ -105,19 +129,26 @@ impl PauliFrameBatch {
         &self.z[self.row(q)]
     }
 
-    fn fill_random(dst: &mut [u64], tail: u64, rng: &mut dyn RngCore) {
-        let last = dst.len() - 1;
-        for (i, w) in dst.iter_mut().enumerate() {
+    /// Mutable X and Z bit-plane rows of qubit `q` at once — lets hot
+    /// loops (the depolarizing channel) hoist the row lookup and bounds
+    /// checks out of their per-event body.
+    #[inline]
+    pub fn xz_rows_mut(&mut self, q: Qubit) -> (&mut [u64], &mut [u64]) {
+        let range = self.row(q);
+        (&mut self.x[range.clone()], &mut self.z[range])
+    }
+
+    fn fill_random<R: RngCore + ?Sized>(dst: &mut [u64], tail: u64, rng: &mut R) {
+        let (body, last) = dst.split_at_mut(dst.len() - 1);
+        for w in body {
             *w = rng.next_u64();
-            if i == last {
-                *w &= tail;
-            }
         }
+        last[0] = rng.next_u64() & tail;
     }
 
     /// Replace qubit `q`'s Z plane with fresh random bits (collapse
     /// randomization after a measurement or reset).
-    pub fn randomize_z(&mut self, q: Qubit, rng: &mut dyn RngCore) {
+    pub fn randomize_z<R: RngCore + ?Sized>(&mut self, q: Qubit, rng: &mut R) {
         let tail = self.tail_mask();
         let range = self.row(q);
         Self::fill_random(&mut self.z[range], tail, rng);
@@ -155,16 +186,16 @@ impl PauliFrameBatch {
     ) {
         assert_eq!(mask.len(), self.words, "mask has wrong width");
         let tail = self.tail_mask();
-        let last = self.words - 1;
         let range = self.row(q);
         let row = match plane {
             Plane::X => &mut self.x[range],
             Plane::Z => &mut self.z[range],
         };
-        for (i, (w, &m)) in row.iter_mut().zip(mask).enumerate() {
-            let m = if i == last { m & tail } else { m };
+        let (body, last) = row.split_at_mut(mask.len() - 1);
+        for (w, &m) in body.iter_mut().zip(mask) {
             *w = f(*w, m);
         }
+        last[0] = f(last[0], mask[mask.len() - 1] & tail);
     }
 
     /// In the shots selected by `mask`, set qubit `q`'s X bits to `value`;
@@ -181,13 +212,13 @@ impl PauliFrameBatch {
 
     /// In the shots selected by `mask`, replace qubit `q`'s X bits with
     /// fresh coin flips. Bits beyond the shot count are ignored.
-    pub fn randomize_x_masked(&mut self, q: Qubit, mask: &[u64], rng: &mut dyn RngCore) {
+    pub fn randomize_x_masked<R: RngCore + ?Sized>(&mut self, q: Qubit, mask: &[u64], rng: &mut R) {
         self.update_masked(Plane::X, q, mask, |w, m| (w & !m) | (rng.next_u64() & m));
     }
 
     /// In the shots selected by `mask`, replace qubit `q`'s Z bits with
     /// fresh coin flips. Bits beyond the shot count are ignored.
-    pub fn randomize_z_masked(&mut self, q: Qubit, mask: &[u64], rng: &mut dyn RngCore) {
+    pub fn randomize_z_masked<R: RngCore + ?Sized>(&mut self, q: Qubit, mask: &[u64], rng: &mut R) {
         self.update_masked(Plane::Z, q, mask, |w, m| (w & !m) | (rng.next_u64() & m));
     }
 
