@@ -1,5 +1,6 @@
 //! Tiered bulk MWPM decoder: bit-plane defect extraction + LUT / analytic
-//! / blossom solve tiers + the engine-level cross-batch syndrome cache.
+//! / blossom solve tiers + the engine-level cross-batch syndrome cache,
+//! with a **mask-keyed cache dimension** for strike-aware decoding.
 //!
 //! See the [`crate::decoder`] module docs for the tier-selection rules and
 //! the exactness argument; the short version is that every tier computes
@@ -7,15 +8,27 @@
 //! [`MwpmDecoder::decode_shot`], so [`BulkDecoder`] is bit-identical to
 //! [`MwpmDecoder`] on every record (enforced exhaustively for LUT-eligible
 //! codes and property-tested otherwise in `tests/decoder_tiers.rs`).
+//!
+//! Strike-aware decoding adds a second axis: a [`DecoderMask`] reweights
+//! the detector graph inside a struck region, which changes `flip` — so
+//! each distinct mask (keyed by its quantised integer edge weights) interns
+//! its own [`SolveCore`]: a reweighted graph plus a private syndrome
+//! LUT/cache. Warm-path throughput survives because a sweep reuses a
+//! handful of mask keys, each with its own fully warmed cache, and a no-op
+//! mask takes the unmasked path outright (`tests/strike_aware_decoding.rs`
+//! pins both the tier bit-identity per mask and the no-op handoff).
 
 use crate::codes::CodeCircuit;
 use crate::decoder::cache::{SyndromeCache, DEFAULT_CACHE_CAPACITY, LUT_MAX_BITS};
 use crate::decoder::graph::DetectorGraph;
+use crate::decoder::mask::DecoderMask;
 use crate::decoder::mwpm::{extract_defects, matching_flip, weight_of};
 use crate::decoder::Decoder;
 use radqec_circuit::{ShotBatch, ShotRecord};
 use radqec_matching::MatchingArena;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// Which solve tiers a [`BulkDecoder`] may use (the blossom fallback and
 /// the cross-batch cache are always available). Disabling tiers never
@@ -57,8 +70,14 @@ pub struct DecoderStats {
     pub matchings: u64,
     /// Entries evicted from the sharded cache.
     pub cache_evictions: u64,
-    /// Distinct syndromes currently held by the LUT/cache.
+    /// Distinct syndromes currently held by the (unmasked) LUT/cache.
     pub cache_entries: usize,
+    /// Distinct strike-mask reweightings interned (each owns a private
+    /// graph + syndrome cache — the mask-keyed cache dimension).
+    pub mask_contexts: usize,
+    /// Masked decode calls answered by an already-interned mask context
+    /// (the mask cache's hit counter; misses = `mask_contexts`).
+    pub mask_hits: u64,
 }
 
 #[derive(Default)]
@@ -68,6 +87,7 @@ struct StatCells {
     cache_hits: AtomicU64,
     analytic: AtomicU64,
     matchings: AtomicU64,
+    mask_hits: AtomicU64,
 }
 
 /// Per-`decode_batch`-call counters, flushed to the shared atomics once per
@@ -90,101 +110,35 @@ struct Ctx {
     defects: Vec<usize>,
 }
 
-/// Tiered bulk decoder, bit-identical to [`MwpmDecoder`].
-///
-/// [`Decoder::decode_batch`] extracts defect bit-planes straight from the
-/// [`ShotBatch`] words (64 shots per operation) instead of materialising a
-/// [`ShotRecord`] per shot, then answers each shot's syndrome from the
-/// cheapest applicable tier. The cache member is shared by every batch,
-/// rayon chunk and temporal sample of the owning engine.
-///
-/// [`MwpmDecoder`]: crate::decoder::MwpmDecoder
-pub struct BulkDecoder {
+/// The solve state of one decoding context: a detector graph (uniform or
+/// mask-reweighted), its engine-lifetime syndrome cache and the tier
+/// switches. The unmasked decoder owns one; every distinct
+/// [`DecoderMask`] weight key interns another — same tiers, same code
+/// paths, different `flip` function.
+struct SolveCore {
     graph: DetectorGraph,
-    cbits_round1: Vec<u32>,
-    cbits_round2: Vec<u32>,
-    readout_cbit: u32,
-    name: String,
     /// Detector-bit count `2P`; plane `2i` = (stab `i`, round 0), plane
     /// `2i+1` = (stab `i`, round 1), so ascending bit index reproduces
     /// [`MwpmDecoder::defects`] order exactly.
+    ///
+    /// [`MwpmDecoder::defects`]: crate::decoder::MwpmDecoder::defects
     planes: usize,
     tiers: TierConfig,
-    /// Engine-lifetime syndrome cache, shared by every batch / rayon chunk
-    /// / temporal sample through `&self` (interior mutability inside).
+    /// Context-lifetime syndrome cache, shared by every batch / rayon
+    /// chunk / temporal sample through `&self` (interior mutability
+    /// inside).
     cache: SyndromeCache,
-    stats: StatCells,
 }
 
-impl BulkDecoder {
-    /// Build the tiered decoder for `code` with default tiers.
-    pub fn new(code: &CodeCircuit) -> Self {
-        Self::with_tiers(code, TierConfig::default())
-    }
-
-    /// Build with an explicit [`TierConfig`] (bench/test tool — results are
-    /// identical for every configuration).
-    pub fn with_tiers(code: &CodeCircuit, tiers: TierConfig) -> Self {
-        let graph = DetectorGraph::new(code);
+impl SolveCore {
+    fn new(graph: DetectorGraph, tiers: TierConfig) -> Self {
         let planes = 2 * graph.primary_count();
         let cache = if tiers.lut && planes <= LUT_MAX_BITS {
             SyndromeCache::direct(planes)
         } else {
             SyndromeCache::sharded(tiers.cache_capacity)
         };
-        BulkDecoder {
-            graph,
-            cbits_round1: code.primary_stabilizers().iter().map(|s| s.cbit_round1).collect(),
-            cbits_round2: code.primary_stabilizers().iter().map(|s| s.cbit_round2).collect(),
-            readout_cbit: code.readout_cbit,
-            name: format!("mwpm[{}]", code.name),
-            planes,
-            tiers,
-            cache,
-            stats: StatCells::default(),
-        }
-    }
-
-    /// The underlying detector graph.
-    pub fn graph(&self) -> &DetectorGraph {
-        &self.graph
-    }
-
-    /// Whether this decoder serves syndromes from the exhaustive LUT.
-    pub fn uses_lut(&self) -> bool {
-        self.cache.is_direct()
-    }
-
-    /// Eagerly fill the exhaustive LUT (all `2^bits` syndromes). No-op for
-    /// non-LUT decoders; useful for benches that want cold-start excluded.
-    /// Setup work — it does not count towards [`DecoderStats`] (which
-    /// tracks decoded shots only).
-    pub fn prefill_lut(&self) {
-        if !self.uses_lut() {
-            return;
-        }
-        let mut ctx = Ctx::default();
-        let mut discard = LocalStats::default();
-        for key in 1..(1u128 << self.planes) {
-            if self.cache.get(key).is_none() {
-                let flip = self.solve_key(key, &mut ctx, &mut discard);
-                self.cache.insert(key, flip);
-            }
-        }
-    }
-
-    /// Defect bit pattern of a single record: bit `2i` = round-1 syndrome
-    /// of primary stabilizer `i`, bit `2i+1` = round-1/round-2 difference.
-    #[inline]
-    fn key_of_record(&self, shot: &ShotRecord) -> u128 {
-        let mut key = 0u128;
-        for i in 0..self.graph.primary_count() {
-            let s1 = shot.get(self.cbits_round1[i]);
-            let s2 = shot.get(self.cbits_round2[i]);
-            key |= (s1 as u128) << (2 * i);
-            key |= ((s1 != s2) as u128) << (2 * i + 1);
-        }
-        key
+        SolveCore { graph, planes, tiers, cache }
     }
 
     /// Flip parity of a non-zero defect pattern via the tier cascade —
@@ -233,9 +187,11 @@ impl BulkDecoder {
 
     /// Run the exact blossom matcher on a defect pattern —
     /// [`matching_flip`], the very routine behind
-    /// [`MwpmDecoder::decode_shot`].
+    /// [`MwpmDecoder::decode_shot`] (and, through
+    /// [`MwpmDecoder::masked`], behind the masked reference decoder).
     ///
     /// [`MwpmDecoder::decode_shot`]: crate::decoder::MwpmDecoder::decode_shot
+    /// [`MwpmDecoder::masked`]: crate::decoder::MwpmDecoder::masked
     fn match_key(&self, key: u128, ctx: &mut Ctx, local: &mut LocalStats) -> bool {
         ctx.defects.clear();
         let mut k = key;
@@ -258,7 +214,8 @@ impl BulkDecoder {
     /// or both-to-boundary (weight `w_a + w_b`) — and the matcher picks the
     /// strictly cheaper one; on an exact tie this returns `None` and the
     /// caller defers to the blossom matcher so its tie-breaking (and hence
-    /// bit-identity with [`MwpmDecoder`]) is preserved.
+    /// bit-identity with [`MwpmDecoder`]) is preserved. The argument is
+    /// weight-agnostic, so it holds on mask-reweighted graphs unchanged.
     ///
     /// [`MwpmDecoder`]: crate::decoder::MwpmDecoder
     fn analytic_flip(&self, key: u128) -> Option<bool> {
@@ -281,25 +238,136 @@ impl BulkDecoder {
             std::cmp::Ordering::Equal => None,
         }
     }
+}
+
+/// Mask-context key: the quantised integer edge weights of a
+/// [`DecoderMask`] (see [`DecoderMask::weight_key`]).
+type MaskKey = (Vec<u32>, Vec<u32>);
+
+/// Tiered bulk decoder, bit-identical to [`MwpmDecoder`].
+///
+/// [`Decoder::decode_batch`] extracts defect bit-planes straight from the
+/// [`ShotBatch`] words (64 shots per operation) instead of materialising a
+/// [`ShotRecord`] per shot, then answers each shot's syndrome from the
+/// cheapest applicable tier. The cache member is shared by every batch,
+/// rayon chunk and temporal sample of the owning engine.
+///
+/// [`Decoder::decode_batch_masked`] runs the same pipeline against an
+/// interned per-mask [`SolveCore`] (reweighted graph + private cache);
+/// no-op masks hand off to the unmasked path bit-identically.
+///
+/// [`MwpmDecoder`]: crate::decoder::MwpmDecoder
+pub struct BulkDecoder {
+    core: SolveCore,
+    cbits_round1: Vec<u32>,
+    cbits_round2: Vec<u32>,
+    readout_cbit: u32,
+    name: String,
+    /// Interned mask contexts, keyed by quantised edge weights — the
+    /// mask-keyed cache dimension. Shared by every batch of the engine.
+    masked: Mutex<HashMap<MaskKey, Arc<SolveCore>>>,
+    stats: StatCells,
+}
+
+impl BulkDecoder {
+    /// Build the tiered decoder for `code` with default tiers.
+    pub fn new(code: &CodeCircuit) -> Self {
+        Self::with_tiers(code, TierConfig::default())
+    }
+
+    /// Build with an explicit [`TierConfig`] (bench/test tool — results are
+    /// identical for every configuration).
+    pub fn with_tiers(code: &CodeCircuit, tiers: TierConfig) -> Self {
+        BulkDecoder {
+            core: SolveCore::new(DetectorGraph::new(code), tiers),
+            cbits_round1: code.primary_stabilizers().iter().map(|s| s.cbit_round1).collect(),
+            cbits_round2: code.primary_stabilizers().iter().map(|s| s.cbit_round2).collect(),
+            readout_cbit: code.readout_cbit,
+            name: format!("mwpm[{}]", code.name),
+            masked: Mutex::new(HashMap::new()),
+            stats: StatCells::default(),
+        }
+    }
+
+    /// The underlying (unmasked) detector graph.
+    pub fn graph(&self) -> &DetectorGraph {
+        &self.core.graph
+    }
+
+    /// Whether this decoder serves syndromes from the exhaustive LUT.
+    pub fn uses_lut(&self) -> bool {
+        self.core.cache.is_direct()
+    }
+
+    /// Eagerly fill the exhaustive LUT (all `2^bits` syndromes). No-op for
+    /// non-LUT decoders; useful for benches that want cold-start excluded.
+    /// Setup work — it does not count towards [`DecoderStats`] (which
+    /// tracks decoded shots only).
+    pub fn prefill_lut(&self) {
+        if !self.uses_lut() {
+            return;
+        }
+        let mut ctx = Ctx::default();
+        let mut discard = LocalStats::default();
+        for key in 1..(1u128 << self.core.planes) {
+            if self.core.cache.get(key).is_none() {
+                let flip = self.core.solve_key(key, &mut ctx, &mut discard);
+                self.core.cache.insert(key, flip);
+            }
+        }
+    }
+
+    /// Resolve the solve context of `mask`: `None` for a no-op mask (the
+    /// unmasked path answers, bit-identically to unaware decoding), an
+    /// interned per-weight-key [`SolveCore`] otherwise. Interning counts
+    /// as a mask-cache hit when the key was already present.
+    fn masked_core(&self, mask: &DecoderMask) -> Option<Arc<SolveCore>> {
+        if mask.is_noop() {
+            return None;
+        }
+        let key = mask.weight_key();
+        let mut map = self.masked.lock().expect("mask-context map poisoned");
+        if let Some(core) = map.get(&key) {
+            self.stats.mask_hits.fetch_add(1, Ordering::Relaxed);
+            return Some(core.clone());
+        }
+        let core = Arc::new(SolveCore::new(mask.reweight(&self.core.graph), self.core.tiers));
+        map.insert(key, core.clone());
+        Some(core)
+    }
+
+    /// Defect bit pattern of a single record: bit `2i` = round-1 syndrome
+    /// of primary stabilizer `i`, bit `2i+1` = round-1/round-2 difference.
+    #[inline]
+    fn key_of_record(&self, shot: &ShotRecord) -> u128 {
+        let mut key = 0u128;
+        for i in 0..self.core.graph.primary_count() {
+            let s1 = shot.get(self.cbits_round1[i]);
+            let s2 = shot.get(self.cbits_round2[i]);
+            key |= (s1 as u128) << (2 * i);
+            key |= ((s1 != s2) as u128) << (2 * i + 1);
+        }
+        key
+    }
 
     /// Batch path for codes wider than the 128-bit defect key (P > 64
     /// primary stabilizers): per-record defect extraction with a per-batch
     /// memo keyed by the *defect pattern* words — records differing only in
     /// readout/secondary bits share one matching — and exact tier
     /// accounting (memo hits count as cache hits).
-    fn decode_batch_wide(&self, batch: &ShotBatch) -> Vec<bool> {
+    fn decode_batch_wide(&self, batch: &ShotBatch, core: &SolveCore) -> Vec<bool> {
         let mut out = Vec::with_capacity(batch.shots());
         let mut scratch = ShotRecord::new(batch.num_clbits());
-        let mut memo: std::collections::HashMap<Box<[u64]>, bool> = Default::default();
-        let mut keybuf = vec![0u64; self.planes.div_ceil(64)];
+        let mut memo: HashMap<Box<[u64]>, bool> = Default::default();
+        let mut keybuf = vec![0u64; core.planes.div_ceil(64)];
         let mut ctx = Ctx::default();
         let mut local = LocalStats { shots: batch.shots() as u64, ..Default::default() };
-        let p = self.graph.primary_count();
+        let p = core.graph.primary_count();
         for s in 0..batch.shots() {
             batch.fill_record(s, &mut scratch);
             let raw = scratch.get(self.readout_cbit);
             extract_defects(
-                &self.graph,
+                &core.graph,
                 &self.cbits_round1,
                 &self.cbits_round2,
                 &scratch,
@@ -324,7 +392,7 @@ impl BulkDecoder {
                 }
                 None => {
                     local.matchings += 1;
-                    let f = matching_flip(&self.graph, &ctx.defects, &mut ctx.arena);
+                    let f = matching_flip(&core.graph, &ctx.defects, &mut ctx.arena);
                     memo.insert(keybuf.clone().into_boxed_slice(), f);
                     f
                 }
@@ -345,20 +413,21 @@ impl BulkDecoder {
     /// which is what each would have been under immediate solving.
     fn solve_deferred(
         &self,
-        pending: std::collections::HashMap<u128, Vec<usize>>,
+        pending: HashMap<u128, Vec<usize>>,
         out: &mut [bool],
         ctx: &mut Ctx,
         local: &mut LocalStats,
+        core: &SolveCore,
     ) {
         for (key, group) in pending {
-            let flip = match self.cache.get(key) {
+            let flip = match core.cache.get(key) {
                 Some(flip) => {
                     local.cache_hits += group.len() as u64;
                     flip
                 }
                 None => {
-                    let flip = self.match_key(key, ctx, local);
-                    self.cache.insert(key, flip);
+                    let flip = core.match_key(key, ctx, local);
+                    core.cache.insert(key, flip);
                     local.cache_hits += group.len() as u64 - 1;
                     flip
                 }
@@ -369,6 +438,124 @@ impl BulkDecoder {
                 }
             }
         }
+    }
+
+    /// Decode one record against `core` (the per-shot path shared by the
+    /// unmasked and masked entry points).
+    fn decode_in(&self, shot: &ShotRecord, core: &SolveCore) -> bool {
+        let raw = shot.get(self.readout_cbit);
+        let mut local = LocalStats { shots: 1, ..Default::default() };
+        let v = if core.planes > 128 {
+            // Wider than the u128 key (P > 64 primary stabilizers): decode
+            // via the defect list directly; batch decoding still dedupes
+            // (see `decode_batch_wide`).
+            let mut defects = Vec::new();
+            extract_defects(
+                &core.graph,
+                &self.cbits_round1,
+                &self.cbits_round2,
+                shot,
+                &mut defects,
+            );
+            if defects.is_empty() {
+                local.trivial += 1;
+                raw
+            } else {
+                local.matchings += 1;
+                raw ^ matching_flip(&core.graph, &defects, &mut MatchingArena::new())
+            }
+        } else {
+            let key = self.key_of_record(shot);
+            if key == 0 {
+                local.trivial += 1;
+                raw
+            } else {
+                raw ^ core.flip_of_key(key, &mut Ctx::default(), &mut local)
+            }
+        };
+        self.flush(local);
+        v
+    }
+
+    /// Decode a batch against `core` — the bit-plane bulk pipeline shared
+    /// by the unmasked and masked entry points (see
+    /// [`Decoder::decode_batch`] for the tier walk).
+    fn decode_batch_in(&self, batch: &ShotBatch, core: &SolveCore) -> Vec<bool> {
+        if core.planes > 128 {
+            return self.decode_batch_wide(batch, core);
+        }
+        let words = batch.words();
+        let shots = batch.shots();
+        let p = core.graph.primary_count();
+        // Interleaved defect planes: row 2i = round-1 syndrome of stab i,
+        // row 2i+1 = round-1/round-2 XOR; `union` flags words with any
+        // defect so all-trivial word spans skip per-shot work entirely.
+        let mut planes = vec![0u64; core.planes * words];
+        let mut union = vec![0u64; words];
+        for i in 0..p {
+            let r1 = batch.row(self.cbits_round1[i]);
+            let r2 = batch.row(self.cbits_round2[i]);
+            for w in 0..words {
+                let d0 = r1[w];
+                let d1 = r1[w] ^ r2[w];
+                planes[2 * i * words + w] = d0;
+                planes[(2 * i + 1) * words + w] = d1;
+                union[w] |= d0 | d1;
+            }
+        }
+        let readout = batch.row(self.readout_cbit);
+        let mut out = Vec::with_capacity(shots);
+        let mut ctx = Ctx::default();
+        let mut local = LocalStats { shots: shots as u64, ..Default::default() };
+        // Deferred heavy syndromes (sharded mode): distinct pattern → the
+        // shots awaiting its flip.
+        let defer = !core.cache.is_direct();
+        let mut pending: HashMap<u128, Vec<usize>> = Default::default();
+        for w in 0..words {
+            let in_word = (shots - w * 64).min(64);
+            let raw_word = readout[w];
+            if union[w] == 0 {
+                // Entire word of trivial syndromes: readout passes through.
+                for b in 0..in_word {
+                    out.push((raw_word >> b) & 1 == 1);
+                }
+                local.trivial += in_word as u64;
+                continue;
+            }
+            for b in 0..in_word {
+                let mut key = 0u128;
+                for plane in 0..core.planes {
+                    key |= (((planes[plane * words + w] >> b) & 1) as u128) << plane;
+                }
+                let raw = (raw_word >> b) & 1 == 1;
+                if key == 0 {
+                    local.trivial += 1;
+                    out.push(raw);
+                } else if defer {
+                    // Cheap tiers and cache hits inline; only cache
+                    // *misses* join their pattern group.
+                    if core.tiers.analytic && key.count_ones() <= 2 {
+                        if let Some(flip) = core.analytic_flip(key) {
+                            local.analytic += 1;
+                            out.push(raw ^ flip);
+                            continue;
+                        }
+                    }
+                    if let Some(flip) = core.cache.get(key) {
+                        local.cache_hits += 1;
+                        out.push(raw ^ flip);
+                        continue;
+                    }
+                    pending.entry(key).or_default().push(out.len());
+                    out.push(raw);
+                } else {
+                    out.push(raw ^ core.flip_of_key(key, &mut ctx, &mut local));
+                }
+            }
+        }
+        self.solve_deferred(pending, &mut out, &mut ctx, &mut local, core);
+        self.flush(local);
+        out
     }
 
     fn flush(&self, local: LocalStats) {
@@ -382,38 +569,7 @@ impl BulkDecoder {
 
 impl Decoder for BulkDecoder {
     fn decode(&self, shot: &ShotRecord) -> bool {
-        let raw = shot.get(self.readout_cbit);
-        let mut local = LocalStats { shots: 1, ..Default::default() };
-        let v = if self.planes > 128 {
-            // Wider than the u128 key (P > 64 primary stabilizers): decode
-            // via the defect list directly; batch decoding still dedupes
-            // (see `decode_batch_wide`).
-            let mut defects = Vec::new();
-            extract_defects(
-                &self.graph,
-                &self.cbits_round1,
-                &self.cbits_round2,
-                shot,
-                &mut defects,
-            );
-            if defects.is_empty() {
-                local.trivial += 1;
-                raw
-            } else {
-                local.matchings += 1;
-                raw ^ matching_flip(&self.graph, &defects, &mut MatchingArena::new())
-            }
-        } else {
-            let key = self.key_of_record(shot);
-            if key == 0 {
-                local.trivial += 1;
-                raw
-            } else {
-                raw ^ self.flip_of_key(key, &mut Ctx::default(), &mut local)
-            }
-        };
-        self.flush(local);
-        v
+        self.decode_in(shot, &self.core)
     }
 
     fn name(&self) -> &str {
@@ -435,81 +591,26 @@ impl Decoder for BulkDecoder {
     /// many shots, so this collapses its matcher work to one solve per
     /// *distinct* syndrome per batch instead of racing per-shot solves.
     fn decode_batch(&self, batch: &ShotBatch) -> Vec<bool> {
-        if self.planes > 128 {
-            return self.decode_batch_wide(batch);
+        self.decode_batch_in(batch, &self.core)
+    }
+
+    /// Strike-aware per-shot decode: the tier cascade against `mask`'s
+    /// interned reweighted context (no-op masks take the unaware path).
+    fn decode_masked(&self, shot: &ShotRecord, mask: &DecoderMask) -> bool {
+        match self.masked_core(mask) {
+            Some(core) => self.decode_in(shot, &core),
+            None => self.decode(shot),
         }
-        let words = batch.words();
-        let shots = batch.shots();
-        let p = self.graph.primary_count();
-        // Interleaved defect planes: row 2i = round-1 syndrome of stab i,
-        // row 2i+1 = round-1/round-2 XOR; `union` flags words with any
-        // defect so all-trivial word spans skip per-shot work entirely.
-        let mut planes = vec![0u64; self.planes * words];
-        let mut union = vec![0u64; words];
-        for i in 0..p {
-            let r1 = batch.row(self.cbits_round1[i]);
-            let r2 = batch.row(self.cbits_round2[i]);
-            for w in 0..words {
-                let d0 = r1[w];
-                let d1 = r1[w] ^ r2[w];
-                planes[2 * i * words + w] = d0;
-                planes[(2 * i + 1) * words + w] = d1;
-                union[w] |= d0 | d1;
-            }
+    }
+
+    /// Strike-aware batch decode — the same bit-plane pipeline as
+    /// [`Decoder::decode_batch`], answered from the mask's interned
+    /// context so repeated masked sweeps stay on a warm per-mask cache.
+    fn decode_batch_masked(&self, batch: &ShotBatch, mask: &DecoderMask) -> Vec<bool> {
+        match self.masked_core(mask) {
+            Some(core) => self.decode_batch_in(batch, &core),
+            None => self.decode_batch(batch),
         }
-        let readout = batch.row(self.readout_cbit);
-        let mut out = Vec::with_capacity(shots);
-        let mut ctx = Ctx::default();
-        let mut local = LocalStats { shots: shots as u64, ..Default::default() };
-        // Deferred heavy syndromes (sharded mode): distinct pattern → the
-        // shots awaiting its flip.
-        let defer = !self.cache.is_direct();
-        let mut pending: std::collections::HashMap<u128, Vec<usize>> = Default::default();
-        for w in 0..words {
-            let in_word = (shots - w * 64).min(64);
-            let raw_word = readout[w];
-            if union[w] == 0 {
-                // Entire word of trivial syndromes: readout passes through.
-                for b in 0..in_word {
-                    out.push((raw_word >> b) & 1 == 1);
-                }
-                local.trivial += in_word as u64;
-                continue;
-            }
-            for b in 0..in_word {
-                let mut key = 0u128;
-                for plane in 0..self.planes {
-                    key |= (((planes[plane * words + w] >> b) & 1) as u128) << plane;
-                }
-                let raw = (raw_word >> b) & 1 == 1;
-                if key == 0 {
-                    local.trivial += 1;
-                    out.push(raw);
-                } else if defer {
-                    // Cheap tiers and cache hits inline; only cache
-                    // *misses* join their pattern group.
-                    if self.tiers.analytic && key.count_ones() <= 2 {
-                        if let Some(flip) = self.analytic_flip(key) {
-                            local.analytic += 1;
-                            out.push(raw ^ flip);
-                            continue;
-                        }
-                    }
-                    if let Some(flip) = self.cache.get(key) {
-                        local.cache_hits += 1;
-                        out.push(raw ^ flip);
-                        continue;
-                    }
-                    pending.entry(key).or_default().push(out.len());
-                    out.push(raw);
-                } else {
-                    out.push(raw ^ self.flip_of_key(key, &mut ctx, &mut local));
-                }
-            }
-        }
-        self.solve_deferred(pending, &mut out, &mut ctx, &mut local);
-        self.flush(local);
-        out
     }
 
     fn decode_stats(&self) -> Option<DecoderStats> {
@@ -519,8 +620,10 @@ impl Decoder for BulkDecoder {
             cache_hits: self.stats.cache_hits.load(Ordering::Relaxed),
             analytic: self.stats.analytic.load(Ordering::Relaxed),
             matchings: self.stats.matchings.load(Ordering::Relaxed),
-            cache_evictions: self.cache.evictions(),
-            cache_entries: self.cache.len(),
+            cache_evictions: self.core.cache.evictions(),
+            cache_entries: self.core.cache.len(),
+            mask_contexts: self.masked.lock().expect("mask-context map poisoned").len(),
+            mask_hits: self.stats.mask_hits.load(Ordering::Relaxed),
         })
     }
 }
@@ -720,5 +823,32 @@ mod tests {
                 assert_eq!(d.decode(&shot), want);
             }
         }
+    }
+
+    #[test]
+    fn mask_contexts_intern_by_weight_key() {
+        let code = RepetitionCode::bit_flip(5).build();
+        let bulk = BulkDecoder::new(&code);
+        let nc = code.circuit.num_clbits();
+        let batch = ShotBatch::new(nc, 64);
+        let hot = DecoderMask::from_probs(vec![1.0, 0.25, 0.0, 0.0, 0.0], vec![0.0; 4]);
+        let noop = hot.scaled(0.0);
+        // No-op mask: unaware path, no context interned.
+        let _ = bulk.decode_batch_masked(&batch, &noop);
+        let stats = bulk.decode_stats().unwrap();
+        assert_eq!(stats.mask_contexts, 0);
+        assert_eq!(stats.mask_hits, 0);
+        // First real mask interns; repeats hit; an equivalent mask (same
+        // quantised weights) shares the context.
+        let _ = bulk.decode_batch_masked(&batch, &hot);
+        let _ = bulk.decode_batch_masked(&batch, &hot);
+        let _ = bulk.decode_batch_masked(&batch, &hot.clone());
+        let stats = bulk.decode_stats().unwrap();
+        assert_eq!(stats.mask_contexts, 1);
+        assert_eq!(stats.mask_hits, 2);
+        // A differently-quantised mask opens a second dimension.
+        let _ = bulk.decode_batch_masked(&batch, &hot.scaled(0.3));
+        let stats = bulk.decode_stats().unwrap();
+        assert_eq!(stats.mask_contexts, 2);
     }
 }

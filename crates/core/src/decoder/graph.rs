@@ -13,13 +13,30 @@ use crate::codes::CodeCircuit;
 /// rounds, `2P` for the boundary.
 pub type DetectorNode = usize;
 
+/// What physical mechanism an edge of the detector graph models — the
+/// handle strike-aware reweighting grabs (see [`DetectorGraph::reweighted`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeKind {
+    /// A data-qubit error seen by two stabilizers or one stabilizer and
+    /// the boundary; carries the (logical) data qubit index.
+    Data(u32),
+    /// A measurement repetition of one stabilizer between the two rounds;
+    /// carries the primary-stabilizer index.
+    Time(usize),
+}
+
 /// Space-time defect graph for the primary syndrome family of a code.
 #[derive(Debug, Clone)]
 pub struct DetectorGraph {
     primary_count: usize,
     /// adj[v] = (neighbour, crosses_logical_readout).
     adj: Vec<Vec<(u32, bool)>>,
-    /// All-pairs BFS distances.
+    /// Edge kind per adjacency entry, aligned with `adj` (kept separate so
+    /// [`Self::neighbors`]'s layout stays stable for the union-find
+    /// decoder).
+    edge_kinds: Vec<Vec<EdgeKind>>,
+    /// All-pairs shortest-path distances (unit BFS in the unweighted
+    /// build; weighted Dijkstra after [`Self::reweighted`]).
     dist: Vec<Vec<u32>>,
     /// Crossing parity along one canonical shortest path.
     parity: Vec<Vec<bool>>,
@@ -32,6 +49,7 @@ impl DetectorGraph {
         let num_nodes = 2 * p + 1;
         let boundary = 2 * p;
         let mut adj: Vec<Vec<(u32, bool)>> = vec![Vec::new(); num_nodes];
+        let mut edge_kinds: Vec<Vec<EdgeKind>> = vec![Vec::new(); num_nodes];
         let readout: std::collections::HashSet<u32> =
             code.logical_readout_support.iter().copied().collect();
 
@@ -51,14 +69,18 @@ impl DetectorGraph {
                     for layer in 0..2 {
                         let v = layer * p + owners[0];
                         adj[v].push((boundary as u32, crosses));
+                        edge_kinds[v].push(EdgeKind::Data(d));
                         adj[boundary].push((v as u32, crosses));
+                        edge_kinds[boundary].push(EdgeKind::Data(d));
                     }
                 }
                 2 => {
                     for layer in 0..2 {
                         let (a, b) = (layer * p + owners[0], layer * p + owners[1]);
                         adj[a].push((b as u32, crosses));
+                        edge_kinds[a].push(EdgeKind::Data(d));
                         adj[b].push((a as u32, crosses));
+                        edge_kinds[b].push(EdgeKind::Data(d));
                     }
                 }
                 n => unreachable!("data qubit {d} owned by {n} primary stabilizers"),
@@ -67,7 +89,9 @@ impl DetectorGraph {
         // Time edges between the two rounds of the same stabilizer.
         for i in 0..p {
             adj[i].push(((p + i) as u32, false));
+            edge_kinds[i].push(EdgeKind::Time(i));
             adj[p + i].push((i as u32, false));
+            edge_kinds[p + i].push(EdgeKind::Time(i));
         }
 
         // APSP with crossing parity along the BFS-canonical shortest path.
@@ -78,7 +102,42 @@ impl DetectorGraph {
             dist[src] = d;
             parity[src] = par;
         }
-        DetectorGraph { primary_count: p, adj, dist, parity }
+        DetectorGraph { primary_count: p, adj, edge_kinds, dist, parity }
+    }
+
+    /// Rebuild the distance/parity tables with a per-edge weight supplied
+    /// by `weight` (≥ 1; the unweighted build is the special case of every
+    /// edge weighing 1) — the strike-aware reweighting layer. The adjacency
+    /// structure is shared; only the all-pairs tables change, computed by a
+    /// deterministic Dijkstra, so [`Self::distance`] returns *weighted*
+    /// shortest-path costs and [`Self::crossing_parity`] the readout
+    /// parity along the new canonical cheapest path.
+    ///
+    /// A mask that lowers weights inside a struck region makes correction
+    /// paths through that region cheap — the matcher then prefers to
+    /// explain defects with errors where the strike actually put them
+    /// (erasure-style decoding).
+    pub fn reweighted(&self, weight: impl Fn(EdgeKind) -> u32) -> DetectorGraph {
+        let num_nodes = self.adj.len();
+        let weights: Vec<Vec<u32>> = self
+            .edge_kinds
+            .iter()
+            .map(|kinds| kinds.iter().map(|&k| weight(k).max(1)).collect())
+            .collect();
+        let mut dist = vec![vec![u32::MAX; num_nodes]; num_nodes];
+        let mut parity = vec![vec![false; num_nodes]; num_nodes];
+        for src in 0..num_nodes {
+            let (d, par) = dijkstra(&self.adj, &weights, src);
+            dist[src] = d;
+            parity[src] = par;
+        }
+        DetectorGraph {
+            primary_count: self.primary_count,
+            adj: self.adj.clone(),
+            edge_kinds: self.edge_kinds.clone(),
+            dist,
+            parity,
+        }
     }
 
     /// Number of primary stabilizers `P`.
@@ -120,6 +179,41 @@ impl DetectorGraph {
     pub fn num_nodes(&self) -> usize {
         self.adj.len()
     }
+}
+
+/// Deterministic O(n²) Dijkstra over the tiny detector graphs: nodes are
+/// settled in (distance, index) order and relaxations are strictly
+/// improving, so the canonical cheapest path — and with it the crossing
+/// parity — is a pure function of the weight assignment.
+fn dijkstra(adj: &[Vec<(u32, bool)>], weights: &[Vec<u32>], src: usize) -> (Vec<u32>, Vec<bool>) {
+    let n = adj.len();
+    let mut dist = vec![u32::MAX; n];
+    let mut parity = vec![false; n];
+    let mut done = vec![false; n];
+    dist[src] = 0;
+    for _ in 0..n {
+        let mut v = usize::MAX;
+        let mut best = u32::MAX;
+        for (u, (&d, &fin)) in dist.iter().zip(&done).enumerate() {
+            if !fin && d < best {
+                best = d;
+                v = u;
+            }
+        }
+        if v == usize::MAX {
+            break; // remaining nodes unreachable
+        }
+        done[v] = true;
+        for (e, &(w, cross)) in adj[v].iter().enumerate() {
+            let w = w as usize;
+            let cand = dist[v].saturating_add(weights[v][e]);
+            if cand < dist[w] {
+                dist[w] = cand;
+                parity[w] = parity[v] ^ cross;
+            }
+        }
+    }
+    (dist, parity)
 }
 
 fn bfs(adj: &[Vec<(u32, bool)>], src: usize) -> (Vec<u32>, Vec<bool>) {

@@ -56,15 +56,35 @@
 //! equivalence suite (`tests/decoder_tiers.rs`) checks this exhaustively
 //! over all `2^{2P}` syndromes for LUT-eligible codes and by property
 //! testing elsewhere.
+//!
+//! # Strike-aware decoding
+//!
+//! A detected radiation strike changes the error prior: qubits inside the
+//! struck region fail with probability far above the intrinsic scale, so
+//! uniform edge weights mis-rank correction paths. [`DecoderMask`] —
+//! usually projected from a `radqec_detect::StrikeMask` (the clusterer's
+//! root + ring radius + decay estimate) — assigns log-likelihood integer
+//! weights to the detector graph's edges ([`DetectorGraph::reweighted`]),
+//! making struck-region paths cheap (erasure-style, after the Google
+//! cosmic-ray line of work). [`Decoder::decode_batch_masked`] runs the
+//! very same tier cascade against a per-mask interned context (reweighted
+//! graph + private syndrome LUT/cache — the mask-keyed cache dimension),
+//! and [`MwpmDecoder::masked`] is the per-shot reference it is validated
+//! against (`tests/strike_aware_decoding.rs`): the exactness argument
+//! above is weight-agnostic, so it covers every masked context unchanged.
+//! A no-op mask (zero radius, decayed to background) hands off to the
+//! unaware path bit-identically.
 
 mod bulk;
 mod cache;
 mod graph;
+mod mask;
 mod mwpm;
 mod union_find;
 
 pub use bulk::{BulkDecoder, DecoderStats, TierConfig};
-pub use graph::{DetectorGraph, DetectorNode};
+pub use graph::{DetectorGraph, DetectorNode, EdgeKind};
+pub use mask::{DecoderMask, MASK_BASE_WEIGHT, MASK_REF_PROB};
 pub use mwpm::MwpmDecoder;
 pub use union_find::UnionFindDecoder;
 
@@ -91,6 +111,20 @@ pub trait Decoder: Send + Sync {
     /// overrides this with the tiered bit-plane pipeline.
     fn decode_batch(&self, batch: &ShotBatch) -> Vec<bool> {
         decode_batch_memoised(self, batch)
+    }
+
+    /// Strike-aware decode: like [`Decoder::decode`], with a
+    /// [`DecoderMask`] describing a detected (or known) radiation strike.
+    /// The default ignores the mask — a mask-unaware decoder *is* the
+    /// unaware baseline the mitigation experiments compare against;
+    /// [`BulkDecoder`] overrides it with the reweighted-graph cascade.
+    fn decode_masked(&self, shot: &ShotRecord, _mask: &DecoderMask) -> bool {
+        self.decode(shot)
+    }
+
+    /// Strike-aware batch decode (see [`Decoder::decode_masked`]).
+    fn decode_batch_masked(&self, batch: &ShotBatch, _mask: &DecoderMask) -> Vec<bool> {
+        self.decode_batch(batch)
     }
 
     /// Where decode work went so far, for decoders that track it (the

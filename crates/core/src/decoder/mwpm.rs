@@ -107,6 +107,22 @@ impl MwpmDecoder {
         }
     }
 
+    /// The strike-aware reference decoder: [`MwpmDecoder::new`] with the
+    /// detector graph reweighted by `mask`
+    /// ([`DecoderMask::reweight`](crate::decoder::DecoderMask::reweight)),
+    /// so matchings prefer correction paths through the struck region.
+    /// This is the per-shot oracle the masked tiers of
+    /// [`BulkDecoder`](crate::decoder::BulkDecoder) are validated against
+    /// (`tests/strike_aware_decoding.rs`) — both sides build their graph
+    /// through the same reweighting function, so the exactness argument of
+    /// the unmasked cascade carries over unchanged.
+    pub fn masked(code: &CodeCircuit, mask: &crate::decoder::DecoderMask) -> Self {
+        let mut dec = Self::new(code);
+        dec.graph = mask.reweight(&dec.graph);
+        dec.name = format!("mwpm-masked[{}]", code.name);
+        dec
+    }
+
     /// The underlying detector graph.
     pub fn graph(&self) -> &DetectorGraph {
         &self.graph

@@ -4,18 +4,18 @@
 //! analyses (Sec. V).
 
 use crate::codes::{CodeCircuit, CodeSpec};
-use crate::decoder::{Decoder, DecoderKind};
+use crate::decoder::{Decoder, DecoderKind, DecoderMask};
 use radqec_circuit::Backend;
 use radqec_noise::{
-    run_noisy_batch, run_noisy_shot, ActiveFault, FaultSpec, NoiseSpec, ResetBasis,
+    run_noisy_shot, ActiveFault, FaultSpec, NoiseSpec, ResetBasis, StreamWorkspace,
 };
-use radqec_stabilizer::{PauliFrameBatch, ReferenceTrace, StabilizerBackend};
+use radqec_stabilizer::{ReferenceTrace, StabilizerBackend};
 use radqec_topology::{generators::fitting_mesh, Topology};
 use radqec_transpiler::{transpile, TranspileOptions, Transpiled};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rayon::prelude::*;
-use std::sync::OnceLock;
+use std::sync::{Mutex, OnceLock};
 
 /// Which Monte-Carlo sampler backs [`InjectionEngine`] shots.
 ///
@@ -62,6 +62,7 @@ pub fn default_frame_chunk(shots: usize) -> usize {
 pub struct InjectionEngineBuilder {
     spec: CodeSpec,
     topology: Option<Topology>,
+    initial_layout: Option<Vec<u32>>,
     transpile_opts: TranspileOptions,
     decoder: DecoderKind,
     sampler: SamplerKind,
@@ -75,6 +76,15 @@ impl InjectionEngineBuilder {
     /// fits the code, the paper's scaled-down 5×6 lattice).
     pub fn topology(mut self, topo: Topology) -> Self {
         self.topology = Some(topo);
+        self
+    }
+
+    /// Pin the initial logical→physical placement instead of searching
+    /// (routing still runs; with a good table it inserts few or no SWAPs).
+    /// The mitigation harness uses this to host codes on their native
+    /// embeddings extended by a readout-ancilla seat.
+    pub fn initial_layout(mut self, l2p: Vec<u32>) -> Self {
+        self.initial_layout = Some(l2p);
         self
     }
 
@@ -130,7 +140,15 @@ impl InjectionEngineBuilder {
             topology.name(),
             code.name
         );
-        let transpiled = transpile(&code.circuit, &topology, &self.transpile_opts);
+        let transpiled = match self.initial_layout {
+            Some(l2p) => radqec_transpiler::transpile_with_layout(
+                &code.circuit,
+                &topology,
+                radqec_transpiler::Layout::new(l2p, topology.num_qubits()),
+                &self.transpile_opts,
+            ),
+            None => transpile(&code.circuit, &topology, &self.transpile_opts),
+        };
         let decoder = self.decoder.build(&code);
         InjectionEngine {
             code,
@@ -142,6 +160,7 @@ impl InjectionEngineBuilder {
             seed: self.seed,
             frame_chunk: self.frame_chunk.unwrap_or_else(|| default_frame_chunk(self.shots)),
             reference: OnceLock::new(),
+            workspaces: Mutex::new(Vec::new()),
         }
     }
 }
@@ -159,6 +178,12 @@ pub struct InjectionEngine {
     /// Noiseless reference trace for the frame sampler, computed on first
     /// use and shared by every sample/batch of the campaign.
     reference: OnceLock<ReferenceTrace>,
+    /// Pooled per-worker stream workspaces (frame planes, record batches,
+    /// Bernoulli scratch), recycled across chunks, samples and whole
+    /// campaigns — the PR 4 streaming arena ported to the offline engine.
+    /// Re-initialisation replays a fresh buffer's exact draw sequence, so
+    /// pooling never changes a sampled stream.
+    workspaces: Mutex<Vec<StreamWorkspace>>,
 }
 
 impl InjectionEngine {
@@ -167,6 +192,7 @@ impl InjectionEngine {
         InjectionEngineBuilder {
             spec,
             topology: None,
+            initial_layout: None,
             transpile_opts: TranspileOptions::auto(),
             decoder: DecoderKind::default(),
             sampler: SamplerKind::default(),
@@ -247,6 +273,80 @@ impl InjectionEngine {
         errors as f64 / self.shots as f64
     }
 
+    /// Strike-aware counterpart of [`Self::logical_error_at_sample`]: the
+    /// same sampled shots (identical RNG streams — estimates are *paired*
+    /// with the unaware run), decoded with `mask` feeding the decoder's
+    /// reweighting layer ([`Decoder::decode_batch_masked`]). The caller
+    /// owns the mask's temporal decay: pass
+    /// [`DecoderMask::scaled`](crate::decoder::DecoderMask::scaled) by the
+    /// transient's `T(t_k)` to track the event across samples.
+    pub fn masked_logical_error_at_sample(
+        &self,
+        fault: &FaultSpec,
+        noise: &NoiseSpec,
+        sample: usize,
+        mask: &DecoderMask,
+    ) -> f64 {
+        let active = fault.activate(&self.topology, sample).with_basis(ResetBasis::Z);
+        let errors: usize = match self.sampler {
+            SamplerKind::FrameBatch => {
+                let chunks = self.shots.div_ceil(self.frame_chunk);
+                (0..chunks)
+                    .into_par_iter()
+                    .map(|chunk| {
+                        let batch = self.frame_batch_chunk(&active, noise, sample, chunk);
+                        self.decoder
+                            .decode_batch_masked(&batch, mask)
+                            .into_iter()
+                            .filter(|&ok| !ok)
+                            .count()
+                    })
+                    .sum()
+            }
+            SamplerKind::Tableau => {
+                // Replay per shot, decode as one batch: the masked batch
+                // path resolves the mask's solve context once per call
+                // (per-shot `decode_masked` would take the mask-map lock
+                // per shot across every rayon worker, and the batch tiers
+                // are bit-identical to per-shot decoding anyway).
+                let circuit = &self.transpiled.circuit;
+                let n_phys = self.topology.num_qubits();
+                let records: Vec<_> = (0..self.shots)
+                    .into_par_iter()
+                    .map_init(
+                        || StabilizerBackend::new(n_phys),
+                        |backend, shot| {
+                            let mut rng = StdRng::seed_from_u64(mix_seed(
+                                self.seed,
+                                sample as u64,
+                                shot as u64,
+                            ));
+                            backend.reset_all();
+                            run_noisy_shot(circuit, backend, noise, &active, &mut rng)
+                        },
+                    )
+                    .collect();
+                let mut batch = radqec_circuit::ShotBatch::new(circuit.num_clbits(), self.shots);
+                for (shot, record) in records.iter().enumerate() {
+                    for c in 0..circuit.num_clbits() {
+                        if record.get(c) {
+                            batch.flip(c, shot);
+                        }
+                    }
+                }
+                self.decoder.decode_batch_masked(&batch, mask).into_iter().filter(|&ok| !ok).count()
+            }
+        };
+        errors as f64 / self.shots as f64
+    }
+
+    /// The engine's decoder (for harnesses that decode sampled batches
+    /// themselves, e.g. the mitigation sweep's paired masked/unaware
+    /// comparisons over one set of shots).
+    pub fn decoder(&self) -> &dyn Decoder {
+        self.decoder.as_ref()
+    }
+
     /// Per-shot tableau path: one full CHP replay per shot, with the
     /// backend allocation reused across each worker's shots.
     fn tableau_errors_at_sample(
@@ -291,9 +391,35 @@ impl InjectionEngine {
             .sum()
     }
 
+    /// Pop a pooled workspace (or start a fresh one).
+    fn workspace(&self) -> StreamWorkspace {
+        self.workspaces.lock().expect("workspace pool poisoned").pop().unwrap_or_default()
+    }
+
+    /// Return a workspace to the pool.
+    fn pool(&self, ws: StreamWorkspace) {
+        self.workspaces.lock().expect("workspace pool poisoned").push(ws);
+    }
+
+    /// Workspace-pool counters `(buffer allocations, full reuses)` over
+    /// the engine's lifetime: on a warm pool further campaigns must not
+    /// allocate at all (pinned by the `warm_campaigns_allocate_nothing`
+    /// regression test). Pooled (returned) workspaces only — read between
+    /// campaigns, not mid-flight.
+    pub fn workspace_stats(&self) -> (u64, u64) {
+        let pool = self.workspaces.lock().expect("workspace pool poisoned");
+        (
+            pool.iter().map(StreamWorkspace::allocations).sum(),
+            pool.iter().map(StreamWorkspace::reuses).sum(),
+        )
+    }
+
     /// Sample one frame-batch chunk of a temporal sample: a distinct RNG
     /// stream per (sample, chunk), offset so frame streams never collide
-    /// with the tableau path's per-shot ones.
+    /// with the tableau path's per-shot ones. Buffers come from the
+    /// engine's workspace pool; recycled chunks replay a fresh buffer's
+    /// exact draw sequence, so the streams are bit-identical to the
+    /// pre-pool implementation.
     fn frame_batch_chunk(
         &self,
         active: &ActiveFault,
@@ -312,8 +438,11 @@ impl InjectionEngine {
             sample as u64,
             chunk as u64,
         ));
-        let mut frame = PauliFrameBatch::new(n_phys, width, &mut rng);
-        run_noisy_batch(circuit, reference, &mut frame, noise, active, &mut rng)
+        let mut ws = self.workspace();
+        let batch =
+            ws.run_chunk(circuit, reference, noise, &[(0, active)], n_phys, width, &mut rng);
+        self.pool(ws);
+        batch
     }
 
     /// The frame sampler's bit-packed record batches for one temporal
@@ -505,6 +634,43 @@ mod tests {
             stats.cache_hits,
             stats.matchings
         );
+    }
+
+    #[test]
+    fn warm_campaigns_allocate_nothing() {
+        // The PR 4 workspace pool, ported to the offline engine: after the
+        // first campaign warms the pool, a whole further fig-style sweep
+        // (all temporal samples, several chunks each) must reuse every
+        // pooled buffer without a single new allocation.
+        let engine = InjectionEngine::builder(RepetitionCode::bit_flip(5).into())
+            .shots(512)
+            .seed(6)
+            .frame_chunk(128)
+            .build();
+        let fault = FaultSpec::Radiation { model: RadiationModel::default(), root: 2 };
+        let a = engine.run(&fault, &NoiseSpec::paper_default());
+        let (alloc_warm, reuse_warm) = engine.workspace_stats();
+        assert!(alloc_warm > 0, "first campaign must have populated the pool");
+        let b = engine.run(&fault, &NoiseSpec::paper_default());
+        let (alloc_after, reuse_after) = engine.workspace_stats();
+        assert_eq!(a, b, "pooling must not change the sampled streams");
+        assert_eq!(alloc_after, alloc_warm, "warm campaign allocated workspace buffers");
+        assert!(reuse_after > reuse_warm, "reuse counter must grow: {reuse_after}");
+    }
+
+    #[test]
+    fn masked_decoding_with_noop_mask_matches_unaware() {
+        use crate::decoder::DecoderMask;
+        let engine =
+            InjectionEngine::builder(RepetitionCode::bit_flip(5).into()).shots(256).seed(8).build();
+        let fault = FaultSpec::RadiationAtImpact { model: RadiationModel::default(), root: 2 };
+        let noise = NoiseSpec::paper_default();
+        let unaware = engine.logical_error_at_sample(&fault, &noise, 0);
+        let noop = DecoderMask::from_probs(vec![0.0; 5], vec![0.0; 4]);
+        let masked = engine.masked_logical_error_at_sample(&fault, &noise, 0, &noop);
+        assert_eq!(masked, unaware, "no-op mask must be bit-identical to unaware decoding");
+        let stats = engine.decoder_stats().unwrap();
+        assert_eq!(stats.mask_contexts, 0, "no-op masks must not intern a context");
     }
 
     #[test]

@@ -10,6 +10,16 @@
 //! probabilities `F(t, d) = T(t)·S(d)` (the same `transient_decay`
 //! factorisation as the offline model, just sampled along the round axis).
 //!
+//! Streams also model **multiple overlapping strikes**
+//! ([`StreamFault::MultiStrike`]): each [`StrikeEvent`] carries its own
+//! impact point and onset round, runs its transient on its own clock from
+//! that onset, and the per-qubit reset probabilities combine as
+//! independent sources (`1 − Π(1 − p_i)`) before the per-round
+//! [`ActiveFault`] ladder is handed to the segmented executors — both
+//! samplers consume the timeline unchanged, so the tableau oracle
+//! cross-validates multi-strike streams exactly like single ones
+//! (`tests/multi_strike_equivalence.rs`).
+//!
 //! Both shot samplers carry over:
 //!
 //! * **frame batch** — the memory circuit is replayed as bit-packed Pauli
@@ -87,7 +97,123 @@ pub enum StreamFault {
         /// Struck physical qubit.
         root: u32,
     },
+    /// Two or more radiation strikes with independent impact points and
+    /// onset rounds, overlapping freely in time — each contributes its own
+    /// `F(t, d)` ladder from its onset on, and the per-qubit reset
+    /// probabilities combine as independent sources
+    /// (`1 − Π(1 − p_i)`). A single strike at onset 0 is bit-identical to
+    /// [`StreamFault::Strike`].
+    MultiStrike(MultiStrike),
 }
+
+/// One strike of a [`MultiStrike`] timeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StrikeEvent {
+    /// Fault model parameters (γ, spatial constant; `num_samples` is
+    /// ignored — the round count plays that role).
+    pub model: RadiationModel,
+    /// Struck physical qubit.
+    pub root: u32,
+    /// Round at which the strike lands (its transient starts there and
+    /// decays over the remaining rounds at the model's per-round rate).
+    pub onset_round: usize,
+}
+
+/// A validated multi-strike timeline (see [`MultiStrike::try_new`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiStrike {
+    strikes: Vec<StrikeEvent>,
+}
+
+impl MultiStrike {
+    /// Validate and build a multi-strike timeline: at least one strike,
+    /// onsets in non-decreasing order (overlap is the point — two strikes
+    /// may share an onset — but an out-of-order list is almost certainly a
+    /// configuration slip, so it is rejected with a typed error rather
+    /// than silently reordered). Roots and onsets are range-checked
+    /// against the engine at stream time
+    /// ([`StreamEngine::try_round_faults`]), where the topology and round
+    /// count are known.
+    pub fn try_new(strikes: Vec<StrikeEvent>) -> Result<Self, MultiStrikeError> {
+        if strikes.is_empty() {
+            return Err(MultiStrikeError::Empty);
+        }
+        for (i, w) in strikes.windows(2).enumerate() {
+            if w[1].onset_round < w[0].onset_round {
+                return Err(MultiStrikeError::OnsetsOutOfOrder {
+                    index: i + 1,
+                    onset: w[1].onset_round,
+                    previous: w[0].onset_round,
+                });
+            }
+        }
+        Ok(MultiStrike { strikes })
+    }
+
+    /// The validated strikes, in onset order.
+    pub fn strikes(&self) -> &[StrikeEvent] {
+        &self.strikes
+    }
+}
+
+/// Validation failure of a [`MultiStrike`] timeline (see
+/// [`MultiStrike::try_new`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MultiStrikeError {
+    /// No strikes — use [`StreamFault::None`] for null streams.
+    Empty,
+    /// Strike `index`'s onset precedes its predecessor's.
+    OnsetsOutOfOrder {
+        /// Position of the offending strike.
+        index: usize,
+        /// Its onset round.
+        onset: usize,
+        /// The preceding strike's onset round.
+        previous: usize,
+    },
+}
+
+impl std::fmt::Display for MultiStrikeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MultiStrikeError::Empty => write!(f, "multi-strike timeline needs at least one strike"),
+            MultiStrikeError::OnsetsOutOfOrder { index, onset, previous } => write!(
+                f,
+                "strike {index} onset {onset} precedes the previous strike's onset {previous}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MultiStrikeError {}
+
+/// Failure to resolve a [`StreamFault`] into per-round fault ladders (see
+/// [`StreamEngine::try_round_faults`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StreamFaultError {
+    /// A strike root outside the engine's topology.
+    BadRoot(radqec_noise::StrikeError),
+    /// A strike onset at or beyond the stream's round count.
+    OnsetBeyondRounds {
+        /// The offending onset round.
+        onset: usize,
+        /// Rounds per shot of this engine.
+        rounds: usize,
+    },
+}
+
+impl std::fmt::Display for StreamFaultError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamFaultError::BadRoot(e) => write!(f, "{e}"),
+            StreamFaultError::OnsetBeyondRounds { onset, rounds } => {
+                write!(f, "strike onset round {onset} outside a {rounds}-round stream")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StreamFaultError {}
 
 /// How the builder picked the host topology — part of the context-cache
 /// key (custom hosts are not cached: arbitrary topologies are not
@@ -483,23 +609,84 @@ impl StreamEngine {
 
     /// The per-round fault ladder of `fault`: round `r` gets the transient
     /// at `t = r / (R−1)` (`F(t, d) = T(t)·S(d)`, Eq. 7 sampled along the
-    /// round axis).
+    /// round axis). Multi-strike timelines shift each strike's clock to
+    /// its onset round and combine the per-qubit probabilities as
+    /// independent reset sources.
+    ///
+    /// # Panics
+    /// Panics on an invalid configuration (root outside the topology,
+    /// onset beyond the round count) — use
+    /// [`StreamEngine::try_round_faults`] for untrusted input.
     pub fn round_faults(&self, fault: &StreamFault) -> Vec<ActiveFault> {
+        self.try_round_faults(fault).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Self::round_faults`]: `Err` on a strike root outside the
+    /// engine's topology or an onset round at or beyond the stream's
+    /// round count, instead of panicking — the entry point for
+    /// user-facing sweep configuration.
+    pub fn try_round_faults(
+        &self,
+        fault: &StreamFault,
+    ) -> Result<Vec<ActiveFault>, StreamFaultError> {
         let rounds = self.ctx.memory.rounds;
+        let n = self.ctx.topology.num_qubits() as usize;
         match fault {
-            StreamFault::None => {
-                vec![ActiveFault::none(self.ctx.topology.num_qubits() as usize); rounds]
-            }
+            StreamFault::None => Ok(vec![ActiveFault::none(n); rounds]),
             StreamFault::Strike { model, root } => {
-                let event = model.strike(&self.ctx.topology, *root);
+                let event = model
+                    .try_strike(&self.ctx.topology, *root)
+                    .map_err(StreamFaultError::BadRoot)?;
                 let spatial = event.spatial_profile();
-                (0..rounds)
+                Ok((0..rounds)
                     .map(|r| {
                         let t = r as f64 / (rounds - 1) as f64;
                         let temporal = temporal_decay(t, model.gamma);
                         ActiveFault::from_probs(spatial.iter().map(|s| temporal * s).collect())
                     })
-                    .collect()
+                    .collect())
+            }
+            StreamFault::MultiStrike(multi) => {
+                let mut events = Vec::with_capacity(multi.strikes().len());
+                for strike in multi.strikes() {
+                    if strike.onset_round >= rounds {
+                        return Err(StreamFaultError::OnsetBeyondRounds {
+                            onset: strike.onset_round,
+                            rounds,
+                        });
+                    }
+                    let event = strike
+                        .model
+                        .try_strike(&self.ctx.topology, strike.root)
+                        .map_err(StreamFaultError::BadRoot)?;
+                    events.push((strike, event));
+                }
+                Ok((0..rounds)
+                    .map(|r| {
+                        let mut probs = vec![0.0f64; n];
+                        for (strike, event) in &events {
+                            if r < strike.onset_round {
+                                continue;
+                            }
+                            // Each strike's transient runs on its own
+                            // clock, decaying at the same per-round rate a
+                            // lone strike would (t is measured in whole-
+                            // stream units from the onset).
+                            let t = (r - strike.onset_round) as f64 / (rounds - 1) as f64;
+                            let temporal = temporal_decay(t, strike.model.gamma);
+                            // Independent reset sources compose as
+                            // complement products; the running update
+                            // `p ← p + q·(1−p)` keeps a lone strike's
+                            // probabilities bit-identical to the
+                            // single-strike arm (0 + q·1 = q exactly).
+                            for (p, s) in probs.iter_mut().zip(event.spatial_profile()) {
+                                let q = temporal * s;
+                                *p += q * (1.0 - *p);
+                            }
+                        }
+                        ActiveFault::from_probs(probs)
+                    })
+                    .collect())
             }
         }
     }
@@ -906,6 +1093,79 @@ mod tests {
         let early: u64 = per_round[..2].iter().sum();
         let late: u64 = per_round[6..].iter().sum();
         assert!(early > 10 * late.max(1), "decay not visible: {per_round:?}");
+    }
+
+    #[test]
+    fn single_strike_multistrike_ladder_is_bit_identical() {
+        let engine = StreamEngine::builder(RepetitionCode::bit_flip(5).into(), 6).shots(1).build();
+        let model = RadiationModel::default();
+        let single = engine.round_faults(&StreamFault::Strike { model, root: 2 });
+        let multi = engine.round_faults(&StreamFault::MultiStrike(
+            MultiStrike::try_new(vec![StrikeEvent { model, root: 2, onset_round: 0 }]).unwrap(),
+        ));
+        assert_eq!(single, multi, "one strike at onset 0 must reproduce the Strike arm exactly");
+    }
+
+    #[test]
+    fn second_strike_reignites_the_ladder_at_its_onset() {
+        let engine = StreamEngine::builder(RepetitionCode::bit_flip(5).into(), 8).shots(1).build();
+        let model = RadiationModel::default();
+        let fault = StreamFault::MultiStrike(
+            MultiStrike::try_new(vec![
+                StrikeEvent { model, root: 0, onset_round: 0 },
+                StrikeEvent { model, root: 4, onset_round: 4 },
+            ])
+            .unwrap(),
+        );
+        let faults = engine.round_faults(&fault);
+        // Before the second onset, root 4's site carries only the first
+        // strike's damped tail; at the onset it jumps to 1.
+        assert!(faults[3].prob(4) < 0.05, "pre-onset: {}", faults[3].prob(4));
+        assert_eq!(faults[4].prob(4), 1.0, "impact at its own onset round");
+        assert!(faults[5].prob(4) < faults[4].prob(4), "and decays after");
+        // The first strike's root is unaffected by the second onset beyond
+        // the independent-source combination.
+        assert!(faults[4].prob(0) < faults[0].prob(0));
+        // Combined probabilities stay probabilities.
+        for f in &faults {
+            for q in 0..5 {
+                assert!((0.0..=1.0).contains(&f.prob(q)));
+            }
+        }
+    }
+
+    #[test]
+    fn multi_strike_validation_is_typed() {
+        assert_eq!(MultiStrike::try_new(vec![]).unwrap_err(), MultiStrikeError::Empty);
+        let model = RadiationModel::default();
+        let err = MultiStrike::try_new(vec![
+            StrikeEvent { model, root: 0, onset_round: 3 },
+            StrikeEvent { model, root: 1, onset_round: 1 },
+        ])
+        .unwrap_err();
+        assert_eq!(err, MultiStrikeError::OnsetsOutOfOrder { index: 1, onset: 1, previous: 3 });
+        assert!(err.to_string().contains("precedes"));
+        // Equal onsets (simultaneous strikes) are legal.
+        assert!(MultiStrike::try_new(vec![
+            StrikeEvent { model, root: 0, onset_round: 2 },
+            StrikeEvent { model, root: 1, onset_round: 2 },
+        ])
+        .is_ok());
+        // Engine-side range checks surface as typed errors, not panics.
+        let engine = StreamEngine::builder(RepetitionCode::bit_flip(3).into(), 4).shots(1).build();
+        let n = engine.topology().num_qubits();
+        let bad_root = StreamFault::MultiStrike(
+            MultiStrike::try_new(vec![StrikeEvent { model, root: n + 7, onset_round: 0 }]).unwrap(),
+        );
+        assert!(matches!(engine.try_round_faults(&bad_root), Err(StreamFaultError::BadRoot(_))));
+        let late = StreamFault::MultiStrike(
+            MultiStrike::try_new(vec![StrikeEvent { model, root: 0, onset_round: 4 }]).unwrap(),
+        );
+        assert_eq!(
+            engine.try_round_faults(&late),
+            Err(StreamFaultError::OnsetBeyondRounds { onset: 4, rounds: 4 })
+        );
+        assert!(engine.try_round_faults(&StreamFault::Strike { model, root: n + 1 }).is_err());
     }
 
     #[test]

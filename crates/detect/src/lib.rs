@@ -31,6 +31,10 @@
 //! 5. [`roc_auc`] ranks strike-stream scores against intrinsic-noise-only
 //!    scores (tie-corrected Mann–Whitney), the harness's separability
 //!    metric.
+//! 6. [`StrikeMask`] closes the loop: the clusterer's root, ring radius
+//!    and decay estimate packaged as a per-qubit elevated-error profile
+//!    that a strike-aware decoder (`radqec_core::decoder`) consumes to
+//!    reweight matching inside the struck region.
 //!
 //! The crate deliberately depends only on `radqec-circuit` (records) and
 //! `radqec-topology` (localization): detectors see exactly what a
@@ -46,10 +50,12 @@
 mod cluster;
 mod detectors;
 mod events;
+mod mask;
 mod roc;
 
 pub use cluster::{ClusterDetector, Localizer, RootCalibration, WindowCluster};
 pub use detectors::CountDetectorState;
 pub use detectors::{CusumDetector, Detection, OnlineDetector, ThresholdDetector};
 pub use events::{EventAccumulator, EventStream, StreamSpec};
+pub use mask::{MaskError, StrikeMask};
 pub use roc::{median_f64, median_u32, quantile, roc_auc};

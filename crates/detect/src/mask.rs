@@ -1,0 +1,264 @@
+//! [`StrikeMask`] — the detect→decode handoff artefact.
+//!
+//! Detection ends with an *estimate*: a strike root (from the
+//! [`Localizer`]'s damped-defect centroid), a spatial extent (how far the
+//! burst's ring reaches) and a decay estimate (how hot the transient still
+//! is). A [`StrikeMask`] packages exactly that triple as a per-qubit
+//! elevated-error-probability profile on the device graph, so a
+//! strike-aware decoder can reweight its matching inside the struck region
+//! (see `radqec_core::decoder`): qubits the mask marks as probably-reset
+//! get cheap correction edges, the erasure-style treatment of the Google
+//! cosmic-ray line of work.
+//!
+//! The mask lives in `radqec-detect` deliberately: it is built from what a
+//! real-time monitor actually has — classical detection output and the
+//! device graph — never from the simulator's ground truth. (Experiment
+//! harnesses may still build "oracle" masks at the true root to bound the
+//! achievable gain; the type is the same.)
+//!
+//! [`Localizer`]: crate::Localizer
+
+use crate::cluster::WindowCluster;
+use radqec_topology::Topology;
+
+/// Per-qubit strike-probability profile handed from detection to decoding
+/// (see module docs).
+///
+/// The profile mirrors the radiation model's spatial damping: qubit `q` at
+/// `d` hops from the root carries `intensity · 1/(d+1)²`, clipped to zero
+/// beyond `radius` hops. Construction goes through [`StrikeMask::try_new`],
+/// which validates the root against the topology — masks are user/detector
+/// facing configuration and must never panic or index out of bounds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StrikeMask {
+    root: u32,
+    radius: u32,
+    intensity: f64,
+    /// Per-qubit probability, `topo.num_qubits()` long by construction.
+    probs: Vec<f64>,
+}
+
+/// Validation failure of a [`StrikeMask`] configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MaskError {
+    /// The root qubit is not part of the target topology.
+    RootOutsideTopology {
+        /// Requested root.
+        root: u32,
+        /// Number of qubits the topology actually has.
+        num_qubits: u32,
+    },
+    /// The decay estimate is not a probability.
+    IntensityOutOfRange {
+        /// The offending intensity.
+        intensity: f64,
+    },
+}
+
+impl std::fmt::Display for MaskError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MaskError::RootOutsideTopology { root, num_qubits } => {
+                write!(f, "mask root {root} outside topology of {num_qubits} qubits")
+            }
+            MaskError::IntensityOutOfRange { intensity } => {
+                write!(f, "mask intensity {intensity} outside [0, 1]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MaskError {}
+
+/// The mask's spatial falloff — the radiation model's `S(d) = 1/(d+1)²`
+/// at the paper's `n = 1` (the profile the strike itself follows, so the
+/// mask's prior matches the event it models).
+#[inline]
+fn mask_damping(d: u32) -> f64 {
+    if d == u32::MAX {
+        0.0
+    } else {
+        let dn = d as f64 + 1.0;
+        1.0 / (dn * dn)
+    }
+}
+
+impl StrikeMask {
+    /// Cluster score at which [`StrikeMask::from_cluster`] saturates its
+    /// decay estimate to 1: the matched-filter score of a fresh strike's
+    /// co-located burst sits well above this, while a lone intrinsic event
+    /// scores at most 1 (see [`WindowCluster::score`]).
+    pub const SCORE_SATURATION: f64 = 4.0;
+
+    /// Build a mask covering every qubit within `radius` hops of `root`,
+    /// with peak probability `intensity` (the decay estimate) damped by
+    /// `1/(d+1)²` over the covered hops.
+    ///
+    /// `radius == 0` covers **no** qubits — the provable no-op
+    /// configuration ([`StrikeMask::is_noop`] returns `true`, and masked
+    /// decoding is defined to be bit-identical to unaware decoding for
+    /// it). The covered region starts at radius 1 (the root itself) and
+    /// grows one BFS ring per unit; qubits unreachable from the root are
+    /// never covered, so a mask clipped to the device graph cannot index
+    /// outside it.
+    pub fn try_new(
+        topo: &Topology,
+        root: u32,
+        radius: u32,
+        intensity: f64,
+    ) -> Result<Self, MaskError> {
+        if root >= topo.num_qubits() {
+            return Err(MaskError::RootOutsideTopology { root, num_qubits: topo.num_qubits() });
+        }
+        if !(0.0..=1.0).contains(&intensity) {
+            return Err(MaskError::IntensityOutOfRange { intensity });
+        }
+        let probs = topo
+            .distances_from(root)
+            .into_iter()
+            .map(|d| if radius > 0 && d < radius { intensity * mask_damping(d) } else { 0.0 })
+            .collect();
+        Ok(StrikeMask { root, radius, intensity, probs })
+    }
+
+    /// Build a mask from a detection output: the [`WindowCluster`]'s
+    /// elected root becomes the mask root and its matched-filter score the
+    /// decay estimate (clamped into `[0, 1]` via
+    /// [`Self::SCORE_SATURATION`]). This is the online path — everything
+    /// here is computable from classical bits and the device graph.
+    pub fn from_cluster(
+        topo: &Topology,
+        cluster: &WindowCluster,
+        radius: u32,
+    ) -> Result<Self, MaskError> {
+        let intensity = (cluster.score / Self::SCORE_SATURATION).clamp(0.0, 1.0);
+        Self::try_new(topo, cluster.root, radius, intensity)
+    }
+
+    /// The mask's root qubit.
+    #[inline]
+    pub fn root(&self) -> u32 {
+        self.root
+    }
+
+    /// Covered hop radius (0 = nothing covered).
+    #[inline]
+    pub fn radius(&self) -> u32 {
+        self.radius
+    }
+
+    /// The decay estimate (peak probability at the root).
+    #[inline]
+    pub fn intensity(&self) -> f64 {
+        self.intensity
+    }
+
+    /// Strike probability the mask assigns to `qubit` (0 outside the
+    /// covered region; indexing is safe for every qubit of the topology
+    /// the mask was built on).
+    #[inline]
+    pub fn prob(&self, qubit: u32) -> f64 {
+        self.probs[qubit as usize]
+    }
+
+    /// The full per-qubit probability profile.
+    pub fn probs(&self) -> &[f64] {
+        &self.probs
+    }
+
+    /// A rescaled copy with peak probability `intensity · factor` —
+    /// how an experiment tracks the transient's temporal decay without
+    /// re-deriving the spatial footprint. `factor` is clamped into
+    /// `[0, 1]`.
+    pub fn decayed(&self, factor: f64) -> Self {
+        let f = factor.clamp(0.0, 1.0);
+        StrikeMask {
+            root: self.root,
+            radius: self.radius,
+            intensity: self.intensity * f,
+            probs: self.probs.iter().map(|p| p * f).collect(),
+        }
+    }
+
+    /// Whether the mask covers nothing (zero radius or zero intensity):
+    /// decoding with a no-op mask is bit-identical to unaware decoding.
+    pub fn is_noop(&self) -> bool {
+        self.probs.iter().all(|&p| p == 0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use radqec_topology::generators::{linear, mesh};
+
+    #[test]
+    fn mask_follows_spatial_damping_inside_radius() {
+        let topo = linear(7);
+        let m = StrikeMask::try_new(&topo, 3, 3, 1.0).unwrap();
+        assert_eq!(m.prob(3), 1.0);
+        assert_eq!(m.prob(2), 0.25);
+        assert_eq!(m.prob(4), 0.25);
+        assert!((m.prob(1) - 1.0 / 9.0).abs() < 1e-12);
+        // Radius 3 covers d < 3 only.
+        assert_eq!(m.prob(0), 0.0);
+        assert_eq!(m.prob(6), 0.0);
+        assert!(!m.is_noop());
+    }
+
+    #[test]
+    fn zero_radius_mask_is_noop() {
+        let topo = mesh(3, 3);
+        let m = StrikeMask::try_new(&topo, 4, 0, 1.0).unwrap();
+        assert!(m.is_noop());
+        assert!(m.probs().iter().all(|&p| p == 0.0));
+        // Zero intensity is equally inert.
+        let m = StrikeMask::try_new(&topo, 4, 3, 0.0).unwrap();
+        assert!(m.is_noop());
+    }
+
+    #[test]
+    fn invalid_configurations_are_typed_errors() {
+        let topo = linear(3);
+        assert_eq!(
+            StrikeMask::try_new(&topo, 9, 2, 1.0),
+            Err(MaskError::RootOutsideTopology { root: 9, num_qubits: 3 })
+        );
+        assert_eq!(
+            StrikeMask::try_new(&topo, 0, 2, 1.5),
+            Err(MaskError::IntensityOutOfRange { intensity: 1.5 })
+        );
+        assert_eq!(
+            StrikeMask::try_new(&topo, 9, 2, 1.0).unwrap_err().to_string(),
+            "mask root 9 outside topology of 3 qubits"
+        );
+    }
+
+    #[test]
+    fn decayed_rescales_the_profile() {
+        let topo = linear(5);
+        let m = StrikeMask::try_new(&topo, 2, 2, 0.8).unwrap();
+        let d = m.decayed(0.5);
+        assert_eq!(d.root(), 2);
+        assert!((d.intensity() - 0.4).abs() < 1e-12);
+        for q in 0..5 {
+            assert!((d.prob(q) - 0.5 * m.prob(q)).abs() < 1e-12);
+        }
+        assert!(m.decayed(0.0).is_noop());
+    }
+
+    #[test]
+    fn from_cluster_clamps_score_into_a_probability() {
+        let topo = mesh(3, 3);
+        let hot = WindowCluster { mass: 6.0, score: 10.0, root: 4 };
+        let m = StrikeMask::from_cluster(&topo, &hot, 2).unwrap();
+        assert_eq!(m.intensity(), 1.0);
+        assert_eq!(m.root(), 4);
+        let faint = WindowCluster { mass: 1.0, score: 1.0, root: 0 };
+        let m = StrikeMask::from_cluster(&topo, &faint, 2).unwrap();
+        assert!((m.intensity() - 0.25).abs() < 1e-12);
+        // A cluster rooted off-chip surfaces as the typed error.
+        let bogus = WindowCluster { mass: 1.0, score: 1.0, root: 99 };
+        assert!(StrikeMask::from_cluster(&topo, &bogus, 2).is_err());
+    }
+}
