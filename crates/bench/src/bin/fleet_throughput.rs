@@ -1,0 +1,142 @@
+//! Fleet endurance campaign (`experiments::fleet`): multiple code patches
+//! tiled on one device mesh, thousands of syndrome rounds, Poisson strike
+//! arrivals, run on the supervised execution layer. Emits a
+//! `BENCH_fleet.json` trajectory entry and (with `--csv <path>`) the
+//! per-strike scoring CSV.
+//!
+//! The default workload carries the ISSUE 7 acceptance gates:
+//!
+//! * the 10⁴-round multi-patch campaign completes with **zero degraded
+//!   shots** at the default decode deadline;
+//! * **zero failed chunks** and zero retries (no chaos injected here —
+//!   the retry path is pinned by `tests/fleet_resilience.rs`);
+//! * every patch decoder's syndrome-cache occupancy stays at or under
+//!   its configured ceiling.
+//!
+//! ```text
+//! cargo run --release -p radqec-bench --bin fleet_throughput \
+//!     [--rounds N] [--patches N] [--shots N] [--seed N] [--csv PATH]
+//! ```
+//!
+//! CI quick mode: `--rounds 1000 --shots 32` finishes in seconds and
+//! exercises the same gates.
+
+use radqec_bench::{arg_flag, header, CsvSink};
+use radqec_core::codes::RepetitionCode;
+use radqec_core::experiments::{run_fleet, FleetConfig};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+fn main() {
+    let rounds: usize = arg_flag("rounds", 10_000);
+    let patches: usize = arg_flag("patches", 3);
+    let shots: usize = arg_flag("shots", 64);
+    let seed: u64 = arg_flag("seed", 0xF1EE_7500);
+    let mut sink = CsvSink::from_args();
+
+    let mut cfg = FleetConfig::new(RepetitionCode::bit_flip(5).into());
+    cfg.rounds = rounds;
+    cfg.patches = patches;
+    cfg.shots = shots;
+    cfg.seed = seed;
+
+    let start = Instant::now();
+    let res = run_fleet(&cfg);
+    let wall = start.elapsed().as_secs_f64();
+    let m = &res.metrics;
+    let fleet_shots = (patches * shots) as f64;
+    let fleet_sps = fleet_shots / wall;
+    let rounds_per_sec = fleet_shots * rounds as f64 / wall;
+
+    header(&format!(
+        "fleet endurance — {} × {} patches, {rounds} rounds, {shots} replicas/patch",
+        cfg.code.name(),
+        patches
+    ));
+    println!(
+        "strikes {:>4}   detected {:>4} ({:.0}% coverage)   recovered {:>4} (mean TTR {:.1} µs)",
+        m.strikes,
+        m.detected,
+        100.0 * m.detection_coverage,
+        m.recovered,
+        m.mean_time_to_recovery_us
+    );
+    println!(
+        "bursts {:>6}   device-hours {:.6}   bursts/device-hour {:.1}",
+        m.bursts, m.device_hours, m.bursts_per_device_hour
+    );
+    println!(
+        "throughput: {fleet_sps:.1} fleet shots/s ({rounds_per_sec:.0} replica-rounds/s), wall \
+         {wall:.2}s"
+    );
+    println!(
+        "execution layer: degraded {}   retried chunks {}   failed chunks {}   max cache \
+         entries {} (ceiling {})",
+        res.degraded_shots(),
+        res.retried_chunks(),
+        res.failed_chunks(),
+        res.max_cache_entries(),
+        cfg.cache_capacity
+    );
+    sink.emit("fleet", &res.to_csv());
+
+    let complete_ok = res.complete;
+    let degraded_ok = res.degraded_shots() == 0;
+    let failures_ok = res.failed_chunks() == 0 && res.retried_chunks() == 0;
+    let cache_ok = res.max_cache_entries() <= cfg.cache_capacity;
+    let gates_ok = complete_ok && degraded_ok && failures_ok && cache_ok;
+    println!(
+        "acceptance: complete ({}), zero degraded ({}), zero chunk failures ({}), caches under \
+         ceiling ({})",
+        pass(complete_ok),
+        pass(degraded_ok),
+        pass(failures_ok),
+        pass(cache_ok),
+    );
+
+    let mut json = String::from("[\n");
+    let _ = write!(
+        json,
+        "  {{\"workload\":\"fleet_rep5\",\"code\":\"{}\",\
+         \"patches\":{patches},\"rounds\":{rounds},\"shots\":{shots},\"seed\":{seed},\
+         \"strikes\":{},\"detected\":{},\
+         \"detection_coverage\":{:.4},\
+         \"bursts\":{},\
+         \"bursts_per_device_hour\":{:.3},\
+         \"recovered\":{},\
+         \"time_to_recovery_us\":{:.3},\
+         \"total_events\":{},\
+         \"fleet_shots_per_sec\":{fleet_sps:.2},\
+         \"replica_rounds_per_sec\":{rounds_per_sec:.0},\
+         \"degraded_shots\":{},\
+         \"retried_chunks\":{},\
+         \"failed_chunks\":{},\
+         \"cache_entries\":{},\
+         \"complete\":{}}}",
+        cfg.code.name(),
+        m.strikes,
+        m.detected,
+        m.detection_coverage,
+        m.bursts,
+        m.bursts_per_device_hour,
+        m.recovered,
+        m.mean_time_to_recovery_us,
+        m.total_events,
+        res.degraded_shots(),
+        res.retried_chunks(),
+        res.failed_chunks(),
+        res.max_cache_entries(),
+        res.complete,
+    );
+    json.push_str("\n]\n");
+    std::fs::write("BENCH_fleet.json", &json).expect("write BENCH_fleet.json");
+    println!("\nwrote BENCH_fleet.json{}", if gates_ok { "" } else { " (GATE FAILURES)" });
+}
+
+fn pass(ok: bool) -> &'static str {
+    if ok {
+        "PASS"
+    } else {
+        "FAIL"
+    }
+}

@@ -27,14 +27,31 @@ use crate::decoder::Decoder;
 use radqec_circuit::{ShotBatch, ShotRecord};
 use radqec_matching::MatchingArena;
 use std::collections::HashMap;
+use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+/// Default per-shot decode deadline (see [`TierConfig::deadline`]): three
+/// orders of magnitude above a worst-case blossom solve on the code sizes
+/// this repo runs, so the default configuration never degrades a shot —
+/// the deadline exists to bound tail latency under pathological inputs,
+/// not to trade accuracy in the steady state.
+pub const DEFAULT_DECODE_DEADLINE: Duration = Duration::from_millis(20);
+
+/// Default ceiling on interned strike-mask contexts (each owns a
+/// reweighted graph + private syndrome cache, so the map must not grow
+/// with campaign length — a long multi-strike run revisits a handful of
+/// quantised weight keys).
+pub const DEFAULT_MASK_CAPACITY: usize = 64;
 
 /// Which solve tiers a [`BulkDecoder`] may use (the blossom fallback and
 /// the cross-batch cache are always available). Disabling tiers never
 /// changes results — only where the work happens — and exists so the
 /// equivalence suite and the `decoder_throughput` bench can time each tier
-/// in isolation.
+/// in isolation. The `deadline` knob is the one exception: a spent budget
+/// swaps the exact matcher for the greedy fallback (see
+/// [`DecoderStats::degraded`]), which may differ on ≥ 4-defect syndromes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TierConfig {
     /// Exhaustive direct-indexed lookup table for codes with at most
@@ -46,13 +63,59 @@ pub struct TierConfig {
     /// Entry budget of the sharded cross-batch cache used when the code is
     /// too wide for the LUT.
     pub cache_capacity: usize,
+    /// Per-shot budget for the blossom fallback, or `None` for unbounded.
+    /// Batch decoding scales it to `deadline × shots` and charges every
+    /// blossom run against the pool; once spent, remaining heavy shots are
+    /// answered by a deterministic greedy matching instead (counted in
+    /// [`DecoderStats::degraded`], never cached), so a stuck matcher can
+    /// not stall a round stream. `Duration::ZERO` degrades every heavy
+    /// shot — the chaos-test configuration.
+    pub deadline: Option<Duration>,
+    /// Hard ceiling on interned mask contexts; the least-recently-used
+    /// context is dropped to admit a new key (counted in
+    /// [`DecoderStats::mask_evictions`]). Re-interning an evicted key
+    /// rebuilds the same pure function, so eviction never changes results.
+    pub mask_capacity: usize,
 }
 
 impl Default for TierConfig {
     fn default() -> Self {
-        TierConfig { lut: true, analytic: true, cache_capacity: DEFAULT_CACHE_CAPACITY }
+        TierConfig {
+            lut: true,
+            analytic: true,
+            cache_capacity: DEFAULT_CACHE_CAPACITY,
+            deadline: Some(DEFAULT_DECODE_DEADLINE),
+            mask_capacity: DEFAULT_MASK_CAPACITY,
+        }
     }
 }
+
+/// A [`TierConfig`] a decoder cannot be built from (see
+/// [`BulkDecoder::try_with_tiers`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TierError {
+    /// `cache_capacity` is zero — the sharded cache needs room for at
+    /// least one entry per shard to make progress.
+    ZeroCacheCapacity,
+    /// `mask_capacity` is zero — every masked decode would rebuild its
+    /// context from scratch, silently disabling the mask-keyed cache.
+    ZeroMaskCapacity,
+}
+
+impl fmt::Display for TierError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TierError::ZeroCacheCapacity => {
+                write!(f, "tier config: cache_capacity must be at least 1")
+            }
+            TierError::ZeroMaskCapacity => {
+                write!(f, "tier config: mask_capacity must be at least 1")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TierError {}
 
 /// Counters describing where decode work went (snapshot of a
 /// [`BulkDecoder`]'s atomics; see [`Decoder::decode_stats`]).
@@ -68,6 +131,10 @@ pub struct DecoderStats {
     pub analytic: u64,
     /// Blossom matchings actually run (cache misses + analytic ties).
     pub matchings: u64,
+    /// Shots answered by the greedy fallback because the decode budget was
+    /// already spent (see [`TierConfig::deadline`]). Zero at the default
+    /// deadline; degraded answers are never written to any cache.
+    pub degraded: u64,
     /// Entries evicted from the sharded cache.
     pub cache_evictions: u64,
     /// Distinct syndromes currently held by the (unmasked) LUT/cache.
@@ -78,6 +145,9 @@ pub struct DecoderStats {
     /// Masked decode calls answered by an already-interned mask context
     /// (the mask cache's hit counter; misses = `mask_contexts`).
     pub mask_hits: u64,
+    /// Mask contexts dropped by the LRU ceiling
+    /// ([`TierConfig::mask_capacity`]).
+    pub mask_evictions: u64,
 }
 
 #[derive(Default)]
@@ -87,6 +157,7 @@ struct StatCells {
     cache_hits: AtomicU64,
     analytic: AtomicU64,
     matchings: AtomicU64,
+    degraded: AtomicU64,
     mask_hits: AtomicU64,
 }
 
@@ -99,15 +170,22 @@ struct LocalStats {
     cache_hits: u64,
     analytic: u64,
     matchings: u64,
+    degraded: u64,
 }
 
-/// Per-call scratch: matcher arena + defect-list buffer. Cheap to create
-/// (no allocation until the blossom tier actually runs) and reused across
-/// every syndrome of a batch.
+/// Per-call scratch: matcher arena + defect-list buffer + the call's
+/// decode-time budget. Cheap to create (no allocation until the blossom
+/// tier actually runs) and reused across every syndrome of a batch.
 #[derive(Default)]
 struct Ctx {
     arena: MatchingArena,
     defects: Vec<usize>,
+    /// Total blossom time this call may spend (`deadline × shots`), or
+    /// `None` for unbounded.
+    budget: Option<Duration>,
+    /// Blossom time spent so far; once `spent >= budget` the heavy tier
+    /// answers greedily.
+    spent: Duration,
 }
 
 /// The solve state of one decoding context: a detector graph (uniform or
@@ -141,9 +219,22 @@ impl SolveCore {
         SolveCore { graph, planes, tiers, cache }
     }
 
+    /// Scratch context for a decode call over `shots` shots, carrying the
+    /// call's blossom-time budget (`deadline × shots`, saturating).
+    fn budget_ctx(&self, shots: usize) -> Ctx {
+        Ctx {
+            budget: self
+                .tiers
+                .deadline
+                .map(|d| d.saturating_mul(shots.min(u32::MAX as usize) as u32)),
+            ..Ctx::default()
+        }
+    }
+
     /// Flip parity of a non-zero defect pattern via the tier cascade —
     /// LUT/cache lookup, analytic, arena blossom matcher — populating the
-    /// cache on the way out.
+    /// cache on the way out (degraded answers excepted: they are not
+    /// values of the exact `flip` function, so they never enter a cache).
     ///
     /// In sharded mode the analytic tier runs *before* the cache probe:
     /// 1–2-defect syndromes (the dominant non-trivial class at realistic
@@ -162,14 +253,100 @@ impl SolveCore {
             local.cache_hits += 1;
             return flip;
         }
-        let flip = if self.cache.is_direct() {
-            // LUT miss: compute once, table answers forever after.
-            self.solve_key(key, ctx, local)
-        } else {
-            // Analytic already declined (tie, disabled, or >2 defects).
-            self.match_key(key, ctx, local)
-        };
-        self.cache.insert(key, flip);
+        if self.cache.is_direct() && self.tiers.analytic && key.count_ones() <= 2 {
+            // LUT miss: the closed form is exact, so the table may keep it.
+            if let Some(flip) = self.analytic_flip(key) {
+                local.analytic += 1;
+                self.cache.insert(key, flip);
+                return flip;
+            }
+        }
+        let (flip, exact) = self.heavy_flip(key, ctx, local);
+        if exact {
+            self.cache.insert(key, flip);
+        }
+        flip
+    }
+
+    /// The heavy tier under the decode budget: run the exact blossom
+    /// matcher while `ctx` still has time, the deterministic greedy
+    /// fallback once the budget is spent. Returns `(flip, exact)`; only
+    /// exact answers may be cached.
+    fn heavy_flip(&self, key: u128, ctx: &mut Ctx, local: &mut LocalStats) -> (bool, bool) {
+        let p = self.graph.primary_count();
+        ctx.defects.clear();
+        let mut k = key;
+        while k != 0 {
+            let plane = k.trailing_zeros() as usize;
+            k &= k - 1;
+            ctx.defects.push((plane % 2) * p + plane / 2);
+        }
+        self.heavy_flip_defects(ctx, local)
+    }
+
+    /// Budget gate over an explicit defect list already in `ctx.defects`
+    /// (shared with the > 128-detector-bit wide path, which never forms a
+    /// `u128` key). Blossom runs are timed and charged against the
+    /// budget, so one pathological solve cannot be followed by another.
+    fn heavy_flip_defects(&self, ctx: &mut Ctx, local: &mut LocalStats) -> (bool, bool) {
+        match ctx.budget {
+            None => {
+                local.matchings += 1;
+                (matching_flip(&self.graph, &ctx.defects, &mut ctx.arena), true)
+            }
+            Some(budget) if ctx.spent >= budget => {
+                local.degraded += 1;
+                (self.greedy_flip(&ctx.defects), false)
+            }
+            Some(_) => {
+                let start = Instant::now();
+                local.matchings += 1;
+                let flip = matching_flip(&self.graph, &ctx.defects, &mut ctx.arena);
+                ctx.spent += start.elapsed();
+                (flip, true)
+            }
+        }
+    }
+
+    /// Deterministic greedy matching — the graceful-degradation answer
+    /// when the decode budget is spent. Walks defects in plane order; each
+    /// unmatched defect takes its cheapest strictly-pair-beats-boundary
+    /// partner, else the boundary. O(k²), exact for ≤ 2 defects (same
+    /// two-matching enumeration as the analytic tier, boundary-preferring
+    /// on ties), approximate beyond — which is why degraded answers never
+    /// populate a cache.
+    fn greedy_flip(&self, defects: &[usize]) -> bool {
+        let g = &self.graph;
+        let boundary = g.boundary();
+        let mut used = vec![false; defects.len()];
+        let mut flip = false;
+        for i in 0..defects.len() {
+            if used[i] {
+                continue;
+            }
+            let a = defects[i];
+            let wa = weight_of(g.distance(a, boundary));
+            let mut best: Option<(i64, usize)> = None;
+            for j in i + 1..defects.len() {
+                if used[j] {
+                    continue;
+                }
+                let b = defects[j];
+                let cost = weight_of(g.distance(a, b));
+                if cost < wa + weight_of(g.distance(b, boundary))
+                    && best.is_none_or(|(c, _)| cost < c)
+                {
+                    best = Some((cost, j));
+                }
+            }
+            match best {
+                Some((_, j)) => {
+                    used[j] = true;
+                    flip ^= g.crossing_parity(a, defects[j]);
+                }
+                None => flip ^= g.crossing_parity(a, boundary),
+            }
+        }
         flip
     }
 
@@ -244,6 +421,26 @@ impl SolveCore {
 /// [`DecoderMask`] (see [`DecoderMask::weight_key`]).
 type MaskKey = (Vec<u32>, Vec<u32>);
 
+/// One interned mask context with its LRU access stamp.
+struct MaskSlot {
+    core: Arc<SolveCore>,
+    stamp: u64,
+}
+
+/// The bounded mask-context table: interned [`SolveCore`]s keyed by
+/// quantised edge weights, capped at [`TierConfig::mask_capacity`] by
+/// exact least-recently-used eviction. An evicted context's `Arc` keeps
+/// any in-flight batch alive until it finishes; re-interning rebuilds the
+/// same pure function, so eviction never changes decode results.
+#[derive(Default)]
+struct MaskContexts {
+    map: HashMap<MaskKey, MaskSlot>,
+    /// Monotonic access counter stamping slots for LRU.
+    tick: u64,
+    /// Contexts dropped by the ceiling so far.
+    evictions: u64,
+}
+
 /// Tiered bulk decoder, bit-identical to [`MwpmDecoder`].
 ///
 /// [`Decoder::decode_batch`] extracts defect bit-planes straight from the
@@ -264,8 +461,9 @@ pub struct BulkDecoder {
     readout_cbit: u32,
     name: String,
     /// Interned mask contexts, keyed by quantised edge weights — the
-    /// mask-keyed cache dimension. Shared by every batch of the engine.
-    masked: Mutex<HashMap<MaskKey, Arc<SolveCore>>>,
+    /// mask-keyed cache dimension. Shared by every batch of the engine,
+    /// bounded by [`TierConfig::mask_capacity`].
+    masked: Mutex<MaskContexts>,
     stats: StatCells,
 }
 
@@ -275,18 +473,33 @@ impl BulkDecoder {
         Self::with_tiers(code, TierConfig::default())
     }
 
-    /// Build with an explicit [`TierConfig`] (bench/test tool — results are
-    /// identical for every configuration).
+    /// Build with an explicit [`TierConfig`]. Panics on an invalid config;
+    /// [`Self::try_with_tiers`] is the non-panicking form.
     pub fn with_tiers(code: &CodeCircuit, tiers: TierConfig) -> Self {
-        BulkDecoder {
+        Self::try_with_tiers(code, tiers).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Build with an explicit [`TierConfig`], rejecting configurations the
+    /// decoder cannot honour (zero cache or mask capacity). Any *valid*
+    /// config with `deadline: None` yields results identical to the
+    /// default; a finite deadline may degrade heavy shots (see
+    /// [`DecoderStats::degraded`]).
+    pub fn try_with_tiers(code: &CodeCircuit, tiers: TierConfig) -> Result<Self, TierError> {
+        if tiers.cache_capacity == 0 {
+            return Err(TierError::ZeroCacheCapacity);
+        }
+        if tiers.mask_capacity == 0 {
+            return Err(TierError::ZeroMaskCapacity);
+        }
+        Ok(BulkDecoder {
             core: SolveCore::new(DetectorGraph::new(code), tiers),
             cbits_round1: code.primary_stabilizers().iter().map(|s| s.cbit_round1).collect(),
             cbits_round2: code.primary_stabilizers().iter().map(|s| s.cbit_round2).collect(),
             readout_cbit: code.readout_cbit,
             name: format!("mwpm[{}]", code.name),
-            masked: Mutex::new(HashMap::new()),
+            masked: Mutex::new(MaskContexts::default()),
             stats: StatCells::default(),
-        }
+        })
     }
 
     /// The underlying (unmasked) detector graph.
@@ -320,19 +533,35 @@ impl BulkDecoder {
     /// Resolve the solve context of `mask`: `None` for a no-op mask (the
     /// unmasked path answers, bit-identically to unaware decoding), an
     /// interned per-weight-key [`SolveCore`] otherwise. Interning counts
-    /// as a mask-cache hit when the key was already present.
+    /// as a mask-cache hit when the key was already present; admitting a
+    /// new key past [`TierConfig::mask_capacity`] evicts the
+    /// least-recently-used context first. The lock recovers from poisoning
+    /// (a supervised worker panic mid-decode must not wedge the table for
+    /// the rest of the campaign — the map holds only interned pure
+    /// functions, which cannot be left half-updated).
     fn masked_core(&self, mask: &DecoderMask) -> Option<Arc<SolveCore>> {
         if mask.is_noop() {
             return None;
         }
         let key = mask.weight_key();
-        let mut map = self.masked.lock().expect("mask-context map poisoned");
-        if let Some(core) = map.get(&key) {
+        let mut ctxs = self.masked.lock().unwrap_or_else(PoisonError::into_inner);
+        ctxs.tick += 1;
+        let tick = ctxs.tick;
+        if let Some(slot) = ctxs.map.get_mut(&key) {
+            slot.stamp = tick;
             self.stats.mask_hits.fetch_add(1, Ordering::Relaxed);
-            return Some(core.clone());
+            return Some(slot.core.clone());
+        }
+        if ctxs.map.len() >= self.core.tiers.mask_capacity {
+            if let Some(oldest) =
+                ctxs.map.iter().min_by_key(|(_, slot)| slot.stamp).map(|(k, _)| k.clone())
+            {
+                ctxs.map.remove(&oldest);
+                ctxs.evictions += 1;
+            }
         }
         let core = Arc::new(SolveCore::new(mask.reweight(&self.core.graph), self.core.tiers));
-        map.insert(key, core.clone());
+        ctxs.map.insert(key, MaskSlot { core: core.clone(), stamp: tick });
         Some(core)
     }
 
@@ -360,7 +589,7 @@ impl BulkDecoder {
         let mut scratch = ShotRecord::new(batch.num_clbits());
         let mut memo: HashMap<Box<[u64]>, bool> = Default::default();
         let mut keybuf = vec![0u64; core.planes.div_ceil(64)];
-        let mut ctx = Ctx::default();
+        let mut ctx = core.budget_ctx(batch.shots());
         let mut local = LocalStats { shots: batch.shots() as u64, ..Default::default() };
         let p = core.graph.primary_count();
         for s in 0..batch.shots() {
@@ -391,9 +620,10 @@ impl BulkDecoder {
                     f
                 }
                 None => {
-                    local.matchings += 1;
-                    let f = matching_flip(&core.graph, &ctx.defects, &mut ctx.arena);
-                    memo.insert(keybuf.clone().into_boxed_slice(), f);
+                    let (f, exact) = core.heavy_flip_defects(&mut ctx, &mut local);
+                    if exact {
+                        memo.insert(keybuf.clone().into_boxed_slice(), f);
+                    }
                     f
                 }
             };
@@ -426,9 +656,15 @@ impl BulkDecoder {
                     flip
                 }
                 None => {
-                    let flip = core.match_key(key, ctx, local);
-                    core.cache.insert(key, flip);
-                    local.cache_hits += group.len() as u64 - 1;
+                    let (flip, exact) = core.heavy_flip(key, ctx, local);
+                    if exact {
+                        core.cache.insert(key, flip);
+                        local.cache_hits += group.len() as u64 - 1;
+                    } else {
+                        // The whole group rides the degraded answer; none
+                        // of it is cached.
+                        local.degraded += group.len() as u64 - 1;
+                    }
                     flip
                 }
             };
@@ -445,24 +681,23 @@ impl BulkDecoder {
     fn decode_in(&self, shot: &ShotRecord, core: &SolveCore) -> bool {
         let raw = shot.get(self.readout_cbit);
         let mut local = LocalStats { shots: 1, ..Default::default() };
+        let mut ctx = core.budget_ctx(1);
         let v = if core.planes > 128 {
             // Wider than the u128 key (P > 64 primary stabilizers): decode
             // via the defect list directly; batch decoding still dedupes
             // (see `decode_batch_wide`).
-            let mut defects = Vec::new();
             extract_defects(
                 &core.graph,
                 &self.cbits_round1,
                 &self.cbits_round2,
                 shot,
-                &mut defects,
+                &mut ctx.defects,
             );
-            if defects.is_empty() {
+            if ctx.defects.is_empty() {
                 local.trivial += 1;
                 raw
             } else {
-                local.matchings += 1;
-                raw ^ matching_flip(&core.graph, &defects, &mut MatchingArena::new())
+                raw ^ core.heavy_flip_defects(&mut ctx, &mut local).0
             }
         } else {
             let key = self.key_of_record(shot);
@@ -470,7 +705,7 @@ impl BulkDecoder {
                 local.trivial += 1;
                 raw
             } else {
-                raw ^ core.flip_of_key(key, &mut Ctx::default(), &mut local)
+                raw ^ core.flip_of_key(key, &mut ctx, &mut local)
             }
         };
         self.flush(local);
@@ -505,7 +740,7 @@ impl BulkDecoder {
         }
         let readout = batch.row(self.readout_cbit);
         let mut out = Vec::with_capacity(shots);
-        let mut ctx = Ctx::default();
+        let mut ctx = core.budget_ctx(shots);
         let mut local = LocalStats { shots: shots as u64, ..Default::default() };
         // Deferred heavy syndromes (sharded mode): distinct pattern → the
         // shots awaiting its flip.
@@ -564,6 +799,7 @@ impl BulkDecoder {
         self.stats.cache_hits.fetch_add(local.cache_hits, Ordering::Relaxed);
         self.stats.analytic.fetch_add(local.analytic, Ordering::Relaxed);
         self.stats.matchings.fetch_add(local.matchings, Ordering::Relaxed);
+        self.stats.degraded.fetch_add(local.degraded, Ordering::Relaxed);
     }
 }
 
@@ -614,16 +850,19 @@ impl Decoder for BulkDecoder {
     }
 
     fn decode_stats(&self) -> Option<DecoderStats> {
+        let ctxs = self.masked.lock().unwrap_or_else(PoisonError::into_inner);
         Some(DecoderStats {
             shots: self.stats.shots.load(Ordering::Relaxed),
             trivial: self.stats.trivial.load(Ordering::Relaxed),
             cache_hits: self.stats.cache_hits.load(Ordering::Relaxed),
             analytic: self.stats.analytic.load(Ordering::Relaxed),
             matchings: self.stats.matchings.load(Ordering::Relaxed),
+            degraded: self.stats.degraded.load(Ordering::Relaxed),
             cache_evictions: self.core.cache.evictions(),
             cache_entries: self.core.cache.len(),
-            mask_contexts: self.masked.lock().expect("mask-context map poisoned").len(),
+            mask_contexts: ctxs.map.len(),
             mask_hits: self.stats.mask_hits.load(Ordering::Relaxed),
+            mask_evictions: ctxs.evictions,
         })
     }
 }
@@ -755,9 +994,10 @@ mod tests {
         assert_eq!(stats.trivial, 64);
         assert_eq!(stats.matchings, 2, "one blossom per distinct heavy syndrome");
         assert_eq!(stats.cache_hits, 126, "the other 2×63 shots scatter from the group solve");
+        assert_eq!(stats.degraded, 0, "default deadline must never degrade");
         assert_eq!(
             stats.shots,
-            stats.trivial + stats.cache_hits + stats.analytic + stats.matchings
+            stats.trivial + stats.cache_hits + stats.analytic + stats.matchings + stats.degraded
         );
         // A second batch of the same syndromes is pure cross-batch cache.
         let again = bulk.decode_batch(&batch);
@@ -800,7 +1040,7 @@ mod tests {
         assert_eq!(stats.cache_hits, 58);
         assert_eq!(
             stats.shots,
-            stats.trivial + stats.cache_hits + stats.analytic + stats.matchings
+            stats.trivial + stats.cache_hits + stats.analytic + stats.matchings + stats.degraded
         );
     }
 
@@ -823,6 +1063,119 @@ mod tests {
                 assert_eq!(d.decode(&shot), want);
             }
         }
+    }
+
+    #[test]
+    fn zero_deadline_degrades_heavy_shots_without_caching() {
+        // A spent budget must (a) answer every heavy shot greedily, (b)
+        // keep the caches free of approximate values, and (c) stay
+        // deterministic across repeats. xxzz-(5,5) routes through the
+        // sharded cache; 4-defect syndromes dodge the analytic tier.
+        let code = XxzzCode::new(5, 5).build();
+        let tiers = TierConfig { deadline: Some(Duration::ZERO), ..Default::default() };
+        let bulk = BulkDecoder::with_tiers(&code, tiers);
+        let nc = code.circuit.num_clbits();
+        let mut batch = ShotBatch::new(nc, 128);
+        for s in 0..128 {
+            for i in [0usize, 3] {
+                batch.flip(code.stabilizers[i].cbit_round1, s);
+            }
+        }
+        let got = bulk.decode_batch(&batch);
+        let stats = bulk.decode_stats().unwrap();
+        assert_eq!(stats.matchings, 0, "zero budget must never reach the blossom tier");
+        assert_eq!(stats.degraded, 128);
+        assert_eq!(stats.cache_entries, 0, "degraded answers must not be cached");
+        assert_eq!(
+            stats.shots,
+            stats.trivial + stats.cache_hits + stats.analytic + stats.matchings + stats.degraded
+        );
+        // Re-decoding degrades again (nothing was cached) with the same
+        // answers — the fallback is a pure function too.
+        let again = bulk.decode_batch(&batch);
+        assert_eq!(again, got);
+        let after = bulk.decode_stats().unwrap();
+        assert_eq!(after.degraded, 256);
+        assert_eq!(after.cache_entries, 0);
+        // Per-shot path degrades identically.
+        assert_eq!(bulk.decode(&batch.record(0)), got[0]);
+        assert_eq!(bulk.decode_stats().unwrap().degraded, 257);
+    }
+
+    #[test]
+    fn greedy_fallback_is_exact_on_analytic_eligible_syndromes() {
+        // On 1–2-defect syndromes the greedy fallback enumerates the same
+        // two matchings as the analytic tier, so a degraded decoder still
+        // answers those exactly. Disable the analytic tier to force the
+        // degraded path, and compare against the exact reference.
+        let code = XxzzCode::new(5, 5).build();
+        let tiers =
+            TierConfig { analytic: false, deadline: Some(Duration::ZERO), ..Default::default() };
+        let degraded = BulkDecoder::with_tiers(&code, tiers);
+        let exact = MwpmDecoder::new(&code);
+        let mut rng = StdRng::seed_from_u64(41);
+        for _ in 0..200 {
+            let mut shot = ShotRecord::new(code.circuit.num_clbits());
+            // At most two firing stabilizers → ≤ 2 defects total (round-1
+            // and round-2 both set leaves only the round-1 detector bit).
+            for _ in 0..2 {
+                if rng.gen_bool(0.7) {
+                    let i = rng.gen_range(0..code.primary_count);
+                    shot.set(code.stabilizers[i].cbit_round1, true);
+                    shot.set(code.stabilizers[i].cbit_round2, true);
+                }
+            }
+            let key = degraded.key_of_record(&shot);
+            if key != 0 && degraded.core.analytic_flip(key).is_none() {
+                // Exact tie between the two matchings: the blossom
+                // tie-break is not contractual, so skip.
+                continue;
+            }
+            assert_eq!(degraded.decode(&shot), exact.decode(&shot));
+        }
+        assert!(degraded.decode_stats().unwrap().degraded > 0);
+    }
+
+    #[test]
+    fn try_with_tiers_rejects_zero_capacities() {
+        let code = RepetitionCode::bit_flip(5).build();
+        let zero_cache = TierConfig { cache_capacity: 0, ..Default::default() };
+        assert_eq!(
+            BulkDecoder::try_with_tiers(&code, zero_cache).err(),
+            Some(TierError::ZeroCacheCapacity)
+        );
+        let zero_mask = TierConfig { mask_capacity: 0, ..Default::default() };
+        let err = BulkDecoder::try_with_tiers(&code, zero_mask).err().unwrap();
+        assert_eq!(err, TierError::ZeroMaskCapacity);
+        assert!(err.to_string().contains("mask_capacity"));
+        assert!(BulkDecoder::try_with_tiers(&code, TierConfig::default()).is_ok());
+    }
+
+    #[test]
+    fn mask_contexts_evict_at_ceiling_without_changing_results() {
+        let code = RepetitionCode::bit_flip(5).build();
+        let tiers = TierConfig { mask_capacity: 2, ..Default::default() };
+        let bulk = BulkDecoder::with_tiers(&code, tiers);
+        let nc = code.circuit.num_clbits();
+        let mut batch = ShotBatch::new(nc, 64);
+        for s in 0..64 {
+            if s % 2 == 0 {
+                batch.flip(code.stabilizers[1].cbit_round1, s);
+            }
+        }
+        let hot = DecoderMask::from_probs(vec![1.0, 0.25, 0.0, 0.0, 0.0], vec![0.0; 4]);
+        let masks = [hot.clone(), hot.scaled(0.5), hot.scaled(0.3)];
+        let first: Vec<Vec<bool>> =
+            masks.iter().map(|m| bulk.decode_batch_masked(&batch, m)).collect();
+        let stats = bulk.decode_stats().unwrap();
+        assert_eq!(stats.mask_contexts, 2, "ceiling must hold");
+        assert_eq!(stats.mask_evictions, 1, "third intern evicts the LRU context");
+        // Re-interning the evicted key rebuilds the same pure function.
+        let again = bulk.decode_batch_masked(&batch, &masks[0]);
+        assert_eq!(again, first[0]);
+        let stats = bulk.decode_stats().unwrap();
+        assert_eq!(stats.mask_contexts, 2);
+        assert_eq!(stats.mask_evictions, 2);
     }
 
     #[test]

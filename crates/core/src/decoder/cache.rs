@@ -21,7 +21,7 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 /// Widest defect pattern (in detector bits) served by the direct-indexed
 /// lookup table: `2^16` one-byte entries = 64 KiB per engine, covering
@@ -97,7 +97,7 @@ impl SyndromeCache {
                 v => Some(v == 2),
             },
             Storage::Sharded { shards, .. } => {
-                let mut shard = shards[shard_of(key)].lock().unwrap();
+                let mut shard = lock_shard(&shards[shard_of(key)]);
                 shard.tick += 1;
                 let tick = shard.tick;
                 shard.map.get_mut(&key).map(|slot| {
@@ -117,7 +117,7 @@ impl SyndromeCache {
                 table[key as usize].store(if flip { 2 } else { 1 }, Ordering::Relaxed);
             }
             Storage::Sharded { shards, capacity_per_shard } => {
-                let mut shard = shards[shard_of(key)].lock().unwrap();
+                let mut shard = lock_shard(&shards[shard_of(key)]);
                 if shard.map.len() >= *capacity_per_shard {
                     let dropped = evict_older_half(&mut shard.map);
                     self.evictions.fetch_add(dropped, Ordering::Relaxed);
@@ -140,11 +140,17 @@ impl SyndromeCache {
             Storage::Direct(table) => {
                 table.iter().filter(|e| e.load(Ordering::Relaxed) != EMPTY).count()
             }
-            Storage::Sharded { shards, .. } => {
-                shards.iter().map(|s| s.lock().unwrap().map.len()).sum()
-            }
+            Storage::Sharded { shards, .. } => shards.iter().map(|s| lock_shard(s).map.len()).sum(),
         }
     }
+}
+
+/// Lock a shard, recovering from poisoning: a supervised worker panic
+/// mid-decode must not wedge the campaign-lifetime cache. Every write a
+/// shard ever sees is a single atomic-from-the-map's-view `insert` of a
+/// pure-function value, so a poisoned shard is never half-updated.
+fn lock_shard(shard: &Mutex<Shard>) -> MutexGuard<'_, Shard> {
+    shard.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// Drop the older half of a full shard (median access stamp and below).

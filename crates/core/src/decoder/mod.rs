@@ -45,6 +45,25 @@
 //!    ([`radqec_matching::MatchingArena`]) so repeated solves stop
 //!    allocating; the result populates the LUT/cache.
 //!
+//! # Decode deadlines and graceful degradation
+//!
+//! Fleet endurance campaigns cannot let one pathological syndrome stall a
+//! round stream, so the blossom fallback runs under a per-shot budget
+//! ([`TierConfig::deadline`], scaled to `deadline × shots` per batch).
+//! While the budget lasts, every heavy shot gets the exact matcher and its
+//! solve time is charged against the pool; once spent, remaining heavy
+//! shots are answered by a deterministic greedy matching (cheapest
+//! strictly-pair-beats-boundary partner, else boundary — exact for ≤ 2
+//! defects, approximate beyond) and counted in
+//! [`DecoderStats::degraded`]. Degraded answers are **never** written to
+//! the LUT, the cross-batch cache, or a batch memo, so exactness of every
+//! cached value — and therefore of every future non-degraded decode — is
+//! preserved; the only cost is a possibly suboptimal correction on the
+//! degraded shots themselves (a logical-error-rate cost bounded by the
+//! fraction `degraded / shots`, which is 0 at the default deadline in
+//! every workload this repo runs). `deadline: None` restores the
+//! unbounded exact decoder bit-identically.
+//!
 //! # Exactness argument
 //!
 //! Tiers 2 and 4 only ever *store* values computed by tiers 3/5. Tier 5
@@ -82,7 +101,10 @@ mod mask;
 mod mwpm;
 mod union_find;
 
-pub use bulk::{BulkDecoder, DecoderStats, TierConfig};
+pub use bulk::{
+    BulkDecoder, DecoderStats, TierConfig, TierError, DEFAULT_DECODE_DEADLINE,
+    DEFAULT_MASK_CAPACITY,
+};
 pub use graph::{DetectorGraph, DetectorNode, EdgeKind};
 pub use mask::{DecoderMask, MASK_BASE_WEIGHT, MASK_REF_PROB};
 pub use mwpm::MwpmDecoder;

@@ -15,7 +15,7 @@ use radqec_transpiler::{transpile, TranspileOptions, Transpiled};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rayon::prelude::*;
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Mutex, OnceLock, PoisonError};
 
 /// Which Monte-Carlo sampler backs [`InjectionEngine`] shots.
 ///
@@ -391,14 +391,20 @@ impl InjectionEngine {
             .sum()
     }
 
-    /// Pop a pooled workspace (or start a fresh one).
+    /// Pop a pooled workspace (or start a fresh one). Poison-tolerant: a
+    /// supervised worker panic elsewhere must not wedge the pool (pooled
+    /// workspaces are only ever pushed whole, never half-updated).
     fn workspace(&self) -> StreamWorkspace {
-        self.workspaces.lock().expect("workspace pool poisoned").pop().unwrap_or_default()
+        self.workspaces.lock().unwrap_or_else(PoisonError::into_inner).pop().unwrap_or_default()
     }
 
-    /// Return a workspace to the pool.
+    /// Return a workspace to the pool (in-flight workspaces — abandoned
+    /// mid-chunk by a panicking worker — are dropped, not pooled).
     fn pool(&self, ws: StreamWorkspace) {
-        self.workspaces.lock().expect("workspace pool poisoned").push(ws);
+        if ws.in_flight() {
+            return;
+        }
+        self.workspaces.lock().unwrap_or_else(PoisonError::into_inner).push(ws);
     }
 
     /// Workspace-pool counters `(buffer allocations, full reuses)` over
@@ -407,7 +413,7 @@ impl InjectionEngine {
     /// regression test). Pooled (returned) workspaces only — read between
     /// campaigns, not mid-flight.
     pub fn workspace_stats(&self) -> (u64, u64) {
-        let pool = self.workspaces.lock().expect("workspace pool poisoned");
+        let pool = self.workspaces.lock().unwrap_or_else(PoisonError::into_inner);
         (
             pool.iter().map(StreamWorkspace::allocations).sum(),
             pool.iter().map(StreamWorkspace::reuses).sum(),
@@ -641,21 +647,28 @@ mod tests {
         // The PR 4 workspace pool, ported to the offline engine: after the
         // first campaign warms the pool, a whole further fig-style sweep
         // (all temporal samples, several chunks each) must reuse every
-        // pooled buffer without a single new allocation.
-        let engine = InjectionEngine::builder(RepetitionCode::bit_flip(5).into())
-            .shots(512)
-            .seed(6)
-            .frame_chunk(128)
-            .build();
-        let fault = FaultSpec::Radiation { model: RadiationModel::default(), root: 2 };
-        let a = engine.run(&fault, &NoiseSpec::paper_default());
-        let (alloc_warm, reuse_warm) = engine.workspace_stats();
-        assert!(alloc_warm > 0, "first campaign must have populated the pool");
-        let b = engine.run(&fault, &NoiseSpec::paper_default());
-        let (alloc_after, reuse_after) = engine.workspace_stats();
-        assert_eq!(a, b, "pooling must not change the sampled streams");
-        assert_eq!(alloc_after, alloc_warm, "warm campaign allocated workspace buffers");
-        assert!(reuse_after > reuse_warm, "reuse counter must grow: {reuse_after}");
+        // pooled buffer without a single new allocation. Pool demand equals
+        // peak chunk concurrency, which under the shared rayon pool depends
+        // on scheduler timing (the second campaign may overlap more chunks
+        // than the first ever did) — so pin the campaigns to one worker,
+        // where both peak at exactly one workspace.
+        let pool = rayon::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        pool.install(|| {
+            let engine = InjectionEngine::builder(RepetitionCode::bit_flip(5).into())
+                .shots(512)
+                .seed(6)
+                .frame_chunk(128)
+                .build();
+            let fault = FaultSpec::Radiation { model: RadiationModel::default(), root: 2 };
+            let a = engine.run(&fault, &NoiseSpec::paper_default());
+            let (alloc_warm, reuse_warm) = engine.workspace_stats();
+            assert!(alloc_warm > 0, "first campaign must have populated the pool");
+            let b = engine.run(&fault, &NoiseSpec::paper_default());
+            let (alloc_after, reuse_after) = engine.workspace_stats();
+            assert_eq!(a, b, "pooling must not change the sampled streams");
+            assert_eq!(alloc_after, alloc_warm, "warm campaign allocated workspace buffers");
+            assert!(reuse_after > reuse_warm, "reuse counter must grow: {reuse_after}");
+        });
     }
 
     #[test]

@@ -57,8 +57,24 @@
 //!   adapter over the same executor, so offline callers and the tableau
 //!   oracle path are untouched.
 //!
+//! ## Supervision
+//!
+//! Endurance campaigns (thousands of rounds, see
+//! [`crate::experiments::fleet`]) run on
+//! [`StreamEngine::for_each_round_supervised`], which wraps the same
+//! self-scheduling chunk driver in chunk-level fault isolation: a panic
+//! anywhere in one chunk's generation or sink is caught, the worker's
+//! workspace is quarantined (dropped, never pooled — a poisoned buffer
+//! cannot leak into later chunks), the chunk is retried once on a fresh
+//! workspace, and a second failure becomes a typed [`ChunkFailure`] in
+//! the returned [`CampaignReport`] instead of aborting the campaign.
+//! Chunk generation is deterministic per chunk index, so a clean retry
+//! is bit-identical to a never-failed run; the `skip` filter lets
+//! checkpointed campaigns replay exactly the missing chunks.
+//!
 //! [`StreamEngine::stream_stats`] reports rounds generated, chunks stolen
-//! by secondary workers and workspace reuse rates for perf observability.
+//! by secondary workers, workspace reuse rates, and the supervision
+//! counters (chunk retries, quarantined workspaces) for observability.
 //!
 //! The engine hands detection consumers a [`StreamSpec`] describing the
 //! classical layout plus the *physical* ancilla position per (round,
@@ -80,8 +96,9 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rayon::prelude::*;
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 
 /// Fault injected into a streamed campaign.
 #[derive(Debug, Clone, PartialEq)]
@@ -117,6 +134,15 @@ pub struct StrikeEvent {
     /// Round at which the strike lands (its transient starts there and
     /// decays over the remaining rounds at the model's per-round rate).
     pub onset_round: usize,
+    /// Rounds over which the transient's unit time interval is stretched:
+    /// round `onset_round + k` sees `T(k / decay_rounds)`. `None` uses the
+    /// whole-stream clock (`R − 1` rounds — the legacy behaviour, where a
+    /// strike's decay always spans the full stream). Fleet campaigns with
+    /// thousands of rounds set a small `Some(n)` so a strike flares and
+    /// dies in `n` rounds instead of smearing across hours of simulated
+    /// uptime; the exponential keeps decaying past `t = 1`, so rounds
+    /// beyond the window carry the (negligible) tail, not a cutoff.
+    pub decay_rounds: Option<usize>,
 }
 
 /// A validated multi-strike timeline (see [`MultiStrike::try_new`]).
@@ -137,6 +163,9 @@ impl MultiStrike {
     pub fn try_new(strikes: Vec<StrikeEvent>) -> Result<Self, MultiStrikeError> {
         if strikes.is_empty() {
             return Err(MultiStrikeError::Empty);
+        }
+        if let Some(index) = strikes.iter().position(|s| s.decay_rounds == Some(0)) {
+            return Err(MultiStrikeError::ZeroDecayRounds { index });
         }
         for (i, w) in strikes.windows(2).enumerate() {
             if w[1].onset_round < w[0].onset_round {
@@ -171,6 +200,12 @@ pub enum MultiStrikeError {
         /// The preceding strike's onset round.
         previous: usize,
     },
+    /// Strike `index` has `decay_rounds: Some(0)` — the transient clock
+    /// needs at least one round to tick over.
+    ZeroDecayRounds {
+        /// Position of the offending strike.
+        index: usize,
+    },
 }
 
 impl std::fmt::Display for MultiStrikeError {
@@ -181,6 +216,9 @@ impl std::fmt::Display for MultiStrikeError {
                 f,
                 "strike {index} onset {onset} precedes the previous strike's onset {previous}"
             ),
+            MultiStrikeError::ZeroDecayRounds { index } => {
+                write!(f, "strike {index} has zero decay rounds; use at least 1")
+            }
         }
     }
 }
@@ -228,6 +266,26 @@ enum HostKind {
     Custom,
 }
 
+/// Ceiling on cached per-seed reference traces per stream context. A
+/// trace is `O(ops × qubits)` bits, and a seed-sweeping campaign would
+/// otherwise grow the map without bound; LRU keeps the handful of seeds a
+/// fleet actually cycles through warm.
+const REFERENCE_CACHE_CAP: usize = 8;
+
+/// One cached reference trace with its LRU access stamp.
+struct RefSlot {
+    trace: Arc<ReferenceTrace>,
+    stamp: u64,
+}
+
+/// The bounded per-seed reference-trace cache of a [`StreamContext`].
+#[derive(Default)]
+struct RefCache {
+    map: HashMap<u64, RefSlot>,
+    tick: u64,
+    evictions: u64,
+}
+
 /// The one-time artefacts of a `(code, rounds, host)` streaming target:
 /// assembled memory experiment, transpiled physical circuit, round
 /// markers, stream layout, and the per-seed noiseless reference traces.
@@ -240,8 +298,9 @@ struct StreamContext {
     round_starts: Vec<usize>,
     stream_spec: StreamSpec,
     /// Reference traces keyed by their derived seed (engines with
-    /// different master seeds need different reference randomisations).
-    references: Mutex<HashMap<u64, Arc<ReferenceTrace>>>,
+    /// different master seeds need different reference randomisations),
+    /// capped at [`REFERENCE_CACHE_CAP`] entries.
+    references: Mutex<RefCache>,
 }
 
 impl StreamContext {
@@ -277,23 +336,40 @@ impl StreamContext {
             transpiled,
             round_starts,
             stream_spec,
-            references: Mutex::new(HashMap::new()),
+            references: Mutex::new(RefCache::default()),
         }
     }
 
     /// The noiseless reference trace for `seed`, computed once per
     /// (context, seed) and shared by every chunk, campaign and engine.
+    /// Admitting a seed past [`REFERENCE_CACHE_CAP`] evicts the
+    /// least-recently-used trace (re-requesting it recomputes the same
+    /// deterministic trace, so eviction never changes streams). The lock
+    /// recovers from poisoning: the cache holds only finished immutable
+    /// traces, so a worker panic cannot leave it half-updated.
     fn reference(&self, seed: u64) -> Arc<ReferenceTrace> {
-        let mut refs = self.references.lock().expect("reference cache poisoned");
-        refs.entry(seed)
-            .or_insert_with(|| {
-                Arc::new(ReferenceTrace::compute(
-                    &self.transpiled.circuit,
-                    self.topology.num_qubits() as usize,
-                    seed,
-                ))
-            })
-            .clone()
+        let mut refs = self.references.lock().unwrap_or_else(PoisonError::into_inner);
+        refs.tick += 1;
+        let tick = refs.tick;
+        if let Some(slot) = refs.map.get_mut(&seed) {
+            slot.stamp = tick;
+            return slot.trace.clone();
+        }
+        if refs.map.len() >= REFERENCE_CACHE_CAP {
+            if let Some(oldest) =
+                refs.map.iter().min_by_key(|(_, slot)| slot.stamp).map(|(&k, _)| k)
+            {
+                refs.map.remove(&oldest);
+                refs.evictions += 1;
+            }
+        }
+        let trace = Arc::new(ReferenceTrace::compute(
+            &self.transpiled.circuit,
+            self.topology.num_qubits() as usize,
+            seed,
+        ));
+        refs.map.insert(seed, RefSlot { trace: trace.clone(), stamp: tick });
+        trace
     }
 }
 
@@ -392,8 +468,11 @@ impl StreamEngineBuilder {
             )),
             host => {
                 let key = (self.spec, self.rounds, host);
-                let cached =
-                    context_cache().lock().expect("context cache poisoned").get(&key).cloned();
+                let cached = context_cache()
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .get(&key)
+                    .cloned();
                 match cached {
                     Some(ctx) => ctx,
                     None => {
@@ -409,7 +488,7 @@ impl StreamEngineBuilder {
                         ));
                         context_cache()
                             .lock()
-                            .expect("context cache poisoned")
+                            .unwrap_or_else(PoisonError::into_inner)
                             .entry(key)
                             .or_insert(ctx)
                             .clone()
@@ -427,6 +506,8 @@ impl StreamEngineBuilder {
             rounds_generated: AtomicU64::new(0),
             chunks_generated: AtomicU64::new(0),
             chunks_stolen: AtomicU64::new(0),
+            chunk_retries: AtomicU64::new(0),
+            workspaces_quarantined: AtomicU64::new(0),
         }
     }
 }
@@ -469,6 +550,73 @@ pub struct StreamStats {
     pub workspace_allocations: u64,
     /// Chunk set-ups that reused every pooled buffer.
     pub workspace_reuses: u64,
+    /// Chunk attempts retried after a caught worker panic
+    /// ([`StreamEngine::for_each_round_supervised`]).
+    pub chunk_retries: u64,
+    /// Workspaces quarantined (dropped instead of pooled) because their
+    /// chunk was abandoned mid-stream by a panic.
+    pub workspaces_quarantined: u64,
+    /// Reference traces currently cached by this engine's (shared) stream
+    /// context — bounded by the reference-cache ceiling.
+    pub reference_entries: usize,
+    /// Reference traces evicted from the shared context's cache so far.
+    pub reference_evictions: u64,
+}
+
+/// One chunk that failed both of its attempts under the supervised round
+/// driver ([`StreamEngine::for_each_round_supervised`]): the campaign
+/// completed without its shots, and this records why.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChunkFailure {
+    /// Chunk index on the engine's chunk grid.
+    pub chunk: usize,
+    /// Attempts made (always 2: the original and one retry).
+    pub attempts: u32,
+    /// The panic payload's message, when it carried one.
+    pub message: String,
+}
+
+impl std::fmt::Display for ChunkFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "chunk {} failed after {} attempts: {}", self.chunk, self.attempts, self.message)
+    }
+}
+
+/// What happened to a supervised streaming campaign (see
+/// [`StreamEngine::for_each_round_supervised`]): every chunk is accounted
+/// for as completed, skipped (by the caller's resume filter) or failed.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CampaignReport {
+    /// Chunks whose every round reached the sink.
+    pub chunks_completed: u64,
+    /// Chunks the caller's skip filter excluded (checkpoint resume).
+    pub chunks_skipped: u64,
+    /// Chunk attempts retried after a caught panic.
+    pub chunk_retries: u64,
+    /// Workspaces quarantined (abandoned mid-chunk by a panic, dropped
+    /// instead of pooled) during this campaign.
+    pub workspaces_quarantined: u64,
+    /// Chunks that failed both attempts, in chunk order.
+    pub failures: Vec<ChunkFailure>,
+}
+
+impl CampaignReport {
+    /// Whether every non-skipped chunk completed.
+    pub fn is_clean(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Render a caught panic payload as text (`&str` and `String` payloads —
+/// everything `panic!`/`assert!` produce — pass through verbatim).
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    match payload.downcast::<String>() {
+        Ok(s) => *s,
+        Err(payload) => match payload.downcast::<&'static str>() {
+            Ok(s) => (*s).to_string(),
+            Err(_) => "non-string panic payload".to_string(),
+        },
+    }
 }
 
 /// One syndrome round of one chunk, yielded by the incremental stream the
@@ -533,6 +681,8 @@ pub struct StreamEngine {
     rounds_generated: AtomicU64,
     chunks_generated: AtomicU64,
     chunks_stolen: AtomicU64,
+    chunk_retries: AtomicU64,
+    workspaces_quarantined: AtomicU64,
 }
 
 impl StreamEngine {
@@ -597,13 +747,18 @@ impl StreamEngine {
     /// (returned) workspaces, so read them between campaigns, not
     /// mid-flight.
     pub fn stream_stats(&self) -> StreamStats {
-        let pool = self.workspaces.lock().expect("workspace pool poisoned");
+        let pool = self.workspaces.lock().unwrap_or_else(PoisonError::into_inner);
+        let refs = self.ctx.references.lock().unwrap_or_else(PoisonError::into_inner);
         StreamStats {
             rounds_generated: self.rounds_generated.load(Ordering::Relaxed),
             chunks_generated: self.chunks_generated.load(Ordering::Relaxed),
             chunks_stolen: self.chunks_stolen.load(Ordering::Relaxed),
             workspace_allocations: pool.iter().map(StreamWorkspace::allocations).sum(),
             workspace_reuses: pool.iter().map(StreamWorkspace::reuses).sum(),
+            chunk_retries: self.chunk_retries.load(Ordering::Relaxed),
+            workspaces_quarantined: self.workspaces_quarantined.load(Ordering::Relaxed),
+            reference_entries: refs.map.len(),
+            reference_evictions: refs.evictions,
         }
     }
 
@@ -669,10 +824,14 @@ impl StreamEngine {
                                 continue;
                             }
                             // Each strike's transient runs on its own
-                            // clock, decaying at the same per-round rate a
-                            // lone strike would (t is measured in whole-
-                            // stream units from the onset).
-                            let t = (r - strike.onset_round) as f64 / (rounds - 1) as f64;
+                            // clock from its onset: `decay_rounds` spans
+                            // the unit time interval when set, the whole
+                            // stream (`R − 1` rounds, the lone-strike
+                            // rate) when not. `Some(0)` is rejected at
+                            // `MultiStrike::try_new`; `.max(1)` keeps a
+                            // hand-rolled event finite regardless.
+                            let span = strike.decay_rounds.unwrap_or(rounds - 1).max(1);
+                            let t = (r - strike.onset_round) as f64 / span as f64;
                             let temporal = temporal_decay(t, strike.model.gamma);
                             // Independent reset sources compose as
                             // complement products; the running update
@@ -701,14 +860,24 @@ impl StreamEngine {
         self.frame_chunk.min(self.shots - chunk * self.frame_chunk)
     }
 
-    /// Pop a pooled workspace (or start a fresh one).
+    /// Pop a pooled workspace (or start a fresh one). The pool lock
+    /// recovers from poisoning — a panicking worker caught by the
+    /// supervisor never pushes its (quarantined) workspace, so a poisoned
+    /// pool still holds only clean entries.
     fn workspace(&self) -> StreamWorkspace {
-        self.workspaces.lock().expect("workspace pool poisoned").pop().unwrap_or_default()
+        self.workspaces.lock().unwrap_or_else(PoisonError::into_inner).pop().unwrap_or_default()
     }
 
-    /// Return a workspace to the pool.
+    /// Return a workspace to the pool — unless its chunk is still marked
+    /// in flight, in which case its owner abandoned it mid-stream (a
+    /// caught panic) and it is quarantined: dropped here, counted in
+    /// [`StreamStats::workspaces_quarantined`], never reused.
     fn pool(&self, ws: StreamWorkspace) {
-        self.workspaces.lock().expect("workspace pool poisoned").push(ws);
+        if ws.in_flight() {
+            self.workspaces_quarantined.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        self.workspaces.lock().unwrap_or_else(PoisonError::into_inner).push(ws);
     }
 
     /// Stream one campaign: every shot's full multi-round record, as
@@ -808,6 +977,7 @@ impl StreamEngine {
             );
             sink(self.round_slice(chunk, r, record));
         }
+        ws.finish_chunk();
         self.rounds_generated.fetch_add(self.rounds() as u64, Ordering::Relaxed);
         self.chunks_generated.fetch_add(1, Ordering::Relaxed);
     }
@@ -949,6 +1119,123 @@ impl StreamEngine {
             });
         }
     }
+
+    /// [`StreamEngine::for_each_round`] with chunk-level fault isolation:
+    /// a panic anywhere inside one chunk's generation or `sink` calls is
+    /// caught, the worker's workspace is quarantined (dropped, never
+    /// pooled), and the chunk is retried once on a fresh workspace before
+    /// being recorded as a [`ChunkFailure`] — one poisoned chunk costs its
+    /// own shots, not the campaign.
+    ///
+    /// A retried chunk **re-delivers its rounds from round 0**: sinks must
+    /// reset any per-chunk accumulation when `slice.round == 0` (the
+    /// natural shape for per-chunk consumers anyway). Chunk generation is
+    /// deterministic per chunk index ([`StreamEngine::chunk_rng`]), so the
+    /// retry replays identical shots and a clean retry is bit-identical to
+    /// a never-failed run.
+    ///
+    /// `skip` excludes chunks wholesale (they are counted, never
+    /// generated) — checkpoint resume passes the set of chunks already
+    /// merged, making a killed-and-resumed campaign replay exactly the
+    /// missing chunk indices.
+    pub fn for_each_round_supervised<F>(
+        &self,
+        fault: &StreamFault,
+        noise: &NoiseSpec,
+        skip: impl Fn(usize) -> bool + Sync,
+        sink: F,
+    ) -> Result<CampaignReport, StreamFaultError>
+    where
+        F: Fn(RoundSlice) + Sync,
+    {
+        assert_eq!(
+            self.sampler,
+            SamplerKind::FrameBatch,
+            "for_each_round_supervised drives the frame sampler; use round_stream for the oracle"
+        );
+        let faults = self.try_round_faults(fault)?;
+        let reference = self.ctx.reference(self.reference_seed());
+        let chunks = self.num_chunks();
+        let next = AtomicUsize::new(0);
+        let completed = AtomicU64::new(0);
+        let skipped = AtomicU64::new(0);
+        let retries = AtomicU64::new(0);
+        let quarantined = AtomicU64::new(0);
+        let failures: Mutex<Vec<ChunkFailure>> = Mutex::new(Vec::new());
+        let workers = std::thread::available_parallelism().map_or(1, |n| n.get()).min(chunks);
+        let run_worker = |worker: usize| {
+            let mut ws = Some(self.workspace());
+            let mut claimed = 0u64;
+            loop {
+                let chunk = next.fetch_add(1, Ordering::Relaxed);
+                if chunk >= chunks {
+                    break;
+                }
+                claimed += 1;
+                if skip(chunk) {
+                    skipped.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+                for attempt in 0..2u32 {
+                    let mut w = ws.take().unwrap_or_default();
+                    let outcome = catch_unwind(AssertUnwindSafe(|| {
+                        self.frame_chunk_rounds(chunk, &faults, noise, &reference, &mut w, &sink);
+                    }));
+                    match outcome {
+                        Ok(()) => {
+                            ws = Some(w);
+                            completed.fetch_add(1, Ordering::Relaxed);
+                            break;
+                        }
+                        Err(payload) => {
+                            // The workspace was abandoned mid-chunk:
+                            // quarantine it (drop, never pool).
+                            drop(w);
+                            quarantined.fetch_add(1, Ordering::Relaxed);
+                            self.workspaces_quarantined.fetch_add(1, Ordering::Relaxed);
+                            if attempt == 0 {
+                                retries.fetch_add(1, Ordering::Relaxed);
+                                self.chunk_retries.fetch_add(1, Ordering::Relaxed);
+                            } else {
+                                failures.lock().unwrap_or_else(PoisonError::into_inner).push(
+                                    ChunkFailure {
+                                        chunk,
+                                        attempts: 2,
+                                        message: panic_message(payload),
+                                    },
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+            if worker > 0 {
+                self.chunks_stolen.fetch_add(claimed, Ordering::Relaxed);
+            }
+            if let Some(w) = ws {
+                self.pool(w);
+            }
+        };
+        if workers <= 1 {
+            run_worker(0);
+        } else {
+            std::thread::scope(|scope| {
+                for worker in 0..workers {
+                    let run_worker = &run_worker;
+                    scope.spawn(move || run_worker(worker));
+                }
+            });
+        }
+        let mut failures = failures.into_inner().unwrap_or_else(PoisonError::into_inner);
+        failures.sort_by_key(|f| f.chunk);
+        Ok(CampaignReport {
+            chunks_completed: completed.into_inner(),
+            chunks_skipped: skipped.into_inner(),
+            chunk_retries: retries.into_inner(),
+            workspaces_quarantined: quarantined.into_inner(),
+            failures,
+        })
+    }
 }
 
 /// Iterator over the rounds of a streaming campaign (see
@@ -1015,6 +1302,7 @@ impl Iterator for RoundStream<'_> {
             self.chunk += 1;
             self.tableau_batch = None;
             if self.reference.is_some() {
+                self.ws.finish_chunk();
                 engine.chunks_generated.fetch_add(1, Ordering::Relaxed);
             }
         }
@@ -1101,7 +1389,13 @@ mod tests {
         let model = RadiationModel::default();
         let single = engine.round_faults(&StreamFault::Strike { model, root: 2 });
         let multi = engine.round_faults(&StreamFault::MultiStrike(
-            MultiStrike::try_new(vec![StrikeEvent { model, root: 2, onset_round: 0 }]).unwrap(),
+            MultiStrike::try_new(vec![StrikeEvent {
+                model,
+                root: 2,
+                onset_round: 0,
+                decay_rounds: None,
+            }])
+            .unwrap(),
         ));
         assert_eq!(single, multi, "one strike at onset 0 must reproduce the Strike arm exactly");
     }
@@ -1112,8 +1406,8 @@ mod tests {
         let model = RadiationModel::default();
         let fault = StreamFault::MultiStrike(
             MultiStrike::try_new(vec![
-                StrikeEvent { model, root: 0, onset_round: 0 },
-                StrikeEvent { model, root: 4, onset_round: 4 },
+                StrikeEvent { model, root: 0, onset_round: 0, decay_rounds: None },
+                StrikeEvent { model, root: 4, onset_round: 4, decay_rounds: None },
             ])
             .unwrap(),
         );
@@ -1139,27 +1433,39 @@ mod tests {
         assert_eq!(MultiStrike::try_new(vec![]).unwrap_err(), MultiStrikeError::Empty);
         let model = RadiationModel::default();
         let err = MultiStrike::try_new(vec![
-            StrikeEvent { model, root: 0, onset_round: 3 },
-            StrikeEvent { model, root: 1, onset_round: 1 },
+            StrikeEvent { model, root: 0, onset_round: 3, decay_rounds: None },
+            StrikeEvent { model, root: 1, onset_round: 1, decay_rounds: None },
         ])
         .unwrap_err();
         assert_eq!(err, MultiStrikeError::OnsetsOutOfOrder { index: 1, onset: 1, previous: 3 });
         assert!(err.to_string().contains("precedes"));
         // Equal onsets (simultaneous strikes) are legal.
         assert!(MultiStrike::try_new(vec![
-            StrikeEvent { model, root: 0, onset_round: 2 },
-            StrikeEvent { model, root: 1, onset_round: 2 },
+            StrikeEvent { model, root: 0, onset_round: 2, decay_rounds: None },
+            StrikeEvent { model, root: 1, onset_round: 2, decay_rounds: None },
         ])
         .is_ok());
         // Engine-side range checks surface as typed errors, not panics.
         let engine = StreamEngine::builder(RepetitionCode::bit_flip(3).into(), 4).shots(1).build();
         let n = engine.topology().num_qubits();
         let bad_root = StreamFault::MultiStrike(
-            MultiStrike::try_new(vec![StrikeEvent { model, root: n + 7, onset_round: 0 }]).unwrap(),
+            MultiStrike::try_new(vec![StrikeEvent {
+                model,
+                root: n + 7,
+                onset_round: 0,
+                decay_rounds: None,
+            }])
+            .unwrap(),
         );
         assert!(matches!(engine.try_round_faults(&bad_root), Err(StreamFaultError::BadRoot(_))));
         let late = StreamFault::MultiStrike(
-            MultiStrike::try_new(vec![StrikeEvent { model, root: 0, onset_round: 4 }]).unwrap(),
+            MultiStrike::try_new(vec![StrikeEvent {
+                model,
+                root: 0,
+                onset_round: 4,
+                decay_rounds: None,
+            }])
+            .unwrap(),
         );
         assert_eq!(
             engine.try_round_faults(&late),
@@ -1290,6 +1596,210 @@ mod tests {
         );
         assert_eq!(after_second.chunks_generated, 8, "4 chunks per campaign");
         assert_eq!(after_second.rounds_generated, 32);
+    }
+
+    #[test]
+    fn explicit_decay_span_sets_the_transient_clock() {
+        let engine = StreamEngine::builder(RepetitionCode::bit_flip(3).into(), 10).shots(1).build();
+        let model = RadiationModel::default();
+        let mk = |decay_rounds| {
+            StreamFault::MultiStrike(
+                MultiStrike::try_new(vec![StrikeEvent {
+                    model,
+                    root: 0,
+                    onset_round: 2,
+                    decay_rounds,
+                }])
+                .unwrap(),
+            )
+        };
+        let fast = engine.round_faults(&mk(Some(2)));
+        assert_eq!(fast[2].prob(0), 1.0, "impact at the onset round");
+        for k in 1..8usize {
+            let want =
+                radqec_noise::transient_decay(k as f64 / 2.0, 0, model.gamma, model.spatial_n);
+            assert!((fast[2 + k].prob(0) - want).abs() < 1e-12, "round {}", 2 + k);
+        }
+        // Two spans past its decay window the flare is negligible.
+        assert!(fast[6].prob(0) < 1e-8, "decayed: {}", fast[6].prob(0));
+        // `None` keeps the legacy whole-stream clock (span = rounds - 1),
+        // so pre-existing streams are bit-identical.
+        let legacy = engine.round_faults(&mk(None));
+        assert_eq!(legacy, engine.round_faults(&mk(Some(9))));
+        assert!(fast[4].prob(0) < legacy[4].prob(0), "shorter span must quiet sooner");
+        // A zero span is rejected at construction.
+        let err = MultiStrike::try_new(vec![StrikeEvent {
+            model,
+            root: 0,
+            onset_round: 0,
+            decay_rounds: Some(0),
+        }])
+        .unwrap_err();
+        assert_eq!(err, MultiStrikeError::ZeroDecayRounds { index: 0 });
+        assert!(err.to_string().contains("zero decay rounds"));
+    }
+
+    /// Per-chunk incremental accumulation with the reset-at-round-0 shape
+    /// the supervised driver's retry semantics require.
+    fn retry_safe_accs(n: usize) -> Vec<Mutex<Option<EventAccumulator>>> {
+        (0..n).map(|_| Mutex::new(None)).collect()
+    }
+
+    fn accumulate(accs: &[Mutex<Option<EventAccumulator>>], spec: &StreamSpec, slice: &RoundSlice) {
+        let mut acc = accs[slice.chunk].lock().unwrap();
+        if slice.round == 0 {
+            *acc = Some(EventAccumulator::new(spec, slice.shots));
+        }
+        acc.as_mut().expect("round 0 arrives first").push_round(slice.round, slice.syndrome_rows());
+    }
+
+    #[test]
+    fn supervised_driver_retries_a_panicking_chunk_and_stays_bit_identical() {
+        let engine = StreamEngine::builder(RepetitionCode::bit_flip(5).into(), 6)
+            .shots(300)
+            .seed(17)
+            .frame_chunk(64)
+            .build();
+        let fault = StreamFault::Strike { model: RadiationModel::default(), root: 2 };
+        let noise = NoiseSpec::paper_default();
+        let batches = engine.stream_batches(&fault, &noise);
+        let spec = engine.stream_spec();
+        let accs = retry_safe_accs(batches.len());
+        let tripped = std::sync::atomic::AtomicBool::new(false);
+        let report = engine
+            .for_each_round_supervised(
+                &fault,
+                &noise,
+                |_| false,
+                |slice| {
+                    // One mid-chunk panic: the chunk's workspace is in
+                    // flight when the worker dies.
+                    if slice.chunk == 2
+                        && slice.round == 1
+                        && !tripped.swap(true, Ordering::Relaxed)
+                    {
+                        panic!("injected chunk fault");
+                    }
+                    accumulate(&accs, spec, &slice);
+                },
+            )
+            .unwrap();
+        assert!(report.is_clean(), "retry must clear the fault: {:?}", report.failures);
+        assert_eq!(report.chunks_completed, batches.len() as u64);
+        assert_eq!(report.chunks_skipped, 0);
+        assert_eq!(report.chunk_retries, 1);
+        assert_eq!(report.workspaces_quarantined, 1);
+        for (chunk, (batch, acc)) in batches.iter().zip(accs).enumerate() {
+            let incremental = acc.into_inner().unwrap().expect("chunk delivered").finish();
+            assert_eq!(
+                incremental,
+                EventStream::extract(batch, spec),
+                "chunk {chunk}: retried campaign diverged from the clean stream"
+            );
+        }
+        let stats = engine.stream_stats();
+        assert_eq!(stats.chunk_retries, 1);
+        assert_eq!(stats.workspaces_quarantined, 1);
+    }
+
+    #[test]
+    fn supervised_driver_records_a_double_panicking_chunk_as_failed() {
+        let engine = StreamEngine::builder(RepetitionCode::bit_flip(3).into(), 4)
+            .shots(300)
+            .seed(5)
+            .frame_chunk(64)
+            .build();
+        let noise = NoiseSpec::paper_default();
+        let report = engine
+            .for_each_round_supervised(
+                &StreamFault::None,
+                &noise,
+                |_| false,
+                |slice| {
+                    if slice.chunk == 1 {
+                        panic!("chunk {} always dies", slice.chunk);
+                    }
+                },
+            )
+            .unwrap();
+        assert_eq!(
+            report.failures,
+            vec![ChunkFailure { chunk: 1, attempts: 2, message: "chunk 1 always dies".into() }]
+        );
+        assert!(!report.is_clean());
+        assert_eq!(report.chunks_completed, 4, "the other chunks still complete");
+        assert_eq!(report.chunk_retries, 1, "one retry, then the chunk is given up");
+        assert_eq!(report.workspaces_quarantined, 2);
+        assert!(report.failures[0].to_string().contains("after 2 attempts"));
+        // Typed fault validation still runs before any worker starts.
+        let model = RadiationModel::default();
+        let n = engine.topology().num_qubits();
+        let bad = StreamFault::Strike { model, root: n + 3 };
+        assert!(engine.for_each_round_supervised(&bad, &noise, |_| false, |_| {}).is_err());
+    }
+
+    #[test]
+    fn skip_filter_replays_exactly_the_missing_chunks() {
+        let engine = StreamEngine::builder(RepetitionCode::bit_flip(5).into(), 6)
+            .shots(300)
+            .seed(17)
+            .frame_chunk(64)
+            .build();
+        let fault = StreamFault::Strike { model: RadiationModel::default(), root: 2 };
+        let noise = NoiseSpec::paper_default();
+        let batches = engine.stream_batches(&fault, &noise);
+        let accs = retry_safe_accs(batches.len());
+        let spec = engine.stream_spec();
+        let report = engine
+            .for_each_round_supervised(
+                &fault,
+                &noise,
+                |chunk| chunk < 3,
+                |slice| {
+                    assert!(slice.chunk >= 3, "skipped chunk {} was delivered", slice.chunk);
+                    accumulate(&accs, spec, &slice);
+                },
+            )
+            .unwrap();
+        assert_eq!(report.chunks_skipped, 3);
+        assert_eq!(report.chunks_completed, batches.len() as u64 - 3);
+        assert!(report.is_clean());
+        for (chunk, (batch, acc)) in batches.iter().zip(accs).enumerate() {
+            let acc = acc.into_inner().unwrap();
+            if chunk < 3 {
+                assert!(acc.is_none(), "chunk {chunk} should have been skipped");
+            } else {
+                // Resumed chunks are bit-identical to the full campaign's.
+                assert_eq!(acc.expect("delivered").finish(), EventStream::extract(batch, spec));
+            }
+        }
+    }
+
+    #[test]
+    fn reference_cache_is_bounded_with_lru_eviction() {
+        // Rounds = 7 is this test's own context-cache key, so the
+        // reference counts below are fully under its control.
+        let mk = |seed| {
+            StreamEngine::builder(RepetitionCode::bit_flip(3).into(), 7)
+                .shots(8)
+                .seed(seed)
+                .native()
+                .build()
+        };
+        let engines: Vec<StreamEngine> = (0..12).map(mk).collect();
+        for e in &engines {
+            let _ = e.ctx.reference(e.reference_seed());
+        }
+        let stats = engines[0].stream_stats();
+        assert!(
+            stats.reference_entries <= REFERENCE_CACHE_CAP,
+            "reference cache over its ceiling: {stats:?}"
+        );
+        assert_eq!(stats.reference_evictions, 4, "12 distinct seeds over an 8-slot cache");
+        // A re-requested evicted seed is recomputed, not wedged, and the
+        // cache stays under its ceiling.
+        let _ = engines[0].ctx.reference(engines[0].reference_seed());
+        assert!(engines[0].stream_stats().reference_entries <= REFERENCE_CACHE_CAP);
     }
 
     #[test]

@@ -15,6 +15,56 @@
 /// An edge `(u, v, weight)` between distinct vertices.
 pub type WeightedEdge = (u32, u32, i64);
 
+/// Why an edge list is not a valid matching instance.
+///
+/// Returned by [`try_max_weight_matching`] /
+/// [`try_max_weight_matching_in`]; the panicking entry points format the
+/// same message. The decoder builds its matching graphs from detector
+/// indices it generated itself, so it uses the panicking paths; the typed
+/// paths exist for instances assembled from external input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MatchingInputError {
+    /// An edge references a vertex `>= num_vertices`.
+    VertexOutOfRange {
+        /// First endpoint of the offending edge.
+        u: u32,
+        /// Second endpoint of the offending edge.
+        v: u32,
+        /// Vertex count of the instance.
+        num_vertices: usize,
+    },
+    /// An edge joins a vertex to itself.
+    SelfLoop {
+        /// The self-looping vertex.
+        vertex: u32,
+    },
+}
+
+impl std::fmt::Display for MatchingInputError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            MatchingInputError::VertexOutOfRange { u, v, .. } => {
+                write!(f, "edge ({u},{v}) out of range")
+            }
+            MatchingInputError::SelfLoop { vertex } => write!(f, "self-loop on vertex {vertex}"),
+        }
+    }
+}
+
+impl std::error::Error for MatchingInputError {}
+
+fn validate_edges(num_vertices: usize, edges: &[WeightedEdge]) -> Result<(), MatchingInputError> {
+    for &(i, j, _) in edges {
+        if (i as usize) >= num_vertices || (j as usize) >= num_vertices {
+            return Err(MatchingInputError::VertexOutOfRange { u: i, v: j, num_vertices });
+        }
+        if i == j {
+            return Err(MatchingInputError::SelfLoop { vertex: i });
+        }
+    }
+    Ok(())
+}
+
 const NONE: i32 = -1;
 
 /// Compute a maximum-weight matching on the graph with `num_vertices`
@@ -38,6 +88,18 @@ pub fn max_weight_matching(
 ) -> Vec<Option<usize>> {
     let mut scratch = BlossomScratch::default();
     max_weight_matching_in(&mut scratch, num_vertices, edges, max_cardinality).to_vec()
+}
+
+/// Fallible [`max_weight_matching`]: returns a typed
+/// [`MatchingInputError`] instead of panicking on malformed input.
+pub fn try_max_weight_matching(
+    num_vertices: usize,
+    edges: &[WeightedEdge],
+    max_cardinality: bool,
+) -> Result<Vec<Option<usize>>, MatchingInputError> {
+    let mut scratch = BlossomScratch::default();
+    try_max_weight_matching_in(&mut scratch, num_vertices, edges, max_cardinality)
+        .map(<[_]>::to_vec)
 }
 
 /// Reusable allocations for repeated blossom solves.
@@ -82,13 +144,32 @@ pub fn max_weight_matching_in<'s>(
     edges: &[WeightedEdge],
     max_cardinality: bool,
 ) -> &'s [Option<usize>] {
-    for &(i, j, _) in edges {
-        assert!(
-            (i as usize) < num_vertices && (j as usize) < num_vertices,
-            "edge ({i},{j}) out of range"
-        );
-        assert_ne!(i, j, "self-loop on vertex {i}");
+    if let Err(e) = validate_edges(num_vertices, edges) {
+        panic!("{e}");
     }
+    solve_in(scratch, num_vertices, edges, max_cardinality)
+}
+
+/// Fallible [`max_weight_matching_in`]: identical results on valid input,
+/// typed [`MatchingInputError`] instead of a panic on malformed input.
+pub fn try_max_weight_matching_in<'s>(
+    scratch: &'s mut BlossomScratch,
+    num_vertices: usize,
+    edges: &[WeightedEdge],
+    max_cardinality: bool,
+) -> Result<&'s [Option<usize>], MatchingInputError> {
+    validate_edges(num_vertices, edges)?;
+    Ok(solve_in(scratch, num_vertices, edges, max_cardinality))
+}
+
+/// Shared body of the checked entry points; assumes `edges` already
+/// validated.
+fn solve_in<'s>(
+    scratch: &'s mut BlossomScratch,
+    num_vertices: usize,
+    edges: &[WeightedEdge],
+    max_cardinality: bool,
+) -> &'s [Option<usize>] {
     if edges.is_empty() || num_vertices == 0 {
         scratch.out.clear();
         scratch.out.resize(num_vertices, None);
@@ -850,6 +931,30 @@ mod tests {
     #[test]
     fn empty_graph() {
         assert_eq!(max_weight_matching(3, &[], false), vec![None, None, None]);
+    }
+
+    #[test]
+    fn try_entry_points_type_the_input_errors() {
+        assert_eq!(
+            try_max_weight_matching(2, &[(0, 2, 1)], false),
+            Err(MatchingInputError::VertexOutOfRange { u: 0, v: 2, num_vertices: 2 })
+        );
+        assert_eq!(
+            try_max_weight_matching(2, &[(1, 1, 1)], false),
+            Err(MatchingInputError::SelfLoop { vertex: 1 })
+        );
+        assert_eq!(
+            MatchingInputError::VertexOutOfRange { u: 0, v: 2, num_vertices: 2 }.to_string(),
+            "edge (0,2) out of range"
+        );
+        // On valid input the fallible path is bit-identical to the
+        // panicking one.
+        let edges = [(0, 1, 5), (1, 2, 1), (2, 3, 5), (0, 3, 1)];
+        assert_eq!(try_max_weight_matching(4, &edges, true).unwrap(), mates(4, &edges, true));
+        let mut scratch = BlossomScratch::default();
+        let via_scratch =
+            try_max_weight_matching_in(&mut scratch, 4, &edges, true).unwrap().to_vec();
+        assert_eq!(via_scratch, mates(4, &edges, true));
     }
 
     #[test]

@@ -32,7 +32,8 @@ mod mwpm;
 
 pub use blossom::{
     is_valid_matching, matching_size, matching_weight, max_weight_matching, max_weight_matching_in,
-    BlossomScratch, WeightedEdge,
+    try_max_weight_matching, try_max_weight_matching_in, BlossomScratch, MatchingInputError,
+    WeightedEdge,
 };
 pub use dp::min_weight_perfect_matching_dp;
 pub use mwpm::{match_defects, min_weight_perfect_matching, DefectMatch, MatchingArena};

@@ -28,6 +28,11 @@ pub struct StreamWorkspace {
     mask: Vec<u64>,
     allocations: u64,
     reuses: u64,
+    /// A chunk has begun ([`Self::begin_chunk`]) but not finished
+    /// ([`Self::finish_chunk`]) — the buffers hold a half-streamed chunk.
+    /// Supervised engines use this to quarantine workspaces abandoned by a
+    /// panicking worker instead of returning them to the pool.
+    in_flight: bool,
 }
 
 impl StreamWorkspace {
@@ -46,6 +51,23 @@ impl StreamWorkspace {
         self.reuses
     }
 
+    /// Whether a chunk is mid-stream (begun but not marked finished). An
+    /// in-flight workspace must not be pooled: its buffers may have been
+    /// abandoned half-written by a panicking worker.
+    pub fn in_flight(&self) -> bool {
+        self.in_flight
+    }
+
+    /// Mark the chunk begun by [`Self::begin_chunk`] complete, making the
+    /// workspace safe to pool again. (Recycling does not *need* a finished
+    /// chunk — `begin_chunk` reinitialises every buffer — but a workspace
+    /// abandoned mid-chunk is indistinguishable from one whose owner died
+    /// between corrupting unrelated state and here, so supervisors drop
+    /// it.)
+    pub fn finish_chunk(&mut self) {
+        self.in_flight = false;
+    }
+
     /// Prepare the workspace for a `shots`-wide chunk of `circuit` on
     /// `n_qubits` physical qubits: the frame is (re)initialised with the
     /// same draws a fresh [`PauliFrameBatch::new`] would make, the record
@@ -59,6 +81,7 @@ impl StreamWorkspace {
         rng: &mut R,
     ) -> (&mut PauliFrameBatch, &mut ShotBatch, &mut [u64]) {
         let words = shots.div_ceil(64);
+        self.in_flight = true;
         let mut fresh = 0u64;
         match &mut self.frame {
             Some(frame) => fresh += u64::from(!frame.reinit(n_qubits, shots, rng)),
@@ -129,7 +152,9 @@ impl StreamWorkspace {
             mask,
             rng,
         );
-        record.clone()
+        let out = record.clone();
+        self.finish_chunk();
+        out
     }
 }
 
@@ -178,6 +203,25 @@ mod tests {
         assert_eq!(fresh, pooled);
         assert!(ws.reuses() >= 3, "3 of 4 chunks must reuse: {ws:?}");
         assert_eq!(ws.allocations(), 3, "one frame, one record, one mask");
+    }
+
+    #[test]
+    fn in_flight_tracks_the_chunk_lifecycle() {
+        let c = ghz(3);
+        let mut ws = StreamWorkspace::new();
+        assert!(!ws.in_flight(), "fresh workspace has no chunk in flight");
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = ws.begin_chunk(&c, 3, 64, &mut rng);
+        assert!(ws.in_flight(), "begin_chunk must mark the chunk in flight");
+        ws.finish_chunk();
+        assert!(!ws.in_flight());
+        // run_chunk clears the flag on its own.
+        let reference = ReferenceTrace::compute(&c, 3, 1);
+        let noise = NoiseSpec::noiseless();
+        let fault = ActiveFault::none(3);
+        let segments = [(0usize, &fault)];
+        let _ = ws.run_chunk(&c, &reference, &noise, &segments, 3, 64, &mut rng);
+        assert!(!ws.in_flight());
     }
 
     #[test]

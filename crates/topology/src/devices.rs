@@ -233,30 +233,68 @@ pub fn brooklyn() -> Topology {
     Topology::from_edges("brooklyn", 65, edges)
 }
 
+/// Why a topology name failed to resolve.
+///
+/// Returned by [`try_by_name`]; [`by_name`] collapses both variants to
+/// `None`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeviceNameError {
+    /// The name matches no device and no generator family.
+    UnknownName(String),
+    /// The name parses as a generator but with dimensions the family
+    /// rejects (e.g. `"mesh0x4"`).
+    DegenerateDimensions(String),
+}
+
+impl std::fmt::Display for DeviceNameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeviceNameError::UnknownName(n) => write!(f, "unknown topology name {n:?}"),
+            DeviceNameError::DegenerateDimensions(n) => {
+                write!(f, "degenerate dimensions in topology name {n:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DeviceNameError {}
+
 /// Look up a named topology generator: `"linear<n>"`, `"complete<n>"`,
 /// `"mesh<r>x<c>"` or one of the device names.
 pub fn by_name(name: &str) -> Option<Topology> {
+    try_by_name(name).ok()
+}
+
+/// [`by_name`] with a typed error distinguishing an unknown name from a
+/// recognised generator family given dimensions it rejects.
+pub fn try_by_name(name: &str) -> Result<Topology, DeviceNameError> {
     match name {
-        "almaden" => return Some(almaden()),
-        "johannesburg" => return Some(johannesburg()),
-        "cairo" => return Some(cairo()),
-        "cambridge" => return Some(cambridge()),
-        "brooklyn" => return Some(brooklyn()),
+        "almaden" => return Ok(almaden()),
+        "johannesburg" => return Ok(johannesburg()),
+        "cairo" => return Ok(cairo()),
+        "cambridge" => return Ok(cambridge()),
+        "brooklyn" => return Ok(brooklyn()),
         _ => {}
     }
+    let unknown = || DeviceNameError::UnknownName(name.to_string());
     if let Some(rest) = name.strip_prefix("linear") {
-        return rest.parse::<u32>().ok().map(crate::generators::linear);
+        let n = rest.parse::<u32>().map_err(|_| unknown())?;
+        return Ok(crate::generators::linear(n));
     }
     if let Some(rest) = name.strip_prefix("complete") {
-        return rest.parse::<u32>().ok().map(crate::generators::complete);
+        let n = rest.parse::<u32>().map_err(|_| unknown())?;
+        return Ok(crate::generators::complete(n));
     }
     if let Some(rest) = name.strip_prefix("mesh") {
         let mut it = rest.splitn(2, 'x');
-        let r = it.next()?.parse::<u32>().ok()?;
-        let c = it.next()?.parse::<u32>().ok()?;
-        return Some(crate::generators::mesh(r, c));
+        let r = it.next().and_then(|s| s.parse::<u32>().ok()).ok_or_else(unknown)?;
+        let c = it.next().and_then(|s| s.parse::<u32>().ok()).ok_or_else(unknown)?;
+        if r == 0 || c == 0 {
+            return Err(DeviceNameError::DegenerateDimensions(name.to_string()));
+        }
+        return Ok(crate::generators::mesh(r, c));
     }
-    None
+    Err(unknown())
 }
 
 #[cfg(test)]
@@ -306,5 +344,23 @@ mod tests {
         assert_eq!(by_name("mesh5x4").unwrap().num_qubits(), 20);
         assert!(by_name("gibberish").is_none());
         assert!(by_name("mesh5").is_none());
+    }
+
+    #[test]
+    fn try_by_name_types_the_failure_modes() {
+        assert_eq!(try_by_name("mesh5x4").unwrap().num_qubits(), 20);
+        assert_eq!(try_by_name("gibberish"), Err(DeviceNameError::UnknownName("gibberish".into())));
+        assert_eq!(try_by_name("linearx"), Err(DeviceNameError::UnknownName("linearx".into())));
+        // Degenerate mesh dimensions are a typed error, not a generator
+        // panic — and `by_name` maps them to `None`.
+        assert_eq!(
+            try_by_name("mesh0x4"),
+            Err(DeviceNameError::DegenerateDimensions("mesh0x4".into()))
+        );
+        assert!(by_name("mesh0x4").is_none());
+        assert_eq!(
+            try_by_name("mesh0x4").unwrap_err().to_string(),
+            "degenerate dimensions in topology name \"mesh0x4\""
+        );
     }
 }

@@ -6,6 +6,41 @@
 //! along it with the spatial damping `S(d)` of the *graph distance* `d` from
 //! the impact point.
 
+/// Why an edge list does not describe a valid [`Topology`].
+///
+/// Returned by [`Topology::try_from_edges`]; the panicking
+/// [`Topology::from_edges`] wrapper formats the same message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TopologyError {
+    /// An edge references a node index `>= n`.
+    EdgeOutOfRange {
+        /// First endpoint of the offending edge.
+        a: u32,
+        /// Second endpoint of the offending edge.
+        b: u32,
+        /// Node count of the graph under construction.
+        n: u32,
+    },
+    /// An edge joins a node to itself.
+    SelfLoop {
+        /// The self-looping node.
+        node: u32,
+    },
+}
+
+impl std::fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            TopologyError::EdgeOutOfRange { a, b, n } => {
+                write!(f, "edge ({a},{b}) out of range for n={n}")
+            }
+            TopologyError::SelfLoop { node } => write!(f, "self-loop on node {node}"),
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
 /// An undirected architecture graph over `n` qubit sites.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Topology {
@@ -17,11 +52,33 @@ impl Topology {
     /// Build from an explicit edge list over `n` nodes.
     ///
     /// Self-loops are rejected; duplicate edges are deduplicated.
+    ///
+    /// # Panics
+    /// Panics on an out-of-range edge or a self-loop; use
+    /// [`Topology::try_from_edges`] to get a typed error instead. The
+    /// static device edge lists in [`crate::devices`] and the parametric
+    /// generators in [`crate::generators`] construct edges by index
+    /// arithmetic, so for them these conditions are unreachable
+    /// invariants, not input validation.
     pub fn from_edges(name: impl Into<String>, n: u32, edges: &[(u32, u32)]) -> Self {
+        Self::try_from_edges(name, n, edges).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Topology::from_edges`] for edge lists that come from
+    /// external input (config files, CLI flags) rather than generators.
+    pub fn try_from_edges(
+        name: impl Into<String>,
+        n: u32,
+        edges: &[(u32, u32)],
+    ) -> Result<Self, TopologyError> {
         let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n as usize];
         for &(a, b) in edges {
-            assert!(a < n && b < n, "edge ({a},{b}) out of range for n={n}");
-            assert_ne!(a, b, "self-loop on node {a}");
+            if a >= n || b >= n {
+                return Err(TopologyError::EdgeOutOfRange { a, b, n });
+            }
+            if a == b {
+                return Err(TopologyError::SelfLoop { node: a });
+            }
             if !adj[a as usize].contains(&b) {
                 adj[a as usize].push(b);
                 adj[b as usize].push(a);
@@ -30,7 +87,7 @@ impl Topology {
         for l in &mut adj {
             l.sort_unstable();
         }
-        Topology { name: name.into(), adj }
+        Ok(Topology { name: name.into(), adj })
     }
 
     /// Human-readable name (e.g. `"mesh5x6"`, `"brooklyn"`).
@@ -200,6 +257,24 @@ mod tests {
     fn duplicate_edges_are_merged() {
         let t = Topology::from_edges("d", 2, &[(0, 1), (1, 0), (0, 1)]);
         assert_eq!(t.edges(), vec![(0, 1)]);
+    }
+
+    #[test]
+    fn try_from_edges_types_the_failure_modes() {
+        assert_eq!(
+            Topology::try_from_edges("bad", 2, &[(0, 2)]),
+            Err(TopologyError::EdgeOutOfRange { a: 0, b: 2, n: 2 })
+        );
+        assert_eq!(
+            Topology::try_from_edges("bad", 2, &[(1, 1)]),
+            Err(TopologyError::SelfLoop { node: 1 })
+        );
+        assert_eq!(
+            TopologyError::EdgeOutOfRange { a: 0, b: 2, n: 2 }.to_string(),
+            "edge (0,2) out of range for n=2"
+        );
+        let ok = Topology::try_from_edges("ok", 3, &[(0, 1), (1, 2)]).unwrap();
+        assert_eq!(ok, Topology::from_edges("ok", 3, &[(0, 1), (1, 2)]));
     }
 
     #[test]

@@ -30,4 +30,4 @@ pub mod devices;
 pub mod generators;
 pub mod subgraph;
 
-pub use graph::Topology;
+pub use graph::{Topology, TopologyError};

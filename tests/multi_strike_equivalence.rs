@@ -38,8 +38,8 @@ fn two_strikes(root_a: u32, root_b: u32, onset_b: usize) -> StreamFault {
     let model = RadiationModel::default();
     StreamFault::MultiStrike(
         MultiStrike::try_new(vec![
-            StrikeEvent { model, root: root_a, onset_round: 0 },
-            StrikeEvent { model, root: root_b, onset_round: onset_b },
+            StrikeEvent { model, root: root_a, onset_round: 0, decay_rounds: None },
+            StrikeEvent { model, root: root_b, onset_round: onset_b, decay_rounds: None },
         ])
         .expect("onsets are ordered"),
     )
@@ -70,8 +70,13 @@ fn single_strike_multistrike_streams_are_bit_identical() {
             let single = eng.stream_batches(&StreamFault::Strike { model, root: 2 }, &noise);
             let multi = eng.stream_batches(
                 &StreamFault::MultiStrike(
-                    MultiStrike::try_new(vec![StrikeEvent { model, root: 2, onset_round: 0 }])
-                        .unwrap(),
+                    MultiStrike::try_new(vec![StrikeEvent {
+                        model,
+                        root: 2,
+                        onset_round: 0,
+                        decay_rounds: None,
+                    }])
+                    .unwrap(),
                 ),
                 &noise,
             );

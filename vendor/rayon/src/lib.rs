@@ -12,6 +12,7 @@
 
 #![forbid(unsafe_code)]
 
+use std::cell::Cell;
 use std::num::NonZeroUsize;
 use std::ops::Range;
 
@@ -20,9 +21,85 @@ pub mod prelude {
     pub use crate::IntoParallelIterator;
 }
 
-/// Number of worker threads to use (available cores, min 1).
+thread_local! {
+    /// Worker cap installed by [`ThreadPool::install`] on this thread.
+    static WORKER_CAP: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Number of worker threads to use: an installed cap, else available
+/// cores, min 1.
 fn workers() -> usize {
+    if let Some(cap) = WORKER_CAP.with(Cell::get) {
+        return cap.max(1);
+    }
     std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`, for callers that need a
+/// deterministic worker count (e.g. tests pinning pool demand).
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+/// Error type of [`ThreadPoolBuilder::build`]; the shim never actually
+/// fails, the `Result` only mirrors rayon's signature.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build failed")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    /// A builder with the default (uncapped) worker count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Cap the pool at `n` workers (`0` restores the default).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = if n == 0 { None } else { Some(n) };
+        self
+    }
+
+    /// Build the pool. Infallible in the shim; `Result` mirrors rayon.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool { num_threads: self.num_threads })
+    }
+}
+
+/// A scoped worker-count cap mirroring `rayon::ThreadPool`.
+///
+/// The shim has no persistent worker threads; [`ThreadPool::install`]
+/// simply caps how many scoped threads the parallel iterators driven from
+/// the calling thread may spawn. (Unlike real rayon, the cap does not
+/// propagate into nested parallelism on *other* threads — with
+/// `num_threads(1)` everything runs inline on the caller, so the cap
+/// holds transitively, which is the case the workspace tests rely on.)
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPool {
+    /// Run `op` with this pool's worker cap applied to every parallel
+    /// iterator it drives from the calling thread. The previous cap is
+    /// restored on exit, including on panic.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        struct Restore(Option<usize>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                WORKER_CAP.with(|c| c.set(self.0));
+            }
+        }
+        let _restore = Restore(WORKER_CAP.with(|c| c.replace(self.num_threads)));
+        op()
+    }
 }
 
 /// Conversion into a parallel iterator.
@@ -218,5 +295,21 @@ mod tests {
     fn empty_range_is_fine() {
         let total: usize = (5..5usize).into_par_iter().map(|i| i).sum();
         assert_eq!(total, 0);
+    }
+
+    #[test]
+    fn single_thread_pool_runs_inline_and_restores_the_cap() {
+        let pool = crate::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let caller = std::thread::current().id();
+        let ids: Vec<std::thread::ThreadId> = pool.install(|| {
+            (0..64usize).into_par_iter().map(|_| std::thread::current().id()).collect()
+        });
+        assert!(ids.iter().all(|&id| id == caller), "capped pool must run inline");
+        assert_eq!(super::WORKER_CAP.with(std::cell::Cell::get), None, "cap must be restored");
+        // map_init under a 1-worker cap builds exactly one state.
+        let states: usize = pool.install(|| {
+            (0..10usize).into_par_iter().map_init(|| (), |(), i| usize::from(i == 0)).sum()
+        });
+        assert_eq!(states, 1);
     }
 }
