@@ -18,13 +18,15 @@
 //!     [--shots N] [--seed N] [--reps N]
 //! ```
 
-use radqec_bench::arg_flag;
+use radqec_bench::{arg_flag, percentile_fields_us, telemetry_snapshot};
 use radqec_circuit::ShotBatch;
 use radqec_core::codes::{CodeSpec, RepetitionCode, XxzzCode};
 use radqec_core::decoder::{BulkDecoder, Decoder, MwpmDecoder, TierConfig};
 use radqec_core::injection::{InjectionEngine, SamplerKind};
 use radqec_noise::{FaultSpec, NoiseSpec, RadiationModel};
+use radqec_telemetry::{names, MetricsRegistry};
 use std::fmt::Write as _;
+use std::sync::Arc;
 use std::time::Instant;
 
 struct Workload {
@@ -127,6 +129,7 @@ fn main() {
     let shots: usize = arg_flag("shots", 1000);
     let seed: u64 = arg_flag("seed", 1);
     let reps: usize = arg_flag("reps", 3);
+    let mut tel = telemetry_snapshot();
     let mut json = String::from("[\n");
     println!(
         "{:<24} {:>10} {:>10} {:>10} {:>11} {:>11} {:>11} {:>9} {:>9}",
@@ -156,7 +159,23 @@ fn main() {
             Box::new(BulkDecoder::with_tiers(&code, analytic_tiers))
         });
         let tiered_cold = time_decode(&batches, reps, true, || Box::new(BulkDecoder::new(&code)));
-        let tiered_warm = time_decode(&batches, reps, false, || Box::new(BulkDecoder::new(&code)));
+        // The warm path records into a shared registry so the JSON gains
+        // per-batch decode-latency percentiles for the steady state.
+        let warm_registry = Arc::new(MetricsRegistry::new());
+        let tiered_warm = time_decode(&batches, reps, false, || {
+            Box::new(
+                BulkDecoder::try_with_tiers_metrics(
+                    &code,
+                    TierConfig::default(),
+                    Arc::clone(&warm_registry),
+                )
+                .expect("default tiers are valid"),
+            )
+        });
+        let warm_snap = warm_registry.snapshot();
+        let telemetry_fields =
+            percentile_fields_us(&warm_snap, names::STAGE_DECODE_NS, "decode_latency_us");
+        tel.merge(&warm_snap);
 
         let (frame_ler, frame_sps) =
             time_end_to_end(&w, SamplerKind::FrameBatch, shots, seed, reps);
@@ -188,7 +207,7 @@ fn main() {
              \"tiered_warm_decode_shots_per_sec\":{:.1},\
              \"end_to_end_frame_shots_per_sec\":{:.1},\
              \"end_to_end_tableau_shots_per_sec\":{:.1},\
-             \"frame_logical_error\":{:.6},\"tableau_logical_error\":{:.6}}}",
+             \"frame_logical_error\":{:.6},\"tableau_logical_error\":{:.6}{telemetry_fields}}}",
             w.name,
             shots,
             seed,
@@ -205,5 +224,6 @@ fn main() {
     }
     json.push_str("\n]\n");
     std::fs::write("BENCH_decoder.json", &json).expect("write BENCH_decoder.json");
+    tel.write_prometheus();
     println!("\nwrote BENCH_decoder.json");
 }

@@ -29,12 +29,15 @@
 //!     [--shots N] [--rounds N] [--seed N] [--csv PATH]
 //! ```
 
-use radqec_bench::{arg_flag, header, CsvSink};
+use radqec_bench::{
+    arg_flag, header, percentile_field_us_p99, percentile_fields_us, telemetry_snapshot, CsvSink,
+};
 use radqec_core::codes::{CodeSpec, RepetitionCode, XxzzCode};
 use radqec_core::experiments::{run_detection, DetectionConfig, DetectionResult};
 use radqec_core::streaming::{StreamEngine, StreamFault};
 use radqec_detect::{CusumDetector, EventAccumulator, OnlineDetector, ThresholdDetector};
 use radqec_noise::{NoiseSpec, RadiationModel};
+use radqec_telemetry::names;
 use std::fmt::Write as _;
 use std::sync::Mutex;
 use std::time::Instant;
@@ -105,9 +108,10 @@ fn pipeline_timing(engine: &StreamEngine, root: u32) -> PipelineTiming {
     // worker, so the mutexes never contend.
     let slots: Vec<Mutex<Option<ChunkState>>> =
         (0..engine.num_chunks()).map(|_| Mutex::new(None)).collect();
-    let extract_ns = std::sync::atomic::AtomicU64::new(0);
-    let detect_ns = std::sync::atomic::AtomicU64::new(0);
-    let rounds_seen = std::sync::atomic::AtomicU64::new(0);
+    // Stage latencies land in the engine's registry as histograms, so
+    // the JSON export gets percentiles, not just means.
+    let extract_ns = engine.metrics().histogram(names::STAGE_EXTRACT_NS);
+    let detect_ns = engine.metrics().histogram(names::STAGE_DETECT_NS);
 
     // Generation stage in isolation: the same incremental driver with a
     // sink that drops every round — first a warm-up, then the timed pass.
@@ -142,9 +146,8 @@ fn pipeline_timing(engine: &StreamEngine, root: u32) -> PipelineTiming {
             threshold.push(&mut state.threshold[s], slice.round, f64::from(c));
         }
         let t2 = Instant::now();
-        extract_ns.fetch_add((t1 - t0).as_nanos() as u64, std::sync::atomic::Ordering::Relaxed);
-        detect_ns.fetch_add((t2 - t1).as_nanos() as u64, std::sync::atomic::Ordering::Relaxed);
-        rounds_seen.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        extract_ns.record((t1 - t0).as_nanos() as u64);
+        detect_ns.record((t2 - t1).as_nanos() as u64);
     });
     let wall = start.elapsed().as_secs_f64();
     let alarms: usize = slots
@@ -158,9 +161,11 @@ fn pipeline_timing(engine: &StreamEngine, root: u32) -> PipelineTiming {
         .sum();
     std::hint::black_box(alarms);
     let shots = engine.shots() as f64;
-    let extract = extract_ns.load(std::sync::atomic::Ordering::Relaxed) as f64 * 1e-9;
-    let detect = detect_ns.load(std::sync::atomic::Ordering::Relaxed) as f64 * 1e-9;
-    let rounds = rounds_seen.load(std::sync::atomic::Ordering::Relaxed).max(1) as f64;
+    let extract_snap = extract_ns.snapshot();
+    let detect_snap = detect_ns.snapshot();
+    let extract = extract_snap.sum() as f64 * 1e-9;
+    let detect = detect_snap.sum() as f64 * 1e-9;
+    let rounds = extract_snap.count().max(1) as f64;
     PipelineTiming {
         pipeline_sps: shots / wall,
         extract_sps: shots / extract.max(1e-12),
@@ -188,6 +193,7 @@ fn main() {
     let rounds: usize = arg_flag("rounds", 10);
     let seed: u64 = arg_flag("seed", 0xDE7EC7);
     let mut sink = CsvSink::from_args();
+    let mut tel = telemetry_snapshot();
     let mut json = String::from("[\n");
     let mut first = true;
     let mut gates_ok = true;
@@ -207,6 +213,13 @@ fn main() {
         let stream_sps = stream_throughput(&engine, root);
         let pipe = pipeline_timing(&engine, root);
         let stats = engine.stream_stats();
+        let snap = engine.metrics_snapshot();
+        let telemetry_fields =
+            percentile_fields_us(&snap, names::STREAM_ROUND_NS, "round_latency_us")
+                + &percentile_fields_us(&snap, names::STAGE_GENERATE_NS, "generate_latency_us")
+                + &percentile_field_us_p99(&snap, names::STAGE_EXTRACT_NS, "extract_latency_us")
+                + &percentile_field_us_p99(&snap, names::STAGE_DETECT_NS, "detect_latency_us");
+        tel.merge(&snap);
 
         // Boundary-calibration study: the same sweep's corner + central
         // roots with per-root null calibration on (cluster rows only).
@@ -238,6 +251,17 @@ fn main() {
              round latency {:.1} µs",
             pipe.generate_sps, pipe.extract_sps, pipe.detect_sps, pipe.round_latency_us
         );
+        if let Some(bounds) = snap
+            .histogram(names::STREAM_ROUND_NS)
+            .and_then(|h| Some((h.quantile(0.5)?, h.quantile(0.9)?, h.quantile(0.99)?)))
+        {
+            println!(
+                "round latency percentiles: p50 {:.1} µs   p90 {:.1} µs   p99 {:.1} µs",
+                bounds.0 as f64 * 1e-3,
+                bounds.1 as f64 * 1e-3,
+                bounds.2 as f64 * 1e-3
+            );
+        }
         println!(
             "stream stats: {} rounds, {} chunks ({} stolen), workspace {} allocs / {} reuses",
             stats.rounds_generated,
@@ -301,7 +325,7 @@ fn main() {
              \"generate_shots_per_sec\":{:.1},\
              \"extract_shots_per_sec\":{:.1},\
              \"detect_shots_per_sec\":{:.1},\
-             \"round_latency_us\":{:.2},\
+             \"round_latency_us\":{:.2}{telemetry_fields},\
              \"rounds_generated\":{},\"chunks_stolen\":{},\
              \"workspace_allocations\":{},\"workspace_reuses\":{},\
              \"cusum_auc\":{:.4},\"cusum_detection_rate\":{:.4},\
@@ -332,5 +356,6 @@ fn main() {
     }
     json.push_str("\n]\n");
     std::fs::write("BENCH_detect.json", &json).expect("write BENCH_detect.json");
+    tel.write_prometheus();
     println!("\nwrote BENCH_detect.json{}", if gates_ok { "" } else { " (GATE FAILURES)" });
 }

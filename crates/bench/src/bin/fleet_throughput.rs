@@ -21,9 +21,13 @@
 //! CI quick mode: `--rounds 1000 --shots 32` finishes in seconds and
 //! exercises the same gates.
 
-use radqec_bench::{arg_flag, header, CsvSink};
+use radqec_bench::{
+    arg_flag, header, percentile_field_us_p99, percentile_fields_raw, percentile_fields_us,
+    telemetry_snapshot, CsvSink,
+};
 use radqec_core::codes::RepetitionCode;
 use radqec_core::experiments::{run_fleet, FleetConfig};
+use radqec_telemetry::names;
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -78,7 +82,15 @@ fn main() {
         res.max_cache_entries(),
         cfg.cache_capacity
     );
+    println!(
+        "flight recorder: {} entries ({} strike onsets, {} alarms)   first retry round {}",
+        res.flight.len(),
+        m.strikes,
+        m.detected,
+        res.first_retry_round().map_or("-".into(), |r| r.to_string())
+    );
     sink.emit("fleet", &res.to_csv());
+    sink.emit("fleet_patches", &res.patch_csv());
 
     let complete_ok = res.complete;
     let degraded_ok = res.degraded_shots() == 0;
@@ -94,6 +106,22 @@ fn main() {
         pass(cache_ok),
     );
 
+    let mut tel = telemetry_snapshot();
+    tel.merge(&res.snapshot);
+    let telemetry_fields =
+        percentile_fields_us(&res.snapshot, names::STAGE_DECODE_NS, "decode_latency_us")
+            + &percentile_fields_raw(
+                &res.snapshot,
+                names::DETECT_LATENCY_ROUNDS,
+                "detection_latency_rounds",
+            )
+            + &percentile_fields_raw(
+                &res.snapshot,
+                names::FLEET_TIME_TO_RECOVERY_US,
+                "time_to_recovery_us",
+            )
+            + &percentile_field_us_p99(&res.snapshot, names::STREAM_ROUND_NS, "round_latency_us");
+    let first_retry = res.first_retry_round().map_or("null".into(), |r| r.to_string());
     let mut json = String::from("[\n");
     let _ = write!(
         json,
@@ -111,7 +139,9 @@ fn main() {
          \"degraded_shots\":{},\
          \"retried_chunks\":{},\
          \"failed_chunks\":{},\
-         \"cache_entries\":{},\
+         \"first_retry_round\":{first_retry},\
+         \"flight_entries\":{},\
+         \"cache_entries\":{}{telemetry_fields},\
          \"complete\":{}}}",
         cfg.code.name(),
         m.strikes,
@@ -125,11 +155,13 @@ fn main() {
         res.degraded_shots(),
         res.retried_chunks(),
         res.failed_chunks(),
+        res.flight.len(),
         res.max_cache_entries(),
         res.complete,
     );
     json.push_str("\n]\n");
     std::fs::write("BENCH_fleet.json", &json).expect("write BENCH_fleet.json");
+    tel.write_prometheus();
     println!("\nwrote BENCH_fleet.json{}", if gates_ok { "" } else { " (GATE FAILURES)" });
 }
 

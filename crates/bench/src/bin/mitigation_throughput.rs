@@ -18,7 +18,7 @@
 //!     [--shots N] [--seed N] [--csv PATH]
 //! ```
 
-use radqec_bench::{arg_flag, header, CsvSink};
+use radqec_bench::{arg_flag, header, percentile_fields_us, telemetry_snapshot, CsvSink};
 use radqec_core::codes::{CodeSpec, RepetitionCode, XxzzCode};
 use radqec_core::decoder::DecoderMask;
 use radqec_core::experiments::{
@@ -26,6 +26,7 @@ use radqec_core::experiments::{
 };
 use radqec_detect::StrikeMask;
 use radqec_noise::{FaultSpec, NoiseSpec};
+use radqec_telemetry::{names, MetricsSnapshot};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -45,8 +46,10 @@ fn workloads() -> Vec<Workload> {
 }
 
 /// Warm decode-only throughput (shots/s) of the unaware and masked paths
-/// over one impact-sample batch set: sample once, decode repeatedly.
-fn decode_throughput(cfg: &MitigationConfig, root: u32) -> (f64, f64) {
+/// over one impact-sample batch set (sample once, decode repeatedly),
+/// plus the engine's metrics snapshot — `stage.decode_ns` covers every
+/// timed batch of both paths.
+fn decode_throughput(cfg: &MitigationConfig, root: u32) -> (f64, f64, MetricsSnapshot) {
     let engine = mitigation_engine(cfg, cfg.codes[0]);
     let fault = FaultSpec::Radiation { model: cfg.model, root };
     let batches = engine.frame_batches_at_sample(&fault, &cfg.noise, 0);
@@ -78,7 +81,9 @@ fn decode_throughput(cfg: &MitigationConfig, root: u32) -> (f64, f64) {
         std::hint::black_box(sink);
         (reps * cfg.shots) as f64 / start.elapsed().as_secs_f64()
     };
-    (time_path(false), time_path(true))
+    let unaware = time_path(false);
+    let masked = time_path(true);
+    (unaware, masked, engine.metrics().snapshot())
 }
 
 /// The sweep's distinct roots in row order.
@@ -97,6 +102,7 @@ fn main() {
     let seed: u64 = arg_flag("seed", 0x3117_C0DE);
     let radius: u32 = arg_flag("radius", 3);
     let mut sink = CsvSink::from_args();
+    let mut tel = telemetry_snapshot();
     let mut json = String::from("[\n");
     let mut first = true;
     let mut gates_ok = true;
@@ -117,8 +123,11 @@ fn main() {
         let central = roots[roots.len() / 2];
         let code_name = res.rows[0].code_name.clone();
 
-        let (unaware_sps, masked_sps) = decode_throughput(&cfg, central);
+        let (unaware_sps, masked_sps, decode_snap) = decode_throughput(&cfg, central);
         let ratio = masked_sps / unaware_sps;
+        let telemetry_fields =
+            percentile_fields_us(&decode_snap, names::STAGE_DECODE_NS, "decode_latency_us");
+        tel.merge(&decode_snap);
         let (mask_contexts, mask_hit_rate) = mask_stats(&cfg, central);
 
         // Mask-cache accounting comes from a dedicated engine replaying the
@@ -186,7 +195,7 @@ fn main() {
              \"decode_masked_shots_per_sec\":{masked_sps:.1},\
              \"masked_decode_ratio\":{ratio:.4},\
              \"end_to_end_shots_per_sec\":{end_to_end_sps:.1},\
-             \"mask_cache_contexts\":{},\"mask_cache_hit_rate\":{:.4}}}",
+             \"mask_cache_contexts\":{},\"mask_cache_hit_rate\":{:.4}{telemetry_fields}}}",
             w.name,
             res.shots,
             res.samples,
@@ -200,6 +209,7 @@ fn main() {
     }
     json.push_str("\n]\n");
     std::fs::write("BENCH_mitigation.json", &json).expect("write BENCH_mitigation.json");
+    tel.write_prometheus();
     println!("\nwrote BENCH_mitigation.json{}", if gates_ok { "" } else { " (GATE FAILURES)" });
 }
 

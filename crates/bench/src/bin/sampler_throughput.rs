@@ -6,10 +6,11 @@
 //! cargo run --release -p radqec-bench --bin sampler_throughput [--shots N] [--seed N]
 //! ```
 
-use radqec_bench::arg_flag;
+use radqec_bench::{arg_flag, percentile_fields_us, telemetry_snapshot};
 use radqec_core::codes::{CodeSpec, RepetitionCode, XxzzCode};
 use radqec_core::injection::{InjectionEngine, SamplerKind};
 use radqec_noise::{FaultSpec, NoiseSpec, RadiationModel};
+use radqec_telemetry::{names, MetricsSnapshot};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -53,6 +54,7 @@ fn main() {
     let shots: usize = arg_flag("shots", 1000);
     let seed: u64 = arg_flag("seed", 1);
     let reps: usize = arg_flag("reps", 3);
+    let mut tel = telemetry_snapshot();
     let mut json = String::from("[\n");
     println!(
         "{:<26} {:>11} {:>11} {:>12} {:>12} {:>9}",
@@ -62,6 +64,7 @@ fn main() {
     for w in workloads() {
         let mut rates = [0.0f64; 2];
         let mut thpt = [0.0f64; 2];
+        let mut frame_snap = MetricsSnapshot::default();
         for (i, sampler) in [SamplerKind::FrameBatch, SamplerKind::Tableau].into_iter().enumerate()
         {
             let engine =
@@ -76,7 +79,16 @@ fn main() {
             let secs = start.elapsed().as_secs_f64() / reps as f64;
             rates[i] = rate;
             thpt[i] = shots as f64 / secs;
+            if sampler == SamplerKind::FrameBatch {
+                // Refresh the pool gauges, then snapshot the frame
+                // engine's registry (decode spans + workspace gauges).
+                let _ = engine.workspace_stats();
+                frame_snap = engine.metrics().snapshot();
+            }
         }
+        let telemetry_fields =
+            percentile_fields_us(&frame_snap, names::STAGE_DECODE_NS, "decode_latency_us");
+        tel.merge(&frame_snap);
         println!(
             "{:<26} {:>11.4} {:>11.4} {:>12.0} {:>12.0} {:>8.1}x",
             w.name,
@@ -92,11 +104,12 @@ fn main() {
         first = false;
         let _ = write!(
             json,
-            "  {{\"workload\":\"{}\",\"shots\":{},\"seed\":{},\"frame_logical_error\":{:.6},\"tableau_logical_error\":{:.6},\"frame_shots_per_sec\":{:.1},\"tableau_shots_per_sec\":{:.1},\"speedup\":{:.2}}}",
+            "  {{\"workload\":\"{}\",\"shots\":{},\"seed\":{},\"frame_logical_error\":{:.6},\"tableau_logical_error\":{:.6},\"frame_shots_per_sec\":{:.1},\"tableau_shots_per_sec\":{:.1},\"speedup\":{:.2}{telemetry_fields}}}",
             w.name, shots, seed, rates[0], rates[1], thpt[0], thpt[1], thpt[0] / thpt[1]
         );
     }
     json.push_str("\n]\n");
     std::fs::write("BENCH_sampler.json", &json).expect("write BENCH_sampler.json");
+    tel.write_prometheus();
     println!("\nwrote BENCH_sampler.json");
 }

@@ -83,6 +83,93 @@ impl CsvSink {
     }
 }
 
+/// Snapshot-export helper shared by the `*_throughput` bins: merges the
+/// pipeline's registry snapshots and honours `--prometheus <path>` (text
+/// exposition 0.0.4 of everything merged). Percentile JSON fields are
+/// rendered per snapshot by [`percentile_fields_us`] /
+/// [`percentile_fields_raw`] / [`percentile_field_us_p99`].
+pub struct TelemetrySnapshot {
+    /// Everything merged so far (counters and histogram buckets sum,
+    /// gauges keep their max).
+    pub snap: radqec_telemetry::MetricsSnapshot,
+    prometheus: Option<String>,
+}
+
+/// Start a bin's telemetry export (reads `--prometheus` from the args).
+pub fn telemetry_snapshot() -> TelemetrySnapshot {
+    let path = arg_flag("prometheus", String::new());
+    TelemetrySnapshot {
+        snap: radqec_telemetry::MetricsSnapshot::default(),
+        prometheus: (!path.is_empty()).then_some(path),
+    }
+}
+
+impl TelemetrySnapshot {
+    /// Fold one registry snapshot into the bin-wide export.
+    pub fn merge(&mut self, other: &radqec_telemetry::MetricsSnapshot) {
+        self.snap.merge_from(other);
+    }
+
+    /// Write the merged exposition if `--prometheus <path>` was given.
+    /// Call once, after the last merge.
+    pub fn write_prometheus(&self) {
+        if let Some(path) = &self.prometheus {
+            std::fs::write(path, self.snap.to_prometheus())
+                .unwrap_or_else(|e| panic!("write {path}: {e}"));
+            println!("prometheus exposition -> {path}");
+        }
+    }
+}
+
+/// One `"<field>":<value>` JSON member (leading comma included) from
+/// quantile `q` of histogram `metric`: the conservative upper bucket
+/// bound scaled by `scale`, or `null` when the histogram is absent or
+/// empty — so the field always exists for CI to assert on.
+fn percentile_field(
+    snap: &radqec_telemetry::MetricsSnapshot,
+    metric: &str,
+    field: &str,
+    q: f64,
+    scale: f64,
+) -> String {
+    match snap.histogram(metric).and_then(|h| h.quantile(q)) {
+        Some(bound) => format!(",\"{field}\":{:.3}", bound as f64 * scale),
+        None => format!(",\"{field}\":null"),
+    }
+}
+
+/// `,"<field>_p50":…,"<field>_p99":…` from nanosecond histogram
+/// `metric`, converted to microseconds.
+pub fn percentile_fields_us(
+    snap: &radqec_telemetry::MetricsSnapshot,
+    metric: &str,
+    field: &str,
+) -> String {
+    percentile_field(snap, metric, &format!("{field}_p50"), 0.5, 1e-3)
+        + &percentile_field(snap, metric, &format!("{field}_p99"), 0.99, 1e-3)
+}
+
+/// `,"<field>_p99":…` alone (µs) — for stages where the tail is the
+/// story.
+pub fn percentile_field_us_p99(
+    snap: &radqec_telemetry::MetricsSnapshot,
+    metric: &str,
+    field: &str,
+) -> String {
+    percentile_field(snap, metric, &format!("{field}_p99"), 0.99, 1e-3)
+}
+
+/// `,"<field>_p50":…,"<field>_p99":…` in the histogram's own units
+/// (rounds, µs-valued samples, …).
+pub fn percentile_fields_raw(
+    snap: &radqec_telemetry::MetricsSnapshot,
+    metric: &str,
+    field: &str,
+) -> String {
+    percentile_field(snap, metric, &format!("{field}_p50"), 0.5, 1.0)
+        + &percentile_field(snap, metric, &format!("{field}_p99"), 0.99, 1.0)
+}
+
 /// Render a probability as a percentage with one decimal, e.g. `12.3%`.
 pub fn pct(x: f64) -> String {
     format!("{:.1}%", 100.0 * x)
@@ -139,6 +226,45 @@ mod tests {
         let written = std::fs::read_to_string(&path).unwrap();
         assert_eq!(written, "# a\nx,y\n1,2\n# b\nu,v\n3,4\n");
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn percentile_fields_render_us_and_null_when_absent() {
+        let reg = radqec_telemetry::MetricsRegistry::new();
+        let h = reg.histogram("stage.decode_ns");
+        for _ in 0..100 {
+            h.record(10_000); // 10 µs
+        }
+        let snap = reg.snapshot();
+        let fields = percentile_fields_us(&snap, "stage.decode_ns", "decode_latency_us");
+        assert!(fields.starts_with(",\"decode_latency_us_p50\":"));
+        assert!(fields.contains(",\"decode_latency_us_p99\":"));
+        assert!(!fields.contains("null"), "populated histogram renders numbers: {fields}");
+        // A metric nobody recorded still emits its fields — as null — so
+        // CI's field assertions never depend on the workload's physics.
+        let missing = percentile_fields_raw(&snap, "detect.latency_rounds", "latency_rounds");
+        assert_eq!(missing, ",\"latency_rounds_p50\":null,\"latency_rounds_p99\":null");
+        assert_eq!(
+            percentile_field_us_p99(&snap, "stage.extract_ns", "extract_latency_us"),
+            ",\"extract_latency_us_p99\":null"
+        );
+    }
+
+    #[test]
+    fn telemetry_snapshot_merges_registries() {
+        let a = radqec_telemetry::MetricsRegistry::new();
+        let b = radqec_telemetry::MetricsRegistry::new();
+        a.counter("decode.shots").add(3);
+        b.counter("decode.shots").add(4);
+        a.histogram("stream.round_ns").record(1000);
+        b.histogram("stream.round_ns").record(1000);
+        let mut tel = telemetry_snapshot();
+        assert!(tel.prometheus.is_none(), "tests run without --prometheus");
+        tel.merge(&a.snapshot());
+        tel.merge(&b.snapshot());
+        assert_eq!(tel.snap.counter("decode.shots"), 7);
+        assert_eq!(tel.snap.histogram("stream.round_ns").map(|h| h.count()), Some(2));
+        tel.write_prometheus(); // no path: must be a no-op
     }
 
     #[test]

@@ -26,9 +26,9 @@ use crate::decoder::mwpm::{extract_defects, matching_flip, weight_of};
 use crate::decoder::Decoder;
 use radqec_circuit::{ShotBatch, ShotRecord};
 use radqec_matching::MatchingArena;
+use radqec_telemetry::{names, Counter, Histogram, MetricsRegistry, SpanTimer};
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
@@ -150,15 +150,35 @@ pub struct DecoderStats {
     pub mask_evictions: u64,
 }
 
-#[derive(Default)]
+/// Registry-backed tier counters (the `decode.*` metric family): handles
+/// are resolved once at decoder construction, so bumping them costs one
+/// relaxed `fetch_add` — and the per-shot loop pays nothing, because
+/// [`LocalStats`] batches a whole call before touching them.
 struct StatCells {
-    shots: AtomicU64,
-    trivial: AtomicU64,
-    cache_hits: AtomicU64,
-    analytic: AtomicU64,
-    matchings: AtomicU64,
-    degraded: AtomicU64,
-    mask_hits: AtomicU64,
+    shots: Arc<Counter>,
+    trivial: Arc<Counter>,
+    cache_hits: Arc<Counter>,
+    analytic: Arc<Counter>,
+    matchings: Arc<Counter>,
+    degraded: Arc<Counter>,
+    mask_hits: Arc<Counter>,
+    /// Wall time per decode call (`stage.decode_ns`).
+    decode_ns: Arc<Histogram>,
+}
+
+impl StatCells {
+    fn new(metrics: &MetricsRegistry) -> Self {
+        StatCells {
+            shots: metrics.counter(names::DECODE_SHOTS),
+            trivial: metrics.counter(names::DECODE_TRIVIAL),
+            cache_hits: metrics.counter(names::DECODE_CACHE_HITS),
+            analytic: metrics.counter(names::DECODE_ANALYTIC),
+            matchings: metrics.counter(names::DECODE_MATCHINGS),
+            degraded: metrics.counter(names::DECODE_DEGRADED),
+            mask_hits: metrics.counter(names::DECODE_MASK_HITS),
+            decode_ns: metrics.histogram(names::STAGE_DECODE_NS),
+        }
+    }
 }
 
 /// Per-`decode_batch`-call counters, flushed to the shared atomics once per
@@ -464,6 +484,9 @@ pub struct BulkDecoder {
     /// mask-keyed cache dimension. Shared by every batch of the engine,
     /// bounded by [`TierConfig::mask_capacity`].
     masked: Mutex<MaskContexts>,
+    /// Per-decoder metrics registry (the `decode.*` family), shareable
+    /// via [`Self::try_with_tiers_metrics`].
+    metrics: Arc<MetricsRegistry>,
     stats: StatCells,
 }
 
@@ -485,6 +508,17 @@ impl BulkDecoder {
     /// default; a finite deadline may degrade heavy shots (see
     /// [`DecoderStats::degraded`]).
     pub fn try_with_tiers(code: &CodeCircuit, tiers: TierConfig) -> Result<Self, TierError> {
+        Self::try_with_tiers_metrics(code, tiers, Arc::new(MetricsRegistry::new()))
+    }
+
+    /// [`Self::try_with_tiers`] recording into a shared registry instead
+    /// of a private one (fleet campaigns aggregate patch decoders this
+    /// way).
+    pub fn try_with_tiers_metrics(
+        code: &CodeCircuit,
+        tiers: TierConfig,
+        metrics: Arc<MetricsRegistry>,
+    ) -> Result<Self, TierError> {
         if tiers.cache_capacity == 0 {
             return Err(TierError::ZeroCacheCapacity);
         }
@@ -498,8 +532,14 @@ impl BulkDecoder {
             readout_cbit: code.readout_cbit,
             name: format!("mwpm[{}]", code.name),
             masked: Mutex::new(MaskContexts::default()),
-            stats: StatCells::default(),
+            stats: StatCells::new(&metrics),
+            metrics,
         })
+    }
+
+    /// This decoder's metrics registry.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
     }
 
     /// The underlying (unmasked) detector graph.
@@ -549,7 +589,7 @@ impl BulkDecoder {
         let tick = ctxs.tick;
         if let Some(slot) = ctxs.map.get_mut(&key) {
             slot.stamp = tick;
-            self.stats.mask_hits.fetch_add(1, Ordering::Relaxed);
+            self.stats.mask_hits.inc();
             return Some(slot.core.clone());
         }
         if ctxs.map.len() >= self.core.tiers.mask_capacity {
@@ -794,12 +834,12 @@ impl BulkDecoder {
     }
 
     fn flush(&self, local: LocalStats) {
-        self.stats.shots.fetch_add(local.shots, Ordering::Relaxed);
-        self.stats.trivial.fetch_add(local.trivial, Ordering::Relaxed);
-        self.stats.cache_hits.fetch_add(local.cache_hits, Ordering::Relaxed);
-        self.stats.analytic.fetch_add(local.analytic, Ordering::Relaxed);
-        self.stats.matchings.fetch_add(local.matchings, Ordering::Relaxed);
-        self.stats.degraded.fetch_add(local.degraded, Ordering::Relaxed);
+        self.stats.shots.add(local.shots);
+        self.stats.trivial.add(local.trivial);
+        self.stats.cache_hits.add(local.cache_hits);
+        self.stats.analytic.add(local.analytic);
+        self.stats.matchings.add(local.matchings);
+        self.stats.degraded.add(local.degraded);
     }
 }
 
@@ -827,6 +867,7 @@ impl Decoder for BulkDecoder {
     /// many shots, so this collapses its matcher work to one solve per
     /// *distinct* syndrome per batch instead of racing per-shot solves.
     fn decode_batch(&self, batch: &ShotBatch) -> Vec<bool> {
+        let _span = SpanTimer::start(&self.stats.decode_ns);
         self.decode_batch_in(batch, &self.core)
     }
 
@@ -844,24 +885,33 @@ impl Decoder for BulkDecoder {
     /// context so repeated masked sweeps stay on a warm per-mask cache.
     fn decode_batch_masked(&self, batch: &ShotBatch, mask: &DecoderMask) -> Vec<bool> {
         match self.masked_core(mask) {
-            Some(core) => self.decode_batch_in(batch, &core),
+            Some(core) => {
+                let _span = SpanTimer::start(&self.stats.decode_ns);
+                self.decode_batch_in(batch, &core)
+            }
             None => self.decode_batch(batch),
         }
     }
 
+    /// A thin view over the `decode.*` registry counters (plus cache and
+    /// mask-table occupancy, derived on read and mirrored into gauges).
     fn decode_stats(&self) -> Option<DecoderStats> {
         let ctxs = self.masked.lock().unwrap_or_else(PoisonError::into_inner);
+        self.metrics.gauge("decode.cache_entries").set(self.core.cache.len() as u64);
+        self.metrics.gauge("decode.cache_evictions").set(self.core.cache.evictions());
+        self.metrics.gauge("decode.mask_contexts").set(ctxs.map.len() as u64);
+        self.metrics.gauge("decode.mask_evictions").set(ctxs.evictions);
         Some(DecoderStats {
-            shots: self.stats.shots.load(Ordering::Relaxed),
-            trivial: self.stats.trivial.load(Ordering::Relaxed),
-            cache_hits: self.stats.cache_hits.load(Ordering::Relaxed),
-            analytic: self.stats.analytic.load(Ordering::Relaxed),
-            matchings: self.stats.matchings.load(Ordering::Relaxed),
-            degraded: self.stats.degraded.load(Ordering::Relaxed),
+            shots: self.stats.shots.get(),
+            trivial: self.stats.trivial.get(),
+            cache_hits: self.stats.cache_hits.get(),
+            analytic: self.stats.analytic.get(),
+            matchings: self.stats.matchings.get(),
+            degraded: self.stats.degraded.get(),
             cache_evictions: self.core.cache.evictions(),
             cache_entries: self.core.cache.len(),
             mask_contexts: ctxs.map.len(),
-            mask_hits: self.stats.mask_hits.load(Ordering::Relaxed),
+            mask_hits: self.stats.mask_hits.get(),
             mask_evictions: ctxs.evictions,
         })
     }

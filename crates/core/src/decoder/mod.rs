@@ -209,8 +209,24 @@ pub enum DecoderKind {
 impl DecoderKind {
     /// Instantiate the decoder for `code`.
     pub fn build(&self, code: &crate::codes::CodeCircuit) -> Box<dyn Decoder> {
+        self.build_with_metrics(code, std::sync::Arc::new(radqec_telemetry::MetricsRegistry::new()))
+    }
+
+    /// Instantiate the decoder for `code`, recording its `decode.*`
+    /// counters and `stage.decode_ns` spans into `metrics` (engines pass
+    /// their own registry so one snapshot covers the whole pipeline).
+    /// The union-find ablation decoder tracks no tier stats and ignores
+    /// the registry.
+    pub fn build_with_metrics(
+        &self,
+        code: &crate::codes::CodeCircuit,
+        metrics: std::sync::Arc<radqec_telemetry::MetricsRegistry>,
+    ) -> Box<dyn Decoder> {
         match self {
-            DecoderKind::Mwpm => Box::new(BulkDecoder::new(code)),
+            DecoderKind::Mwpm => Box::new(
+                BulkDecoder::try_with_tiers_metrics(code, TierConfig::default(), metrics)
+                    .unwrap_or_else(|e| panic!("{e}")),
+            ),
             DecoderKind::UnionFind => Box::new(UnionFindDecoder::new(code)),
         }
     }

@@ -50,6 +50,29 @@
 //! offline experiments use — the defect planes of the two-round decoder
 //! are exactly two event rounds, so each window reuses the campaign-wide
 //! syndrome cache. An odd final round is left unpaired (and unscored).
+//!
+//! ## Telemetry
+//!
+//! Every patch engine shares one fleet-wide
+//! [`radqec_telemetry::MetricsRegistry`] and one [`FlightRecorder`];
+//! each patch decoder keeps a private registry (so [`PatchSummary::decode`]
+//! stays per-patch) whose snapshot is merged into
+//! [`FleetResult::snapshot`] at the end. The flight recorder carries the
+//! campaign's event log: every strike onset, the spike-gate alarm that
+//! detected it, chunk retries/quarantines from the supervised driver, and
+//! any degraded decodes or cache evictions a patch decoder reported.
+//!
+//! ### BENCH_fleet.json → registry metrics
+//!
+//! | BENCH field | registry metric | recorded by |
+//! |---|---|---|
+//! | `decode_latency_us_p50` / `_p99` | `stage.decode_ns` | [`BulkDecoder::decode_batch`] span per pair-decode window |
+//! | `detection_latency_rounds_p50` / `_p99` | `detect.latency_rounds` | [`run_fleet`], alarm round − onset per detected strike |
+//! | `time_to_recovery_us_p50` / `_p99` | `fleet.time_to_recovery_us` | [`run_fleet`], per recovered strike |
+//! | `round_latency_us_p99` | `stream.round_ns` | [`StreamEngine`] per chunk-round (generation + sink) |
+//!
+//! Stage histograms record nanoseconds; the bench helper converts to
+//! microseconds on export.
 
 use crate::codes::{CodeCircuit, CodeSpec};
 use crate::decoder::{BulkDecoder, Decoder, DecoderStats, TierConfig};
@@ -58,6 +81,9 @@ use crate::streaming::{CampaignReport, MultiStrike, StreamEngine, StreamFault, S
 use radqec_circuit::ShotBatch;
 use radqec_detect::{EventAccumulator, EventStream};
 use radqec_noise::{NoiseSpec, RadiationModel};
+use radqec_telemetry::{
+    names, FlightEntry, FlightEvent, FlightRecorder, MetricsRegistry, MetricsSnapshot,
+};
 use radqec_topology::generators::{mesh, mesh_index};
 use radqec_topology::Topology;
 use rand::rngs::StdRng;
@@ -65,7 +91,7 @@ use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Mutex, PoisonError};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::Duration;
 
 /// Configuration of a fleet endurance campaign.
@@ -280,6 +306,10 @@ pub struct StrikeRow {
     pub onset_round: usize,
     /// A detection spike appeared within the detect window.
     pub detected: bool,
+    /// First round in the detect window whose event count cleared the
+    /// spike gate in some patch (`None` for undetected strikes). The
+    /// detection latency is `first_alarm_round − onset_round`.
+    pub first_alarm_round: Option<usize>,
     /// First round after onset where every patch has been back at
     /// baseline for the required quiet run (`None`: censored — the
     /// campaign ended first).
@@ -348,6 +378,15 @@ pub struct FleetResult {
     /// `max_chunks` budget left work for a resumed run, or a chunk
     /// failed both supervised attempts).
     pub complete: bool,
+    /// Merged metrics snapshot: the fleet-wide stream registry folded
+    /// with every patch decoder's private registry (counters and
+    /// histogram buckets sum, so `stage.decode_ns` covers every
+    /// pair-decode window of every patch).
+    pub snapshot: MetricsSnapshot,
+    /// The campaign's flight-recorder log: strike onsets, spike-gate
+    /// alarms, chunk retries/quarantines, degraded decodes and cache
+    /// evictions, each stamped with the round it happened on.
+    pub flight: Vec<FlightEntry>,
 }
 
 impl FleetResult {
@@ -371,17 +410,50 @@ impl FleetResult {
         self.per_patch.iter().map(|p| p.decode.cache_entries).max().unwrap_or(0)
     }
 
+    /// Earliest round (within its chunk) on which any patch's supervised
+    /// driver retried a panicking chunk; `None` for a retry-free fleet.
+    pub fn first_retry_round(&self) -> Option<u64> {
+        self.per_patch.iter().filter_map(|p| p.report.first_retry_round()).min()
+    }
+
     /// CSV of the strike table:
-    /// `strike,root,onset_round,detected,recovery_round,time_to_recovery_us`.
+    /// `strike,root,onset_round,detected,first_alarm_round,recovery_round,time_to_recovery_us`.
     pub fn to_csv(&self) -> String {
-        let mut out =
-            String::from("strike,root,onset_round,detected,recovery_round,time_to_recovery_us\n");
+        let mut out = String::from(
+            "strike,root,onset_round,detected,first_alarm_round,recovery_round,\
+             time_to_recovery_us\n",
+        );
         for (i, s) in self.strikes.iter().enumerate() {
+            let alarm = s.first_alarm_round.map_or(String::new(), |r| r.to_string());
             let rec = s.recovery_round.map_or(String::new(), |r| r.to_string());
             let ttr = s.time_to_recovery_us.map_or(String::new(), |t| format!("{t:.3}"));
             out.push_str(&format!(
-                "{i},{},{},{},{rec},{ttr}\n",
+                "{i},{},{},{},{alarm},{rec},{ttr}\n",
                 s.root, s.onset_round, s.detected as u8
+            ));
+        }
+        out
+    }
+
+    /// CSV of the per-patch execution-layer rollup:
+    /// `patch,events,bursts,chunk_retries,first_retry_round,degraded,cache_evictions`
+    /// — `first_retry_round` is the flight-recorded round the patch's
+    /// first retried chunk had reached when it panicked (empty when the
+    /// patch never retried).
+    pub fn patch_csv(&self) -> String {
+        let mut out = String::from(
+            "patch,events,bursts,chunk_retries,first_retry_round,degraded,cache_evictions\n",
+        );
+        for p in &self.per_patch {
+            let retry = p.report.first_retry_round().map_or(String::new(), |r| r.to_string());
+            out.push_str(&format!(
+                "{},{},{},{},{retry},{},{}\n",
+                p.patch,
+                p.events,
+                p.bursts,
+                p.report.chunk_retries,
+                p.decode.degraded,
+                p.decode.cache_evictions
             ));
         }
         out
@@ -581,10 +653,13 @@ fn score_strikes(
         .iter()
         .map(|s| {
             let window_end = (s.onset_round + cfg.detect_window).min(cfg.rounds);
-            let detected = per_patch_events.iter().zip(&baselines).any(|(events, &(mu, sd))| {
-                let gate = mu + (4.0 * sd).max(2.0);
-                events[s.onset_round..window_end].iter().any(|&e| e as f64 > gate)
+            let first_alarm_round = (s.onset_round..window_end).find(|&r| {
+                per_patch_events
+                    .iter()
+                    .zip(&baselines)
+                    .any(|(events, &(mu, sd))| events[r] as f64 > mu + (4.0 * sd).max(2.0))
             });
+            let detected = first_alarm_round.is_some();
             // Recovery: the first round from onset where every patch sits
             // at baseline for `quiet_rounds` consecutive rounds.
             let mut recovery_round = None;
@@ -604,6 +679,7 @@ fn score_strikes(
                 root: s.root,
                 onset_round: s.onset_round,
                 detected,
+                first_alarm_round,
                 recovery_round,
                 time_to_recovery_us: recovery_round
                     .map(|r| (r - s.onset_round) as f64 * cfg.round_time_us),
@@ -616,6 +692,16 @@ fn score_strikes(
 pub fn run_fleet(cfg: &FleetConfig) -> FleetResult {
     let layout = FleetLayout::tile(cfg.code, cfg.patches);
     let strikes = poisson_strikes(cfg, &layout.device);
+    // Fleet-wide observability: one registry + flight recorder shared by
+    // every patch engine (decoders keep private registries so per-patch
+    // tier counters stay per-patch; their snapshots merge at the end).
+    let registry = Arc::new(MetricsRegistry::new());
+    let recorder = Arc::new(FlightRecorder::with_capacity(
+        radqec_telemetry::DEFAULT_RECORDER_CAPACITY.max(2 * strikes.len()),
+    ));
+    for s in &strikes {
+        recorder.record(s.onset_round as u64, FlightEvent::StrikeOnset { root: s.root });
+    }
     let fault = if strikes.is_empty() {
         StreamFault::None
     } else {
@@ -635,6 +721,7 @@ pub fn run_fleet(cfg: &FleetConfig) -> FleetResult {
     let chaos_armed = AtomicBool::new(cfg.chaos_panic.is_some());
     let chunks_per_patch = cfg.shots.div_ceil(cfg.frame_chunk);
     let mut per_patch = Vec::with_capacity(cfg.patches);
+    let mut decoder_snapshots = Vec::with_capacity(cfg.patches);
     for patch in 0..cfg.patches {
         let engine = StreamEngine::builder(cfg.code, cfg.rounds)
             .shots(cfg.shots)
@@ -642,6 +729,8 @@ pub fn run_fleet(cfg: &FleetConfig) -> FleetResult {
             .frame_chunk(cfg.frame_chunk)
             .topology(layout.device.clone())
             .initial_layout(layout.placements[patch].clone())
+            .metrics(Arc::clone(&registry))
+            .flight_recorder(Arc::clone(&recorder))
             .build();
         let decoder = BulkDecoder::with_tiers(&code, tiers);
         let spec = engine.stream_spec();
@@ -684,13 +773,22 @@ pub fn run_fleet(cfg: &FleetConfig) -> FleetResult {
             )
             .expect("poisson strikes are in range by construction");
         progress.persist(cfg);
-        per_patch.push(PatchSummary {
-            patch,
-            events: 0,
-            bursts: 0,
-            decode: decoder.decode_stats().expect("bulk decoder reports stats"),
-            report,
-        });
+        // Mirror the engine's pool/reference gauges, then fold the patch
+        // decoder's private registry into the fleet snapshot.
+        let _ = engine.stream_stats();
+        let decode = decoder.decode_stats().expect("bulk decoder reports stats");
+        if decode.degraded > 0 {
+            recorder
+                .record(cfg.rounds as u64, FlightEvent::DegradedDecode { shots: decode.degraded });
+        }
+        if decode.cache_evictions > 0 {
+            recorder.record(cfg.rounds as u64, FlightEvent::CacheEviction { cache: "syndrome" });
+        }
+        if decode.mask_evictions > 0 {
+            recorder.record(cfg.rounds as u64, FlightEvent::CacheEviction { cache: "mask" });
+        }
+        decoder_snapshots.push(decoder.metrics().snapshot());
+        per_patch.push(PatchSummary { patch, events: 0, bursts: 0, decode, report });
     }
     // Merge in (patch, chunk) order — integer folds, so a resumed
     // campaign reproduces an uninterrupted one bit for bit.
@@ -713,6 +811,26 @@ pub fn run_fleet(cfg: &FleetConfig) -> FleetResult {
         per_patch[patch].events = events.iter().sum();
     }
     let strike_rows = score_strikes(cfg, &strikes, &per_patch_events);
+    // Distributions the flight deck reports: detection latency in rounds
+    // and time to recovery in µs, one sample per scored strike; the gate
+    // alarm itself lands in the flight recorder.
+    let detect_latency = registry.histogram(names::DETECT_LATENCY_ROUNDS);
+    let detect_alarms = registry.counter(names::DETECT_ALARMS);
+    let ttr_hist = registry.histogram(names::FLEET_TIME_TO_RECOVERY_US);
+    for s in &strike_rows {
+        if let Some(alarm) = s.first_alarm_round {
+            recorder.record(alarm as u64, FlightEvent::DetectorAlarm { detector: "spike-gate" });
+            detect_alarms.inc();
+            detect_latency.record((alarm - s.onset_round) as u64);
+        }
+        if let Some(ttr) = s.time_to_recovery_us {
+            ttr_hist.record(ttr.round() as u64);
+        }
+    }
+    let mut snapshot = registry.snapshot();
+    for decoder_snap in decoder_snapshots {
+        snapshot.merge_from(&decoder_snap);
+    }
     let detected = strike_rows.iter().filter(|s| s.detected).count();
     let recovered: Vec<f64> = strike_rows.iter().filter_map(|s| s.time_to_recovery_us).collect();
     let device_hours =
@@ -739,7 +857,14 @@ pub fn run_fleet(cfg: &FleetConfig) -> FleetResult {
         },
         total_events: per_patch.iter().map(|p| p.events).sum(),
     };
-    FleetResult { metrics, strikes: strike_rows, per_patch, complete }
+    FleetResult {
+        metrics,
+        strikes: strike_rows,
+        per_patch,
+        complete,
+        snapshot,
+        flight: recorder.entries(),
+    }
 }
 
 #[cfg(test)]
@@ -824,6 +949,25 @@ mod tests {
         assert!(res.max_cache_entries() <= FleetConfig::new(res_code()).cache_capacity);
         let csv = res.to_csv();
         assert_eq!(csv.lines().count(), res.metrics.strikes + 1);
+        assert!(csv.starts_with("strike,root,onset_round,detected,first_alarm_round"));
+        // Telemetry: every detected strike carries its alarm round, the
+        // flight recorder logs one onset per strike and one alarm per
+        // detection, and the merged snapshot holds the distributions the
+        // fleet bin exports.
+        for s in res.strikes.iter().filter(|s| s.detected) {
+            let alarm = s.first_alarm_round.expect("detected strikes carry an alarm round");
+            assert!(alarm >= s.onset_round, "alarms cannot precede the onset");
+        }
+        let count =
+            |pred: fn(&FlightEvent) -> bool| res.flight.iter().filter(|e| pred(&e.event)).count();
+        assert_eq!(count(|e| matches!(e, FlightEvent::StrikeOnset { .. })), res.metrics.strikes);
+        assert_eq!(count(|e| matches!(e, FlightEvent::DetectorAlarm { .. })), res.metrics.detected);
+        let decode_ns = res.snapshot.histogram("stage.decode_ns").expect("pair-decode spans");
+        assert!(decode_ns.count() > 0, "every window decode is timed");
+        let latency = res.snapshot.histogram("detect.latency_rounds").expect("latency samples");
+        assert_eq!(latency.count(), res.metrics.detected as u64);
+        let ttr = res.snapshot.histogram("fleet.time_to_recovery_us").expect("recovery samples");
+        assert_eq!(ttr.count(), res.metrics.recovered as u64);
     }
 
     fn res_code() -> CodeSpec {
@@ -841,6 +985,20 @@ mod tests {
         assert!(chaotic.complete);
         assert_eq!(clean.metrics, chaotic.metrics, "retry must be invisible in the physics");
         assert_eq!(clean.strikes, chaotic.strikes);
+        // The flight recorder pins *which round* the retried chunk had
+        // reached, and the patch CSV surfaces it.
+        assert_eq!(clean.first_retry_round(), None);
+        let retry_round = chaotic.first_retry_round().expect("retried chunk records its round");
+        assert_eq!(retry_round, 1, "chaos fires at round 1 of the chunk");
+        assert!(chaotic
+            .flight
+            .iter()
+            .any(|e| e.event == FlightEvent::ChunkRetry { chunk: 0 } && e.round == retry_round));
+        let patch_row = chaotic.patch_csv().lines().nth(2).expect("patch 1 row").to_string();
+        let fields: Vec<&str> = patch_row.split(',').collect();
+        assert_eq!(fields[0], "1");
+        assert_eq!(fields[3], "1", "one retried chunk in patch 1");
+        assert_eq!(fields[4], retry_round.to_string(), "first_retry_round in the CSV");
     }
 
     #[test]

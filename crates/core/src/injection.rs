@@ -10,12 +10,13 @@ use radqec_noise::{
     run_noisy_shot, ActiveFault, FaultSpec, NoiseSpec, ResetBasis, StreamWorkspace,
 };
 use radqec_stabilizer::{ReferenceTrace, StabilizerBackend};
+use radqec_telemetry::{names, MetricsRegistry};
 use radqec_topology::{generators::fitting_mesh, Topology};
 use radqec_transpiler::{transpile, TranspileOptions, Transpiled};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rayon::prelude::*;
-use std::sync::{Mutex, OnceLock, PoisonError};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 
 /// Which Monte-Carlo sampler backs [`InjectionEngine`] shots.
 ///
@@ -149,7 +150,10 @@ impl InjectionEngineBuilder {
             ),
             None => transpile(&code.circuit, &topology, &self.transpile_opts),
         };
-        let decoder = self.decoder.build(&code);
+        // The decoder records into the engine's registry, so one snapshot
+        // covers workspace gauges and the whole `decode.*` family.
+        let metrics = Arc::new(MetricsRegistry::new());
+        let decoder = self.decoder.build_with_metrics(&code, Arc::clone(&metrics));
         InjectionEngine {
             code,
             topology,
@@ -161,6 +165,7 @@ impl InjectionEngineBuilder {
             frame_chunk: self.frame_chunk.unwrap_or_else(|| default_frame_chunk(self.shots)),
             reference: OnceLock::new(),
             workspaces: Mutex::new(Vec::new()),
+            metrics,
         }
     }
 }
@@ -184,6 +189,22 @@ pub struct InjectionEngine {
     /// Re-initialisation replays a fresh buffer's exact draw sequence, so
     /// pooling never changes a sampled stream.
     workspaces: Mutex<Vec<StreamWorkspace>>,
+    /// Per-engine metrics registry — [`Self::workspace_stats`] mirrors
+    /// the pool counters into its gauges on read.
+    metrics: Arc<MetricsRegistry>,
+}
+
+/// Workspace-pool counters of an [`InjectionEngine`]'s lifetime (see
+/// [`InjectionEngine::workspace_stats`]). Registry-backed: reading the
+/// stats refreshes the `workspace.allocated` / `workspace.reused` gauges
+/// in [`InjectionEngine::metrics`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkspaceStats {
+    /// Buffer allocations (frame/record/mask) over the engine's lifetime
+    /// — stays flat once the pool is warm.
+    pub allocated: u64,
+    /// Chunk set-ups that reused every pooled buffer.
+    pub reused: u64,
 }
 
 impl InjectionEngine {
@@ -407,17 +428,26 @@ impl InjectionEngine {
         self.workspaces.lock().unwrap_or_else(PoisonError::into_inner).push(ws);
     }
 
-    /// Workspace-pool counters `(buffer allocations, full reuses)` over
-    /// the engine's lifetime: on a warm pool further campaigns must not
-    /// allocate at all (pinned by the `warm_campaigns_allocate_nothing`
-    /// regression test). Pooled (returned) workspaces only — read between
-    /// campaigns, not mid-flight.
-    pub fn workspace_stats(&self) -> (u64, u64) {
+    /// Workspace-pool counters over the engine's lifetime: on a warm pool
+    /// further campaigns must not allocate at all (pinned by the
+    /// `warm_campaigns_allocate_nothing` regression test). Pooled
+    /// (returned) workspaces only — read between campaigns, not
+    /// mid-flight. Reading mirrors the counts into the engine registry's
+    /// `workspace.*` gauges.
+    pub fn workspace_stats(&self) -> WorkspaceStats {
         let pool = self.workspaces.lock().unwrap_or_else(PoisonError::into_inner);
-        (
-            pool.iter().map(StreamWorkspace::allocations).sum(),
-            pool.iter().map(StreamWorkspace::reuses).sum(),
-        )
+        let stats = WorkspaceStats {
+            allocated: pool.iter().map(StreamWorkspace::allocations).sum(),
+            reused: pool.iter().map(StreamWorkspace::reuses).sum(),
+        };
+        self.metrics.gauge(names::WORKSPACE_ALLOCATED).set(stats.allocated);
+        self.metrics.gauge(names::WORKSPACE_REUSED).set(stats.reused);
+        stats
+    }
+
+    /// This engine's metrics registry.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
     }
 
     /// Sample one frame-batch chunk of a temporal sample: a distinct RNG
@@ -661,13 +691,17 @@ mod tests {
                 .build();
             let fault = FaultSpec::Radiation { model: RadiationModel::default(), root: 2 };
             let a = engine.run(&fault, &NoiseSpec::paper_default());
-            let (alloc_warm, reuse_warm) = engine.workspace_stats();
-            assert!(alloc_warm > 0, "first campaign must have populated the pool");
+            let warm = engine.workspace_stats();
+            assert!(warm.allocated > 0, "first campaign must have populated the pool");
             let b = engine.run(&fault, &NoiseSpec::paper_default());
-            let (alloc_after, reuse_after) = engine.workspace_stats();
+            let after = engine.workspace_stats();
             assert_eq!(a, b, "pooling must not change the sampled streams");
-            assert_eq!(alloc_after, alloc_warm, "warm campaign allocated workspace buffers");
-            assert!(reuse_after > reuse_warm, "reuse counter must grow: {reuse_after}");
+            assert_eq!(after.allocated, warm.allocated, "warm campaign allocated buffers");
+            assert!(after.reused > warm.reused, "reuse counter must grow: {}", after.reused);
+            // Registry-backed view: the gauges mirror the struct.
+            let snap = engine.metrics().snapshot();
+            assert_eq!(snap.gauges["workspace.allocated"], after.allocated);
+            assert_eq!(snap.gauges["workspace.reused"], after.reused);
         });
     }
 

@@ -90,11 +90,16 @@ use radqec_noise::{
     RadiationModel, StreamWorkspace,
 };
 use radqec_stabilizer::{ReferenceTrace, StabilizerBackend};
+use radqec_telemetry::{
+    names, Counter, FlightEvent, FlightRecorder, Histogram, MetricsRegistry, MetricsSnapshot,
+    SpanTimer,
+};
 use radqec_topology::{generators::fitting_mesh, Topology};
 use radqec_transpiler::{transpile, transpile_with_layout, Layout, TranspileOptions, Transpiled};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rayon::prelude::*;
+use std::cell::Cell;
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -394,6 +399,8 @@ pub struct StreamEngineBuilder {
     shots: usize,
     seed: u64,
     frame_chunk: Option<usize>,
+    metrics: Option<Arc<MetricsRegistry>>,
+    recorder: Option<Arc<FlightRecorder>>,
 }
 
 impl StreamEngineBuilder {
@@ -454,6 +461,20 @@ impl StreamEngineBuilder {
         self
     }
 
+    /// Record this engine's stats into a shared registry instead of a
+    /// fresh private one (fleet campaigns aggregate patches this way).
+    pub fn metrics(mut self, registry: Arc<MetricsRegistry>) -> Self {
+        self.metrics = Some(registry);
+        self
+    }
+
+    /// Record this engine's flight events into a shared recorder instead
+    /// of a fresh private ring.
+    pub fn flight_recorder(mut self, recorder: Arc<FlightRecorder>) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+
     /// Build the engine. Fitted and native hosts resolve through the
     /// process-wide context cache (one transpile per `(code, rounds,
     /// host)` target); custom topologies/placements build privately.
@@ -496,6 +517,11 @@ impl StreamEngineBuilder {
                 }
             }
         };
+        // Resolve every metric handle once here: the hot path bumps the
+        // returned `Arc<Counter>`s directly and never touches the
+        // registry's name map again.
+        let metrics = self.metrics.unwrap_or_default();
+        let recorder = self.recorder.unwrap_or_default();
         StreamEngine {
             ctx,
             sampler: self.sampler,
@@ -503,11 +529,15 @@ impl StreamEngineBuilder {
             seed: self.seed,
             frame_chunk: self.frame_chunk.unwrap_or_else(|| default_frame_chunk(self.shots)),
             workspaces: Mutex::new(Vec::new()),
-            rounds_generated: AtomicU64::new(0),
-            chunks_generated: AtomicU64::new(0),
-            chunks_stolen: AtomicU64::new(0),
-            chunk_retries: AtomicU64::new(0),
-            workspaces_quarantined: AtomicU64::new(0),
+            rounds_generated: metrics.counter(names::STREAM_ROUNDS_GENERATED),
+            chunks_generated: metrics.counter(names::STREAM_CHUNKS_GENERATED),
+            chunks_stolen: metrics.counter(names::STREAM_CHUNKS_STOLEN),
+            chunk_retries: metrics.counter(names::STREAM_CHUNK_RETRIES),
+            workspaces_quarantined: metrics.counter(names::STREAM_WORKSPACES_QUARANTINED),
+            generate_ns: metrics.histogram(names::STAGE_GENERATE_NS),
+            round_ns: metrics.histogram(names::STREAM_ROUND_NS),
+            metrics,
+            recorder,
         }
     }
 }
@@ -582,6 +612,17 @@ impl std::fmt::Display for ChunkFailure {
     }
 }
 
+/// One retried chunk attempt under the supervised round driver: which
+/// chunk panicked, and the in-shot round the panic interrupted (the
+/// round whose generation or sink call did not complete).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryRecord {
+    /// Chunk index on the engine's chunk grid.
+    pub chunk: usize,
+    /// 0-based round the caught panic interrupted.
+    pub round: u64,
+}
+
 /// What happened to a supervised streaming campaign (see
 /// [`StreamEngine::for_each_round_supervised`]): every chunk is accounted
 /// for as completed, skipped (by the caller's resume filter) or failed.
@@ -596,6 +637,9 @@ pub struct CampaignReport {
     /// Workspaces quarantined (abandoned mid-chunk by a panic, dropped
     /// instead of pooled) during this campaign.
     pub workspaces_quarantined: u64,
+    /// Every retried attempt with the round its panic interrupted, in
+    /// chunk order (also flight-recorded as [`FlightEvent::ChunkRetry`]).
+    pub retries: Vec<RetryRecord>,
     /// Chunks that failed both attempts, in chunk order.
     pub failures: Vec<ChunkFailure>,
 }
@@ -604,6 +648,12 @@ impl CampaignReport {
     /// Whether every non-skipped chunk completed.
     pub fn is_clean(&self) -> bool {
         self.failures.is_empty()
+    }
+
+    /// Round of the campaign's earliest retry (`None` on a clean run) —
+    /// the fleet CSV's `first_retry_round` column.
+    pub fn first_retry_round(&self) -> Option<u64> {
+        self.retries.iter().map(|r| r.round).min()
     }
 }
 
@@ -678,11 +728,20 @@ pub struct StreamEngine {
     frame_chunk: usize,
     /// Pooled per-worker workspaces, recycled across chunks and campaigns.
     workspaces: Mutex<Vec<StreamWorkspace>>,
-    rounds_generated: AtomicU64,
-    chunks_generated: AtomicU64,
-    chunks_stolen: AtomicU64,
-    chunk_retries: AtomicU64,
-    workspaces_quarantined: AtomicU64,
+    /// The registry behind every counter/histogram handle below —
+    /// per-engine by default, shareable via the builder.
+    metrics: Arc<MetricsRegistry>,
+    /// Campaign flight recorder (retries, quarantines, cache events).
+    recorder: Arc<FlightRecorder>,
+    rounds_generated: Arc<Counter>,
+    chunks_generated: Arc<Counter>,
+    chunks_stolen: Arc<Counter>,
+    chunk_retries: Arc<Counter>,
+    workspaces_quarantined: Arc<Counter>,
+    /// Per chunk-round generation wall time (`stage.generate_ns`).
+    generate_ns: Arc<Histogram>,
+    /// Full chunk-round wall time incl. the sink (`stream.round_ns`).
+    round_ns: Arc<Histogram>,
 }
 
 impl StreamEngine {
@@ -699,6 +758,8 @@ impl StreamEngine {
             shots: 1000,
             seed: 0,
             frame_chunk: None,
+            metrics: None,
+            recorder: None,
         }
     }
 
@@ -749,17 +810,45 @@ impl StreamEngine {
     pub fn stream_stats(&self) -> StreamStats {
         let pool = self.workspaces.lock().unwrap_or_else(PoisonError::into_inner);
         let refs = self.ctx.references.lock().unwrap_or_else(PoisonError::into_inner);
+        // A thin view over the registry: the counters *live* there (see
+        // `radqec_telemetry::names`); pool and cache occupancy are
+        // derived on read and mirrored into registry gauges so metric
+        // snapshots carry them too.
+        let allocations: u64 = pool.iter().map(StreamWorkspace::allocations).sum();
+        let reuses: u64 = pool.iter().map(StreamWorkspace::reuses).sum();
+        self.metrics.gauge(names::WORKSPACE_ALLOCATED).set(allocations);
+        self.metrics.gauge(names::WORKSPACE_REUSED).set(reuses);
+        self.metrics.gauge(names::REFERENCE_ENTRIES).set(refs.map.len() as u64);
+        self.metrics.gauge(names::REFERENCE_EVICTIONS).set(refs.evictions);
         StreamStats {
-            rounds_generated: self.rounds_generated.load(Ordering::Relaxed),
-            chunks_generated: self.chunks_generated.load(Ordering::Relaxed),
-            chunks_stolen: self.chunks_stolen.load(Ordering::Relaxed),
-            workspace_allocations: pool.iter().map(StreamWorkspace::allocations).sum(),
-            workspace_reuses: pool.iter().map(StreamWorkspace::reuses).sum(),
-            chunk_retries: self.chunk_retries.load(Ordering::Relaxed),
-            workspaces_quarantined: self.workspaces_quarantined.load(Ordering::Relaxed),
+            rounds_generated: self.rounds_generated.get(),
+            chunks_generated: self.chunks_generated.get(),
+            chunks_stolen: self.chunks_stolen.get(),
+            workspace_allocations: allocations,
+            workspace_reuses: reuses,
+            chunk_retries: self.chunk_retries.get(),
+            workspaces_quarantined: self.workspaces_quarantined.get(),
             reference_entries: refs.map.len(),
             reference_evictions: refs.evictions,
         }
+    }
+
+    /// This engine's metrics registry (private unless the builder was
+    /// handed a shared one).
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
+    }
+
+    /// This engine's campaign flight recorder.
+    pub fn flight_recorder(&self) -> &Arc<FlightRecorder> {
+        &self.recorder
+    }
+
+    /// Snapshot the engine's registry with the derived gauges (workspace
+    /// pool, reference cache) refreshed first.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let _ = self.stream_stats();
+        self.metrics.snapshot()
     }
 
     /// The per-round fault ladder of `fault`: round `r` gets the transient
@@ -874,7 +963,7 @@ impl StreamEngine {
     /// [`StreamStats::workspaces_quarantined`], never reused.
     fn pool(&self, ws: StreamWorkspace) {
         if ws.in_flight() {
-            self.workspaces_quarantined.fetch_add(1, Ordering::Relaxed);
+            self.workspaces_quarantined.inc();
             return;
         }
         self.workspaces.lock().unwrap_or_else(PoisonError::into_inner).push(ws);
@@ -963,6 +1052,8 @@ impl StreamEngine {
         let mut rng = self.chunk_rng(chunk);
         ws.begin_chunk(circuit, n_phys, width, &mut rng);
         for r in 0..self.rounds() {
+            let round_span = SpanTimer::start(&self.round_ns);
+            let generate_span = SpanTimer::start(&self.generate_ns);
             let (frame, record, mask) = ws.parts(width.div_ceil(64));
             run_noisy_ops_segmented(
                 circuit,
@@ -975,11 +1066,13 @@ impl StreamEngine {
                 mask,
                 &mut rng,
             );
+            generate_span.finish();
             sink(self.round_slice(chunk, r, record));
+            round_span.finish();
         }
         ws.finish_chunk();
-        self.rounds_generated.fetch_add(self.rounds() as u64, Ordering::Relaxed);
-        self.chunks_generated.fetch_add(1, Ordering::Relaxed);
+        self.rounds_generated.add(self.rounds() as u64);
+        self.chunks_generated.inc();
     }
 
     /// Materialised frame path: chunk-parallel whole-circuit execution on
@@ -997,8 +1090,8 @@ impl StreamEngine {
                 let mut ws = self.workspace();
                 let batch =
                     ws.run_chunk(circuit, &reference, noise, &segments, n_phys, width, &mut rng);
-                self.rounds_generated.fetch_add(self.rounds() as u64, Ordering::Relaxed);
-                self.chunks_generated.fetch_add(1, Ordering::Relaxed);
+                self.rounds_generated.add(self.rounds() as u64);
+                self.chunks_generated.inc();
                 self.pool(ws);
                 batch
             })
@@ -1039,8 +1132,8 @@ impl StreamEngine {
                 }
             }
         }
-        self.rounds_generated.fetch_add(self.rounds() as u64, Ordering::Relaxed);
-        self.chunks_generated.fetch_add(1, Ordering::Relaxed);
+        self.rounds_generated.add(self.rounds() as u64);
+        self.chunks_generated.inc();
         batch
     }
 
@@ -1104,7 +1197,7 @@ impl StreamEngine {
                 self.frame_chunk_rounds(chunk, &faults, noise, &reference, &mut ws, &sink);
             }
             if worker > 0 {
-                self.chunks_stolen.fetch_add(claimed, Ordering::Relaxed);
+                self.chunks_stolen.add(claimed);
             }
             self.pool(ws);
         };
@@ -1159,8 +1252,8 @@ impl StreamEngine {
         let next = AtomicUsize::new(0);
         let completed = AtomicU64::new(0);
         let skipped = AtomicU64::new(0);
-        let retries = AtomicU64::new(0);
         let quarantined = AtomicU64::new(0);
+        let retries: Mutex<Vec<RetryRecord>> = Mutex::new(Vec::new());
         let failures: Mutex<Vec<ChunkFailure>> = Mutex::new(Vec::new());
         let workers = std::thread::available_parallelism().map_or(1, |n| n.get()).min(chunks);
         let run_worker = |worker: usize| {
@@ -1178,8 +1271,14 @@ impl StreamEngine {
                 }
                 for attempt in 0..2u32 {
                     let mut w = ws.take().unwrap_or_default();
+                    // Count rounds the sink actually received, so a caught
+                    // panic can be stamped with the round it interrupted.
+                    let rounds_delivered = Cell::new(0u64);
                     let outcome = catch_unwind(AssertUnwindSafe(|| {
-                        self.frame_chunk_rounds(chunk, &faults, noise, &reference, &mut w, &sink);
+                        self.frame_chunk_rounds(chunk, &faults, noise, &reference, &mut w, |s| {
+                            sink(s);
+                            rounds_delivered.set(rounds_delivered.get() + 1);
+                        });
                     }));
                     match outcome {
                         Ok(()) => {
@@ -1191,11 +1290,17 @@ impl StreamEngine {
                             // The workspace was abandoned mid-chunk:
                             // quarantine it (drop, never pool).
                             drop(w);
+                            let round = rounds_delivered.get();
                             quarantined.fetch_add(1, Ordering::Relaxed);
-                            self.workspaces_quarantined.fetch_add(1, Ordering::Relaxed);
+                            self.workspaces_quarantined.inc();
+                            self.recorder.record(round, FlightEvent::ChunkQuarantined { chunk });
                             if attempt == 0 {
-                                retries.fetch_add(1, Ordering::Relaxed);
-                                self.chunk_retries.fetch_add(1, Ordering::Relaxed);
+                                retries
+                                    .lock()
+                                    .unwrap_or_else(PoisonError::into_inner)
+                                    .push(RetryRecord { chunk, round });
+                                self.chunk_retries.inc();
+                                self.recorder.record(round, FlightEvent::ChunkRetry { chunk });
                             } else {
                                 failures.lock().unwrap_or_else(PoisonError::into_inner).push(
                                     ChunkFailure {
@@ -1210,7 +1315,7 @@ impl StreamEngine {
                 }
             }
             if worker > 0 {
-                self.chunks_stolen.fetch_add(claimed, Ordering::Relaxed);
+                self.chunks_stolen.add(claimed);
             }
             if let Some(w) = ws {
                 self.pool(w);
@@ -1228,11 +1333,14 @@ impl StreamEngine {
         }
         let mut failures = failures.into_inner().unwrap_or_else(PoisonError::into_inner);
         failures.sort_by_key(|f| f.chunk);
+        let mut retries = retries.into_inner().unwrap_or_else(PoisonError::into_inner);
+        retries.sort_by_key(|r| r.chunk);
         Ok(CampaignReport {
             chunks_completed: completed.into_inner(),
             chunks_skipped: skipped.into_inner(),
-            chunk_retries: retries.into_inner(),
+            chunk_retries: retries.len() as u64,
             workspaces_quarantined: quarantined.into_inner(),
+            retries,
             failures,
         })
     }
@@ -1284,7 +1392,7 @@ impl Iterator for RoundStream<'_> {
                     mask,
                     &mut self.rng,
                 );
-                engine.rounds_generated.fetch_add(1, Ordering::Relaxed);
+                engine.rounds_generated.inc();
                 engine.round_slice(self.chunk, self.round, record)
             }
             None => {
@@ -1303,7 +1411,7 @@ impl Iterator for RoundStream<'_> {
             self.tableau_batch = None;
             if self.reference.is_some() {
                 self.ws.finish_chunk();
-                engine.chunks_generated.fetch_add(1, Ordering::Relaxed);
+                engine.chunks_generated.inc();
             }
         }
         Some(slice)
@@ -1574,28 +1682,41 @@ mod tests {
             .frame_chunk(64)
             .build();
         let noise = NoiseSpec::paper_default();
-        // Deterministic under the vendored rayon: chunks are statically
-        // partitioned over a fixed worker count and each worker holds at
-        // most one workspace at a time, so the pool's steady state is
-        // reached within the first campaign. (A work-stealing scheduler
-        // with varying per-campaign concurrency would need a warm-up
-        // campaign per possible concurrency level.)
+        // The pool only grows while a campaign's effective concurrency
+        // exceeds the workspaces pooled so far (each worker holds at most
+        // one at a time), and concurrency is capped by the 4-chunk grid —
+        // so within a handful of campaigns there must be one that
+        // allocates nothing. (Effective concurrency varies with machine
+        // load: a worker that starts late can reuse a workspace another
+        // worker already returned, so the steady state is not always
+        // reached on the first campaign.)
         let a = engine.stream_batches(&StreamFault::None, &noise);
-        let after_first = engine.stream_stats();
         let b = engine.stream_batches(&StreamFault::None, &noise);
-        let after_second = engine.stream_stats();
         assert_eq!(a, b);
-        // On a warm pool the second campaign must not allocate at all.
-        assert_eq!(
-            after_second.workspace_allocations, after_first.workspace_allocations,
-            "workspace reuse regressed: {after_second:?}"
-        );
-        assert!(
-            after_second.workspace_reuses > after_first.workspace_reuses,
-            "reuse counter must grow: {after_second:?}"
-        );
-        assert_eq!(after_second.chunks_generated, 8, "4 chunks per campaign");
-        assert_eq!(after_second.rounds_generated, 32);
+        let mut campaigns = 2u64;
+        let mut before = engine.stream_stats();
+        let warmed = loop {
+            if campaigns > 8 {
+                break false;
+            }
+            let c = engine.stream_batches(&StreamFault::None, &noise);
+            campaigns += 1;
+            assert_eq!(a, c, "pool reuse must not change the stream");
+            let after = engine.stream_stats();
+            if after.workspace_allocations == before.workspace_allocations {
+                // A fully warm campaign: zero new buffers, pure reuse.
+                assert!(
+                    after.workspace_reuses > before.workspace_reuses,
+                    "reuse counter must grow: {after:?}"
+                );
+                break true;
+            }
+            before = after;
+        };
+        assert!(warmed, "no zero-allocation campaign within 8: {before:?}");
+        let stats = engine.stream_stats();
+        assert_eq!(stats.chunks_generated, campaigns * 4, "4 chunks per campaign");
+        assert_eq!(stats.rounds_generated, campaigns * 16, "4 rounds per chunk");
     }
 
     #[test]

@@ -36,10 +36,27 @@
 //!    that a strike-aware decoder (`radqec_core::decoder`) consumes to
 //!    reweight matching inside the struck region.
 //!
-//! The crate deliberately depends only on `radqec-circuit` (records) and
-//! `radqec-topology` (localization): detectors see exactly what a
+//! The crate deliberately depends only on `radqec-circuit` (records),
+//! `radqec-topology` (localization) and `radqec-telemetry` (pure
+//! observability — flight-recorded alarms via
+//! [`OnlineDetector::push_recorded`]): detectors see exactly what a
 //! real-time decoder co-processor would see — classical bits and the
 //! device graph — never the simulator's ground truth.
+//!
+//! ## BENCH_detect.json → registry metrics
+//!
+//! The percentile fields `detect_throughput` emits come from these
+//! registry metrics (names in `radqec_telemetry::names`):
+//!
+//! | BENCH field | registry metric | recorded by |
+//! |---|---|---|
+//! | `round_latency_us_p50` / `_p99` | `stream.round_ns` | `StreamEngine::for_each_round` (generation + sink per chunk-round) |
+//! | `generate_latency_us_p50` / `_p99` | `stage.generate_ns` | `StreamEngine` executor span per chunk-round |
+//! | `extract_latency_us_p99` | `stage.extract_ns` | bench pipeline's `EventAccumulator::push_round` span |
+//! | `detect_latency_us_p99` | `stage.detect_ns` | bench pipeline's detector-push span |
+//!
+//! All stage histograms record nanoseconds; the bench helper converts
+//! bucket bounds to microseconds on export.
 //!
 //! [`ShotBatch`]: radqec_circuit::ShotBatch
 //! [`Topology`]: radqec_topology::Topology

@@ -1,0 +1,150 @@
+//! The campaign flight recorder: a bounded ring of round-stamped typed
+//! events, cheap enough to leave on during production campaigns.
+//!
+//! Events are rare relative to the 7.6 µs/chunk-round hot path (a strike
+//! onset, a detector alarm, a chunk retry — tens per campaign, not
+//! per-round), so the ring is a pre-allocated `VecDeque` behind a mutex:
+//! recording is a lock + two pointer moves, and a warm campaign never
+//! allocates (the ring is sized at construction and old entries are
+//! recycled in place, with a dropped-entry counter so truncation is
+//! visible).
+
+use std::collections::VecDeque;
+use std::sync::{Mutex, PoisonError};
+
+/// Default ring capacity: generous for real campaigns (PR 7's fleet run
+/// logs ~60 events over 10⁴ rounds) while bounding memory.
+pub const DEFAULT_RECORDER_CAPACITY: usize = 1024;
+
+/// A typed campaign event. All variants are `Copy` so recording never
+/// allocates; names (cache identity, detector identity) are static.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FlightEvent {
+    /// A radiation transient began at device qubit `root`.
+    StrikeOnset {
+        /// Device qubit at the strike centre.
+        root: u32,
+    },
+    /// An online detector crossed its alarm threshold.
+    DetectorAlarm {
+        /// Static detector name (e.g. `"cusum"`).
+        detector: &'static str,
+    },
+    /// A `DecoderMask` was raised in response to a detection.
+    MaskRaised {
+        /// Device qubit the mask is centred on.
+        root: u32,
+    },
+    /// A supervised chunk panicked and was retried.
+    ChunkRetry {
+        /// Chunk index within the campaign.
+        chunk: usize,
+    },
+    /// A workspace was quarantined after a worker panic.
+    ChunkQuarantined {
+        /// Chunk index within the campaign.
+        chunk: usize,
+    },
+    /// A decode exceeded its deadline and fell back to the greedy path.
+    DegradedDecode {
+        /// Number of shots decoded degraded in this batch.
+        shots: u64,
+    },
+    /// A bounded cache evicted an entry.
+    CacheEviction {
+        /// Static cache name (e.g. `"syndrome"`, `"mask"`, `"reference"`).
+        cache: &'static str,
+    },
+}
+
+/// One recorded event with the campaign round it happened on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FlightEntry {
+    /// Campaign round the event is stamped with.
+    pub round: u64,
+    /// What happened.
+    pub event: FlightEvent,
+}
+
+struct Ring {
+    entries: VecDeque<FlightEntry>,
+    capacity: usize,
+    dropped: u64,
+}
+
+/// Bounded ring buffer of [`FlightEntry`]s. Shared by `Arc` between an
+/// engine and the campaign that reads it back.
+pub struct FlightRecorder {
+    ring: Mutex<Ring>,
+}
+
+impl FlightRecorder {
+    /// A recorder holding at most `capacity` entries; the ring is fully
+    /// pre-allocated here so recording never allocates.
+    pub fn with_capacity(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        FlightRecorder {
+            ring: Mutex::new(Ring {
+                entries: VecDeque::with_capacity(capacity),
+                capacity,
+                dropped: 0,
+            }),
+        }
+    }
+
+    /// A recorder with [`DEFAULT_RECORDER_CAPACITY`] slots.
+    pub fn new() -> Self {
+        FlightRecorder::with_capacity(DEFAULT_RECORDER_CAPACITY)
+    }
+
+    /// Record `event` at `round`. When full, the oldest entry is dropped
+    /// (counted) — the recorder keeps the most recent window.
+    pub fn record(&self, round: u64, event: FlightEvent) {
+        let mut ring = self.ring.lock().unwrap_or_else(PoisonError::into_inner);
+        if ring.entries.len() == ring.capacity {
+            ring.entries.pop_front();
+            ring.dropped += 1;
+        }
+        ring.entries.push_back(FlightEntry { round, event });
+    }
+
+    /// Copy the recorded entries out, oldest first.
+    pub fn entries(&self) -> Vec<FlightEntry> {
+        let ring = self.ring.lock().unwrap_or_else(PoisonError::into_inner);
+        ring.entries.iter().copied().collect()
+    }
+
+    /// Number of entries currently held.
+    pub fn len(&self) -> usize {
+        self.ring.lock().unwrap_or_else(PoisonError::into_inner).entries.len()
+    }
+
+    /// Whether the recorder holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Entries evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.ring.lock().unwrap_or_else(PoisonError::into_inner).dropped
+    }
+
+    /// Drop all entries (the capacity and its allocation are kept).
+    pub fn clear(&self) {
+        let mut ring = self.ring.lock().unwrap_or_else(PoisonError::into_inner);
+        ring.entries.clear();
+        ring.dropped = 0;
+    }
+
+    /// Round of the first entry matching `pred`, oldest first.
+    pub fn first_round(&self, mut pred: impl FnMut(&FlightEvent) -> bool) -> Option<u64> {
+        let ring = self.ring.lock().unwrap_or_else(PoisonError::into_inner);
+        ring.entries.iter().find(|e| pred(&e.event)).map(|e| e.round)
+    }
+}
+
+impl Default for FlightRecorder {
+    fn default() -> Self {
+        FlightRecorder::new()
+    }
+}

@@ -1,0 +1,107 @@
+//! Property tests for the lock-free log-bucketed histogram (ISSUE 8
+//! satellite): bucket bounds always contain the recorded value, quantile
+//! bounds bracket real samples, shard-merge is count-exact, and a
+//! multi-thread hammer loses no counts.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use radqec_telemetry::{bucket_high, bucket_index, bucket_low, Histogram};
+use std::sync::Arc;
+use std::thread;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn recorded_values_fall_within_their_bucket_bounds(value in any::<u64>()) {
+        let index = bucket_index(value);
+        let (low, high) = (bucket_low(index), bucket_high(index));
+        prop_assert!(low <= value && value <= high,
+            "value {value} outside bucket {index} = [{low}, {high}]");
+        // Buckets tile the axis: the next bucket starts right after this
+        // one ends (the last bucket saturates at u64::MAX).
+        if high < u64::MAX {
+            prop_assert_eq!(bucket_low(index + 1), high + 1);
+        }
+    }
+
+    #[test]
+    fn bucket_index_is_monotone(a in any::<u64>(), b in any::<u64>()) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(bucket_index(lo) <= bucket_index(hi));
+    }
+
+    #[test]
+    fn quantile_bounds_bracket_a_real_sample(values in vec(0u64..1_000_000_000, 1..200),
+                                             q in 0.0f64..=1.0) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        prop_assert_eq!(snap.count(), values.len() as u64);
+        let (low, high) = snap.quantile_bounds(q).expect("non-empty histogram");
+        // The reported inclusive bucket must contain at least one sample.
+        prop_assert!(values.iter().any(|&v| low <= v && v <= high),
+            "no sample in quantile bucket [{low}, {high}]");
+        // And the conservative bound never exceeds the true maximum's
+        // bucket ceiling.
+        let max = *values.iter().max().expect("non-empty");
+        prop_assert!(high <= bucket_high(bucket_index(max)));
+    }
+
+    #[test]
+    fn shard_merge_equals_single_shard_recording(shard_a in vec(any::<u64>(), 0..100),
+                                                 shard_b in vec(any::<u64>(), 0..100)) {
+        // Two worker shards merged must be indistinguishable from one
+        // histogram that saw every value.
+        let merged = Histogram::new();
+        let a = Histogram::new();
+        let b = Histogram::new();
+        let single = Histogram::new();
+        for &v in &shard_a {
+            a.record(v);
+            single.record(v);
+        }
+        for &v in &shard_b {
+            b.record(v);
+            single.record(v);
+        }
+        merged.merge_from(&a);
+        merged.merge_from(&b);
+        let (m, s) = (merged.snapshot(), single.snapshot());
+        prop_assert_eq!(m.count(), s.count());
+        prop_assert_eq!(m.sum(), s.sum());
+        prop_assert!(m.nonzero_buckets().eq(s.nonzero_buckets()),
+            "merged buckets differ from single-shard buckets");
+    }
+}
+
+#[test]
+fn multi_thread_hammer_loses_no_counts() {
+    // 8 threads × 50k records into one histogram: every count and the
+    // exact sum must survive the concurrency.
+    const THREADS: u64 = 8;
+    const PER_THREAD: u64 = 50_000;
+    let h = Arc::new(Histogram::new());
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let h = Arc::clone(&h);
+            thread::spawn(move || {
+                for i in 0..PER_THREAD {
+                    // Deterministic spread across many octaves.
+                    h.record((i.wrapping_mul(2_654_435_761) ^ t) % 1_000_000);
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().expect("hammer thread panicked");
+    }
+    let snap = h.snapshot();
+    assert_eq!(snap.count(), THREADS * PER_THREAD, "lost counts under contention");
+    let expected_sum: u64 = (0..THREADS)
+        .flat_map(|t| (0..PER_THREAD).map(move |i| (i.wrapping_mul(2_654_435_761) ^ t) % 1_000_000))
+        .sum();
+    assert_eq!(snap.sum(), expected_sum, "lost sum under contention");
+}

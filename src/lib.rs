@@ -33,6 +33,7 @@ pub use radqec_matching as matching;
 pub use radqec_noise as noise;
 pub use radqec_stabilizer as stabilizer;
 pub use radqec_statevector as statevector;
+pub use radqec_telemetry as telemetry;
 pub use radqec_topology as topology;
 pub use radqec_transpiler as transpiler;
 
@@ -46,6 +47,7 @@ pub mod prelude {
     pub use radqec_detect::{CusumDetector, EventStream, Localizer, OnlineDetector};
     pub use radqec_noise::{FaultSpec, NoiseSpec, RadiationModel};
     pub use radqec_stabilizer::StabilizerBackend;
+    pub use radqec_telemetry::{FlightRecorder, MetricsRegistry, MetricsSnapshot, SpanTimer};
     pub use radqec_topology::Topology;
     pub use radqec_transpiler::{transpile, RouterKind, Transpiled};
 }
