@@ -10,8 +10,8 @@ mod memory;
 mod repetition;
 mod xxzz;
 
-pub(crate) use memory::assemble_memory;
-pub use memory::{MemoryCircuit, MemoryStabilizer};
+pub(crate) use memory::{assemble_memory, assemble_memory_readout};
+pub use memory::{MemoryCircuit, MemoryReadout, MemoryStabilizer};
 pub use repetition::RepetitionCode;
 pub use xxzz::XxzzCode;
 
@@ -220,6 +220,11 @@ pub trait QecCode {
     /// Build the `rounds`-round memory experiment (syndrome streaming; see
     /// [`MemoryCircuit`]).
     fn build_memory(&self, rounds: usize) -> MemoryCircuit;
+    /// Build the `rounds`-round memory experiment with a final transversal
+    /// data readout (see [`MemoryReadout`]) — the space-time decoding
+    /// workload, where each replica's full history is scored against its
+    /// true logical frame.
+    fn build_memory_readout(&self, rounds: usize) -> MemoryCircuit;
     /// Short name (used in experiment tables).
     fn name(&self) -> String;
     /// Total qubits the built circuit will use.
@@ -257,6 +262,15 @@ impl CodeSpec {
         match self {
             CodeSpec::Repetition(c) => c.build_memory(rounds),
             CodeSpec::Xxzz(c) => c.build_memory(rounds),
+        }
+    }
+
+    /// Assemble the `rounds`-round memory experiment with a final
+    /// transversal data readout (space-time decoding workload).
+    pub fn build_memory_readout(&self, rounds: usize) -> MemoryCircuit {
+        match self {
+            CodeSpec::Repetition(c) => c.build_memory_readout(rounds),
+            CodeSpec::Xxzz(c) => c.build_memory_readout(rounds),
         }
     }
 

@@ -7,7 +7,8 @@
 //! |+⟩-encoded chain).
 
 use super::{
-    assemble, assemble_memory, Basis, CodeCircuit, CodeLayout, MemoryCircuit, QecCode, StabKind,
+    assemble, assemble_memory, assemble_memory_readout, Basis, CodeCircuit, CodeLayout,
+    MemoryCircuit, QecCode, StabKind,
 };
 use radqec_topology::{generators::linear, Topology};
 
@@ -105,6 +106,10 @@ impl QecCode for RepetitionCode {
 
     fn build_memory(&self, rounds: usize) -> MemoryCircuit {
         assemble_memory(self.layout(), rounds)
+    }
+
+    fn build_memory_readout(&self, rounds: usize) -> MemoryCircuit {
+        assemble_memory_readout(self.layout(), rounds)
     }
 
     fn name(&self) -> String {

@@ -15,7 +15,8 @@
 //! readout ancilla.
 
 use super::{
-    assemble, assemble_memory, Basis, CodeCircuit, CodeLayout, MemoryCircuit, QecCode, StabKind,
+    assemble, assemble_memory, assemble_memory_readout, Basis, CodeCircuit, CodeLayout,
+    MemoryCircuit, QecCode, StabKind,
 };
 use radqec_topology::{generators::mesh, Topology};
 
@@ -186,6 +187,10 @@ impl QecCode for XxzzCode {
 
     fn build_memory(&self, rounds: usize) -> MemoryCircuit {
         assemble_memory(self.layout(), rounds)
+    }
+
+    fn build_memory_readout(&self, rounds: usize) -> MemoryCircuit {
+        assemble_memory_readout(self.layout(), rounds)
     }
 
     fn name(&self) -> String {

@@ -154,7 +154,7 @@ pub struct DecoderStats {
 /// are resolved once at decoder construction, so bumping them costs one
 /// relaxed `fetch_add` — and the per-shot loop pays nothing, because
 /// [`LocalStats`] batches a whole call before touching them.
-struct StatCells {
+pub(crate) struct StatCells {
     shots: Arc<Counter>,
     trivial: Arc<Counter>,
     cache_hits: Arc<Counter>,
@@ -167,7 +167,7 @@ struct StatCells {
 }
 
 impl StatCells {
-    fn new(metrics: &MetricsRegistry) -> Self {
+    pub(crate) fn new(metrics: &MetricsRegistry) -> Self {
         StatCells {
             shots: metrics.counter(names::DECODE_SHOTS),
             trivial: metrics.counter(names::DECODE_TRIVIAL),
@@ -179,27 +179,37 @@ impl StatCells {
             decode_ns: metrics.histogram(names::STAGE_DECODE_NS),
         }
     }
+
+    /// Flush a call's batched counters into the shared registry atomics.
+    pub(crate) fn flush(&self, local: LocalStats) {
+        self.shots.add(local.shots);
+        self.trivial.add(local.trivial);
+        self.cache_hits.add(local.cache_hits);
+        self.analytic.add(local.analytic);
+        self.matchings.add(local.matchings);
+        self.degraded.add(local.degraded);
+    }
 }
 
 /// Per-`decode_batch`-call counters, flushed to the shared atomics once per
 /// batch so the per-shot hot loop stays free of atomic traffic.
 #[derive(Default, Clone, Copy)]
-struct LocalStats {
-    shots: u64,
-    trivial: u64,
-    cache_hits: u64,
-    analytic: u64,
-    matchings: u64,
-    degraded: u64,
+pub(crate) struct LocalStats {
+    pub(crate) shots: u64,
+    pub(crate) trivial: u64,
+    pub(crate) cache_hits: u64,
+    pub(crate) analytic: u64,
+    pub(crate) matchings: u64,
+    pub(crate) degraded: u64,
 }
 
 /// Per-call scratch: matcher arena + defect-list buffer + the call's
 /// decode-time budget. Cheap to create (no allocation until the blossom
 /// tier actually runs) and reused across every syndrome of a batch.
 #[derive(Default)]
-struct Ctx {
-    arena: MatchingArena,
-    defects: Vec<usize>,
+pub(crate) struct Ctx {
+    pub(crate) arena: MatchingArena,
+    pub(crate) defects: Vec<usize>,
     /// Total blossom time this call may spend (`deadline × shots`), or
     /// `None` for unbounded.
     budget: Option<Duration>,
@@ -208,19 +218,40 @@ struct Ctx {
     spent: Duration,
 }
 
+impl Ctx {
+    /// Split-borrow the arena and defect buffer (the space-time decoder's
+    /// window solves feed the arena a closure over the defect list).
+    pub(crate) fn parts(&mut self) -> (&mut MatchingArena, &mut Vec<usize>) {
+        (&mut self.arena, &mut self.defects)
+    }
+}
+
+/// How a `u128` defect key's bit index maps onto detector-graph nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PlaneOrder {
+    /// The 2-round bulk layout: plane `2i + r` → node `(stab i, round r)`,
+    /// so ascending bit index reproduces `MwpmDecoder::defects` order.
+    StabMajor,
+    /// Plane index *is* the node id (`layer · P + stab`) — the layout the
+    /// multi-layer window graphs of the space-time decoder use, where
+    /// ascending bit index is ascending `(round, stab)`.
+    NodeIndex,
+}
+
 /// The solve state of one decoding context: a detector graph (uniform or
 /// mask-reweighted), its engine-lifetime syndrome cache and the tier
 /// switches. The unmasked decoder owns one; every distinct
 /// [`DecoderMask`] weight key interns another — same tiers, same code
-/// paths, different `flip` function.
-struct SolveCore {
+/// paths, different `flip` function. The space-time decoder
+/// (`crate::decoder::spacetime`) interns one per `(window layers, mask)`
+/// pair through [`SolveCore::window`], reusing the LUT / analytic /
+/// cache / budgeted-blossom cascade unchanged.
+pub(crate) struct SolveCore {
     graph: DetectorGraph,
-    /// Detector-bit count `2P`; plane `2i` = (stab `i`, round 0), plane
-    /// `2i+1` = (stab `i`, round 1), so ascending bit index reproduces
-    /// [`MwpmDecoder::defects`] order exactly.
-    ///
-    /// [`MwpmDecoder::defects`]: crate::decoder::MwpmDecoder::defects
+    /// Detector-bit count (`2P` for the bulk layout, `L·P` for window
+    /// graphs); see [`PlaneOrder`] for the bit → node mapping.
     planes: usize,
+    order: PlaneOrder,
     tiers: TierConfig,
     /// Context-lifetime syndrome cache, shared by every batch / rayon
     /// chunk / temporal sample through `&self` (interior mutability
@@ -230,18 +261,43 @@ struct SolveCore {
 
 impl SolveCore {
     fn new(graph: DetectorGraph, tiers: TierConfig) -> Self {
-        let planes = 2 * graph.primary_count();
+        Self::build(graph, tiers, PlaneOrder::StabMajor)
+    }
+
+    /// A solve core over a multi-layer window graph: plane bits index
+    /// nodes directly (`layer · P + stab`). Same tier cascade, caches and
+    /// decode budget as the bulk layout.
+    pub(crate) fn window(graph: DetectorGraph, tiers: TierConfig) -> Self {
+        Self::build(graph, tiers, PlaneOrder::NodeIndex)
+    }
+
+    fn build(graph: DetectorGraph, tiers: TierConfig, order: PlaneOrder) -> Self {
+        let planes = graph.layers() * graph.primary_count();
         let cache = if tiers.lut && planes <= LUT_MAX_BITS {
             SyndromeCache::direct(planes)
         } else {
             SyndromeCache::sharded(tiers.cache_capacity)
         };
-        SolveCore { graph, planes, tiers, cache }
+        SolveCore { graph, planes, order, tiers, cache }
+    }
+
+    /// The graph this core solves on.
+    pub(crate) fn graph(&self) -> &DetectorGraph {
+        &self.graph
+    }
+
+    /// Detector node of key bit `plane` under this core's layout.
+    #[inline]
+    fn node_of_plane(&self, plane: usize) -> usize {
+        match self.order {
+            PlaneOrder::StabMajor => (plane % 2) * self.graph.primary_count() + plane / 2,
+            PlaneOrder::NodeIndex => plane,
+        }
     }
 
     /// Scratch context for a decode call over `shots` shots, carrying the
     /// call's blossom-time budget (`deadline × shots`, saturating).
-    fn budget_ctx(&self, shots: usize) -> Ctx {
+    pub(crate) fn budget_ctx(&self, shots: usize) -> Ctx {
         Ctx {
             budget: self
                 .tiers
@@ -261,7 +317,7 @@ impl SolveCore {
     /// noise) are never inserted, so probing first would take the shard
     /// mutex for a guaranteed miss on every such shot.
     #[inline]
-    fn flip_of_key(&self, key: u128, ctx: &mut Ctx, local: &mut LocalStats) -> bool {
+    pub(crate) fn flip_of_key(&self, key: u128, ctx: &mut Ctx, local: &mut LocalStats) -> bool {
         debug_assert_ne!(key, 0);
         if !self.cache.is_direct() && self.tiers.analytic && key.count_ones() <= 2 {
             if let Some(flip) = self.analytic_flip(key) {
@@ -293,13 +349,12 @@ impl SolveCore {
     /// fallback once the budget is spent. Returns `(flip, exact)`; only
     /// exact answers may be cached.
     fn heavy_flip(&self, key: u128, ctx: &mut Ctx, local: &mut LocalStats) -> (bool, bool) {
-        let p = self.graph.primary_count();
         ctx.defects.clear();
         let mut k = key;
         while k != 0 {
             let plane = k.trailing_zeros() as usize;
             k &= k - 1;
-            ctx.defects.push((plane % 2) * p + plane / 2);
+            ctx.defects.push(self.node_of_plane(plane));
         }
         self.heavy_flip_defects(ctx, local)
     }
@@ -352,7 +407,7 @@ impl SolveCore {
                     continue;
                 }
                 let b = defects[j];
-                let cost = weight_of(g.distance(a, b));
+                let cost = weight_of(g.pair_distance(a, b));
                 if cost < wa + weight_of(g.distance(b, boundary))
                     && best.is_none_or(|(c, _)| cost < c)
                 {
@@ -362,7 +417,7 @@ impl SolveCore {
             match best {
                 Some((_, j)) => {
                     used[j] = true;
-                    flip ^= g.crossing_parity(a, defects[j]);
+                    flip ^= g.pair_crossing_parity(a, defects[j]);
                 }
                 None => flip ^= g.crossing_parity(a, boundary),
             }
@@ -395,9 +450,9 @@ impl SolveCore {
         while k != 0 {
             let plane = k.trailing_zeros() as usize;
             k &= k - 1;
-            // plane 2i+r → detector node (stab i, round r); ascending plane
-            // index reproduces MwpmDecoder::defects order.
-            ctx.defects.push((plane % 2) * self.graph.primary_count() + plane / 2);
+            // Plane → node under this core's layout; in stab-major order the
+            // ascending plane index reproduces MwpmDecoder::defects order.
+            ctx.defects.push(self.node_of_plane(plane));
         }
         local.matchings += 1;
         matching_flip(&self.graph, &ctx.defects, &mut ctx.arena)
@@ -417,18 +472,16 @@ impl SolveCore {
     /// [`MwpmDecoder`]: crate::decoder::MwpmDecoder
     fn analytic_flip(&self, key: u128) -> Option<bool> {
         let g = &self.graph;
-        let p = g.primary_count();
         let boundary = g.boundary();
-        let node_of = |plane: usize| (plane % 2) * p + plane / 2;
-        let a = node_of(key.trailing_zeros() as usize);
+        let a = self.node_of_plane(key.trailing_zeros() as usize);
         if key.count_ones() == 1 {
             return Some(g.crossing_parity(a, boundary));
         }
-        let b = node_of((127 - key.leading_zeros()) as usize);
-        let pair = weight_of(g.distance(a, b));
+        let b = self.node_of_plane((127 - key.leading_zeros()) as usize);
+        let pair = weight_of(g.pair_distance(a, b));
         let via_boundary = weight_of(g.distance(a, boundary)) + weight_of(g.distance(b, boundary));
         match pair.cmp(&via_boundary) {
-            std::cmp::Ordering::Less => Some(g.crossing_parity(a, b)),
+            std::cmp::Ordering::Less => Some(g.pair_crossing_parity(a, b)),
             std::cmp::Ordering::Greater => {
                 Some(g.crossing_parity(a, boundary) ^ g.crossing_parity(b, boundary))
             }
@@ -834,12 +887,7 @@ impl BulkDecoder {
     }
 
     fn flush(&self, local: LocalStats) {
-        self.stats.shots.add(local.shots);
-        self.stats.trivial.add(local.trivial);
-        self.stats.cache_hits.add(local.cache_hits);
-        self.stats.analytic.add(local.analytic);
-        self.stats.matchings.add(local.matchings);
-        self.stats.degraded.add(local.degraded);
+        self.stats.flush(local);
     }
 }
 

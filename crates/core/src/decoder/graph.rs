@@ -9,8 +9,9 @@
 
 use crate::codes::CodeCircuit;
 
-/// A node of the detector graph: `layer * P + stab` for the two syndrome
-/// rounds, `2P` for the boundary.
+/// A node of the detector graph: `layer * P + stab` for each syndrome
+/// layer, `L * P` for the boundary (the classic 2-round graph is the
+/// special case `L = 2`).
 pub type DetectorNode = usize;
 
 /// What physical mechanism an edge of the detector graph models — the
@@ -29,6 +30,9 @@ pub enum EdgeKind {
 #[derive(Debug, Clone)]
 pub struct DetectorGraph {
     primary_count: usize,
+    /// Number of syndrome layers (2 for the flat offline graph; the
+    /// sliding-window space-time decoder builds W-layer graphs).
+    layers: usize,
     /// adj[v] = (neighbour, crosses_logical_readout).
     adj: Vec<Vec<(u32, bool)>>,
     /// Edge kind per adjacency entry, aligned with `adj` (kept separate so
@@ -40,33 +44,56 @@ pub struct DetectorGraph {
     dist: Vec<Vec<u32>>,
     /// Crossing parity along one canonical shortest path.
     parity: Vec<Vec<bool>>,
+    /// All-pairs distances with the boundary node *excluded* — the
+    /// defect-pair metric (see [`Self::pair_distance`]).
+    interior_dist: Vec<Vec<u32>>,
+    /// Crossing parity along the canonical boundary-free path.
+    interior_parity: Vec<Vec<bool>>,
 }
 
 impl DetectorGraph {
     /// Build the 2-round detector graph of `code`'s primary stabilizers.
     pub fn new(code: &CodeCircuit) -> Self {
-        let p = code.primary_count;
-        let num_nodes = 2 * p + 1;
-        let boundary = 2 * p;
+        let supports: Vec<Vec<u32>> =
+            code.primary_stabilizers().iter().map(|s| s.support.clone()).collect();
+        Self::space_time(&code.data_qubits, &supports, &code.logical_readout_support, 2)
+    }
+
+    /// Build an `layers`-round space-time detector graph from the primary
+    /// stabilizer `supports` directly (no [`CodeCircuit`] needed, so the
+    /// sliding-window decoder can build window graphs for multi-round
+    /// memory circuits). Space and boundary edges are replicated per layer
+    /// exactly as in the 2-round build; vertical [`EdgeKind::Time`] edges
+    /// connect each stabilizer's consecutive re-measurements. `layers = 2`
+    /// reproduces [`Self::new`] bit-identically (same edge insertion
+    /// order, hence the same BFS-canonical paths).
+    pub fn space_time(
+        data_qubits: &[u32],
+        supports: &[Vec<u32>],
+        readout_support: &[u32],
+        layers: usize,
+    ) -> Self {
+        assert!(layers >= 1, "a detector graph needs at least one layer");
+        let p = supports.len();
+        let num_nodes = layers * p + 1;
+        let boundary = layers * p;
         let mut adj: Vec<Vec<(u32, bool)>> = vec![Vec::new(); num_nodes];
         let mut edge_kinds: Vec<Vec<EdgeKind>> = vec![Vec::new(); num_nodes];
-        let readout: std::collections::HashSet<u32> =
-            code.logical_readout_support.iter().copied().collect();
+        let readout: std::collections::HashSet<u32> = readout_support.iter().copied().collect();
 
         // Space and boundary edges, replicated per layer.
-        for &d in &code.data_qubits {
-            let owners: Vec<usize> = code
-                .primary_stabilizers()
+        for &d in data_qubits {
+            let owners: Vec<usize> = supports
                 .iter()
                 .enumerate()
-                .filter(|(_, s)| s.support.contains(&d))
+                .filter(|(_, s)| s.contains(&d))
                 .map(|(i, _)| i)
                 .collect();
             let crosses = readout.contains(&d);
             match owners.len() {
                 0 => {} // invisible to the primary family (undecodable qubit)
                 1 => {
-                    for layer in 0..2 {
+                    for layer in 0..layers {
                         let v = layer * p + owners[0];
                         adj[v].push((boundary as u32, crosses));
                         edge_kinds[v].push(EdgeKind::Data(d));
@@ -75,7 +102,7 @@ impl DetectorGraph {
                     }
                 }
                 2 => {
-                    for layer in 0..2 {
+                    for layer in 0..layers {
                         let (a, b) = (layer * p + owners[0], layer * p + owners[1]);
                         adj[a].push((b as u32, crosses));
                         edge_kinds[a].push(EdgeKind::Data(d));
@@ -86,23 +113,43 @@ impl DetectorGraph {
                 n => unreachable!("data qubit {d} owned by {n} primary stabilizers"),
             }
         }
-        // Time edges between the two rounds of the same stabilizer.
-        for i in 0..p {
-            adj[i].push(((p + i) as u32, false));
-            edge_kinds[i].push(EdgeKind::Time(i));
-            adj[p + i].push((i as u32, false));
-            edge_kinds[p + i].push(EdgeKind::Time(i));
+        // Time edges between consecutive re-measurements of each stabilizer.
+        for layer in 0..layers.saturating_sub(1) {
+            for i in 0..p {
+                let (a, b) = (layer * p + i, (layer + 1) * p + i);
+                adj[a].push((b as u32, false));
+                edge_kinds[a].push(EdgeKind::Time(i));
+                adj[b].push((a as u32, false));
+                edge_kinds[b].push(EdgeKind::Time(i));
+            }
         }
 
-        // APSP with crossing parity along the BFS-canonical shortest path.
+        // APSP with crossing parity along the BFS-canonical shortest path,
+        // plus the boundary-free tables behind [`Self::pair_distance`].
         let mut dist = vec![vec![u32::MAX; num_nodes]; num_nodes];
         let mut parity = vec![vec![false; num_nodes]; num_nodes];
+        let mut interior_dist = vec![vec![u32::MAX; num_nodes]; num_nodes];
+        let mut interior_parity = vec![vec![false; num_nodes]; num_nodes];
         for src in 0..num_nodes {
-            let (d, par) = bfs(&adj, src);
+            let (d, par) = bfs(&adj, src, usize::MAX);
             dist[src] = d;
             parity[src] = par;
+            if src != boundary {
+                let (d, par) = bfs(&adj, src, boundary);
+                interior_dist[src] = d;
+                interior_parity[src] = par;
+            }
         }
-        DetectorGraph { primary_count: p, adj, edge_kinds, dist, parity }
+        DetectorGraph {
+            primary_count: p,
+            layers,
+            adj,
+            edge_kinds,
+            dist,
+            parity,
+            interior_dist,
+            interior_parity,
+        }
     }
 
     /// Rebuild the distance/parity tables with a per-edge weight supplied
@@ -119,6 +166,7 @@ impl DetectorGraph {
     /// (erasure-style decoding).
     pub fn reweighted(&self, weight: impl Fn(EdgeKind) -> u32) -> DetectorGraph {
         let num_nodes = self.adj.len();
+        let boundary = self.boundary();
         let weights: Vec<Vec<u32>> = self
             .edge_kinds
             .iter()
@@ -126,17 +174,27 @@ impl DetectorGraph {
             .collect();
         let mut dist = vec![vec![u32::MAX; num_nodes]; num_nodes];
         let mut parity = vec![vec![false; num_nodes]; num_nodes];
+        let mut interior_dist = vec![vec![u32::MAX; num_nodes]; num_nodes];
+        let mut interior_parity = vec![vec![false; num_nodes]; num_nodes];
         for src in 0..num_nodes {
-            let (d, par) = dijkstra(&self.adj, &weights, src);
+            let (d, par) = dijkstra(&self.adj, &weights, src, usize::MAX);
             dist[src] = d;
             parity[src] = par;
+            if src != boundary {
+                let (d, par) = dijkstra(&self.adj, &weights, src, boundary);
+                interior_dist[src] = d;
+                interior_parity[src] = par;
+            }
         }
         DetectorGraph {
             primary_count: self.primary_count,
+            layers: self.layers,
             adj: self.adj.clone(),
             edge_kinds: self.edge_kinds.clone(),
             dist,
             parity,
+            interior_dist,
+            interior_parity,
         }
     }
 
@@ -145,17 +203,22 @@ impl DetectorGraph {
         self.primary_count
     }
 
-    /// Node id of stabilizer `stab` in `round` (0 or 1).
+    /// Number of syndrome layers `L` (2 for the flat offline graph).
+    pub fn layers(&self) -> usize {
+        self.layers
+    }
+
+    /// Node id of stabilizer `stab` in `round` (`0..L`).
     #[inline]
     pub fn node(&self, stab: usize, round: usize) -> DetectorNode {
-        debug_assert!(round < 2 && stab < self.primary_count);
+        debug_assert!(round < self.layers && stab < self.primary_count);
         round * self.primary_count + stab
     }
 
     /// The virtual boundary node.
     #[inline]
     pub fn boundary(&self) -> DetectorNode {
-        2 * self.primary_count
+        self.layers * self.primary_count
     }
 
     /// BFS distance between two nodes (u32::MAX = unreachable).
@@ -168,6 +231,30 @@ impl DetectorGraph {
     #[inline]
     pub fn crossing_parity(&self, a: DetectorNode, b: DetectorNode) -> bool {
         self.parity[a][b]
+    }
+
+    /// Shortest-path distance between two detector nodes with the
+    /// boundary node **excluded** — the defect-*pair* metric. A pairing
+    /// whose cheapest route runs through the boundary is not a pairing
+    /// at all (it is two boundary matches wearing one edge), and letting
+    /// the matcher treat it as one lets a whole-history solve "pair"
+    /// defects across any temporal distance at boundary cost — a
+    /// matching no sliding window can reproduce. Matchers therefore
+    /// price defect pairs with this metric and boundary matches with
+    /// [`Self::distance`]`(v, boundary)`; minimum matching weights are
+    /// unchanged (the through-boundary pair and its two boundary
+    /// matches tie, with composing parity), but the optimum becomes
+    /// expressible window-locally.
+    #[inline]
+    pub fn pair_distance(&self, a: DetectorNode, b: DetectorNode) -> u32 {
+        self.interior_dist[a][b]
+    }
+
+    /// Readout-crossing parity along the canonical boundary-free path
+    /// `a → b` (the path [`Self::pair_distance`] measures).
+    #[inline]
+    pub fn pair_crossing_parity(&self, a: DetectorNode, b: DetectorNode) -> bool {
+        self.interior_parity[a][b]
     }
 
     /// Adjacency of node `v` (for the union-find decoder and tests).
@@ -185,7 +272,12 @@ impl DetectorGraph {
 /// settled in (distance, index) order and relaxations are strictly
 /// improving, so the canonical cheapest path — and with it the crossing
 /// parity — is a pure function of the weight assignment.
-fn dijkstra(adj: &[Vec<(u32, bool)>], weights: &[Vec<u32>], src: usize) -> (Vec<u32>, Vec<bool>) {
+fn dijkstra(
+    adj: &[Vec<(u32, bool)>],
+    weights: &[Vec<u32>],
+    src: usize,
+    skip: usize,
+) -> (Vec<u32>, Vec<bool>) {
     let n = adj.len();
     let mut dist = vec![u32::MAX; n];
     let mut parity = vec![false; n];
@@ -206,6 +298,9 @@ fn dijkstra(adj: &[Vec<(u32, bool)>], weights: &[Vec<u32>], src: usize) -> (Vec<
         done[v] = true;
         for (e, &(w, cross)) in adj[v].iter().enumerate() {
             let w = w as usize;
+            if w == skip {
+                continue;
+            }
             let cand = dist[v].saturating_add(weights[v][e]);
             if cand < dist[w] {
                 dist[w] = cand;
@@ -216,7 +311,7 @@ fn dijkstra(adj: &[Vec<(u32, bool)>], weights: &[Vec<u32>], src: usize) -> (Vec<
     (dist, parity)
 }
 
-fn bfs(adj: &[Vec<(u32, bool)>], src: usize) -> (Vec<u32>, Vec<bool>) {
+fn bfs(adj: &[Vec<(u32, bool)>], src: usize, skip: usize) -> (Vec<u32>, Vec<bool>) {
     let n = adj.len();
     let mut dist = vec![u32::MAX; n];
     let mut parity = vec![false; n];
@@ -226,6 +321,9 @@ fn bfs(adj: &[Vec<(u32, bool)>], src: usize) -> (Vec<u32>, Vec<bool>) {
     while let Some(v) = queue.pop_front() {
         for &(w, cross) in &adj[v] {
             let w = w as usize;
+            if w == skip {
+                continue;
+            }
             if dist[w] == u32::MAX {
                 dist[w] = dist[v] + 1;
                 parity[w] = parity[v] ^ cross;
@@ -310,6 +408,66 @@ mod tests {
             }
         }
         assert!(crossing_edges > 0, "no crossing edges for row {row0:?}");
+    }
+
+    #[test]
+    fn space_time_two_layers_matches_flat_build() {
+        for code in [RepetitionCode::bit_flip(5).build(), XxzzCode::new(3, 3).build()] {
+            let flat = DetectorGraph::new(&code);
+            let supports: Vec<Vec<u32>> =
+                code.primary_stabilizers().iter().map(|s| s.support.clone()).collect();
+            let st = DetectorGraph::space_time(
+                &code.data_qubits,
+                &supports,
+                &code.logical_readout_support,
+                2,
+            );
+            assert_eq!(st.num_nodes(), flat.num_nodes());
+            assert_eq!(st.layers(), 2);
+            for a in 0..flat.num_nodes() {
+                for b in 0..flat.num_nodes() {
+                    assert_eq!(
+                        st.distance(a, b),
+                        flat.distance(a, b),
+                        "{}: dist {a}->{b}",
+                        code.name
+                    );
+                    assert_eq!(
+                        st.crossing_parity(a, b),
+                        flat.crossing_parity(a, b),
+                        "{}: parity {a}->{b}",
+                        code.name
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn space_time_multi_layer_time_chain_and_boundary() {
+        let code = RepetitionCode::bit_flip(5).build();
+        let supports: Vec<Vec<u32>> =
+            code.primary_stabilizers().iter().map(|s| s.support.clone()).collect();
+        let g = DetectorGraph::space_time(
+            &code.data_qubits,
+            &supports,
+            &code.logical_readout_support,
+            4,
+        );
+        assert_eq!(g.layers(), 4);
+        assert_eq!(g.num_nodes(), 4 * 4 + 1);
+        // Pure time chain: stab 2 at round 0 to round 3 is three time hops.
+        assert_eq!(g.distance(g.node(2, 0), g.node(2, 3)), 3);
+        // Time edges never cross the readout chain.
+        assert!(!g.crossing_parity(g.node(2, 0), g.node(2, 3)));
+        // Chain-end stabilizers reach the boundary in one hop at any layer,
+        // and the round-0 crossing behaviour replicates to every layer.
+        for layer in 0..4 {
+            assert_eq!(g.distance(g.node(0, layer), g.boundary()), 1);
+            assert_eq!(g.distance(g.node(3, layer), g.boundary()), 1);
+            assert!(g.crossing_parity(g.node(0, layer), g.boundary()));
+            assert!(!g.crossing_parity(g.node(3, layer), g.boundary()));
+        }
     }
 
     #[test]

@@ -7,8 +7,13 @@
 //! lives on the device graph); the detector graph speaks *logical* data
 //! qubits and primary stabilizers. [`DecoderMask::project`] bridges the two
 //! through the transpiler's initial layout. Routed circuits whose SWAPs
-//! migrate qubits mid-circuit make the projection approximate (the mask is
-//! a prior, not ground truth); on SWAP-free hosts it is exact.
+//! migrate qubits mid-circuit make the *initial-layout* projection
+//! approximate (the mask is a prior, not ground truth); on SWAP-free hosts
+//! it is exact. The transpiler's time-resolved seat map
+//! (`Transpiled::seat_at`, one snapshot per round barrier) closes that gap
+//! round by round: projecting through the seats in force when the strike
+//! lands follows the qubits wherever routing moved them, which the tests
+//! below pin against the zero-SWAP embedding.
 //!
 //! ## Weight mapping
 //!
@@ -22,7 +27,7 @@
 //! decoding hands off to the unaware path bit-identically
 //! ([`DecoderMask::is_noop`]).
 
-use crate::codes::CodeCircuit;
+use crate::codes::{CodeCircuit, MemoryCircuit};
 use crate::decoder::graph::{DetectorGraph, EdgeKind};
 use radqec_detect::StrikeMask;
 use radqec_transpiler::Layout;
@@ -81,6 +86,26 @@ impl DecoderMask {
             })
             .collect();
         let stab_probs = code
+            .primary_stabilizers()
+            .iter()
+            .map(|s| exposure(mask.prob(layout.physical(s.ancilla)), s.support.len() + 1))
+            .collect();
+        DecoderMask { data_probs, stab_probs }
+    }
+
+    /// [`DecoderMask::project`] for a memory experiment: same per-round
+    /// exposure compounding, but the code structure comes from the
+    /// assembled [`MemoryCircuit`] (whose stabilizer list is what the
+    /// space-time decoder's graph is built from).
+    pub fn project_memory(mask: &StrikeMask, memory: &MemoryCircuit, layout: &Layout) -> Self {
+        let exposure = |p: f64, gates: usize| 1.0 - (1.0 - p).powi(gates.max(1) as i32);
+        let data_probs = (0..memory.n_data)
+            .map(|d| {
+                let gates = memory.stabilizers.iter().filter(|s| s.support.contains(&d)).count();
+                exposure(mask.prob(layout.physical(d)), gates)
+            })
+            .collect();
+        let stab_probs = memory
             .primary_stabilizers()
             .iter()
             .map(|s| exposure(mask.prob(layout.physical(s.ancilla)), s.support.len() + 1))
@@ -218,5 +243,62 @@ mod tests {
         assert!(!mask.is_noop());
         let cold = mask.scaled(0.005);
         assert!(cold.is_noop(), "sub-reference probabilities quantise to base weight");
+    }
+
+    #[test]
+    fn routed_host_projects_through_the_seat_map_onto_native_seats() {
+        // The module docs call the routed-host projection approximate
+        // because SWAPs migrate qubits off the initial layout. The
+        // transpiler's time-resolved seat map closes that gap: rep-(3,1)
+        // memory routed from a *trivial* placement settles, after the
+        // first round's SWAPs, into a steady seating whose left chain end
+        // (data 0, ancilla 0, data 1 on physical 0..3) coincides with the
+        // zero-SWAP native embedding — so a strike landing there must
+        // project onto the same logical neighbourhood through
+        // `seat_at(round)` as it does on the native host, while the
+        // initial-layout projection mislocates it.
+        use crate::codes::CodeSpec;
+        use radqec_transpiler::{transpile_with_layout, TranspileOptions};
+
+        let spec = CodeSpec::from(RepetitionCode::bit_flip(3));
+        let memory = spec.build_memory(3);
+        let (topo, native_l2p) = spec.native_embedding().unwrap();
+        let n = topo.num_qubits();
+        let native = transpile_with_layout(
+            &memory.circuit,
+            &topo,
+            Layout::new(native_l2p, n),
+            &TranspileOptions::default(),
+        );
+        assert_eq!(native.swap_count, 0, "the native embedding is the zero-SWAP reference");
+        let routed = transpile_with_layout(
+            &memory.circuit,
+            &topo,
+            Layout::new((0..memory.total_qubits()).collect(), n),
+            &TranspileOptions::default(),
+        );
+        assert!(routed.swap_count > 0, "the trivial placement must force routing");
+        // One seat snapshot per round barrier; epoch 0 precedes any SWAP
+        // and epochs past the last barrier clamp to the final layout.
+        assert_eq!(routed.seat_maps.len(), 3);
+        assert_eq!(routed.seat_at(0), &routed.initial_layout);
+        assert_eq!(routed.seat_at(99), &routed.final_layout);
+        // The routing reaches steady state after round 0.
+        assert_eq!(routed.seat_at(1), routed.seat_at(2));
+        assert_ne!(routed.seat_at(0), routed.seat_at(1));
+        // Strike at the chain's left end, too small to reach the seats
+        // whose occupants differ between the two hosts.
+        let strike = StrikeMask::try_new(&topo, 0, 2, 1.0).unwrap();
+        let through_seats = DecoderMask::project_memory(&strike, &memory, routed.seat_at(2));
+        let on_native = DecoderMask::project_memory(&strike, &memory, &native.initial_layout);
+        assert_eq!(
+            through_seats, on_native,
+            "time-resolved seats must recover the zero-SWAP projection"
+        );
+        let through_initial = DecoderMask::project_memory(&strike, &memory, &routed.initial_layout);
+        assert_ne!(
+            through_seats, through_initial,
+            "the initial-layout approximation mislocates the strike on a routed host"
+        );
     }
 }

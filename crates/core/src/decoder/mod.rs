@@ -99,6 +99,8 @@ mod cache;
 mod graph;
 mod mask;
 mod mwpm;
+mod spacetime;
+mod stream;
 mod union_find;
 
 pub use bulk::{
@@ -108,6 +110,8 @@ pub use bulk::{
 pub use graph::{DetectorGraph, DetectorNode, EdgeKind};
 pub use mask::{DecoderMask, MASK_BASE_WEIGHT, MASK_REF_PROB};
 pub use mwpm::MwpmDecoder;
+pub use spacetime::{ReplicaState, SpaceTimeDecoder, SpaceTimeScratch, WindowConfig};
+pub use stream::{StreamDecodeReport, StreamDecoder, StreamDecoderConfig};
 pub use union_find::UnionFindDecoder;
 
 use radqec_circuit::{ShotBatch, ShotRecord};

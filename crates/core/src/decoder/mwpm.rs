@@ -23,15 +23,92 @@ pub(crate) fn weight_of(d: u32) -> i64 {
     }
 }
 
+/// Scale lifting graph distances into matching weights, leaving the low
+/// bits for the canonical tie-break perturbation of [`pair_weight`] /
+/// [`boundary_weight`]. Any matching carries at most 128 edges and each
+/// perturbation is `< PAIR_BIAS + 509`, so the summed perturbation stays
+/// below one scaled distance unit: a perturbed minimum-weight matching is
+/// always a true minimum-weight matching of the unperturbed distances.
+const TIE_SCALE: i64 = 1 << 20;
+
+/// Tie-break bias every defect–defect pairing carries over boundary
+/// matches (larger than any [`tie_eps`] value, smaller than
+/// [`TIE_SCALE`]`/128` together with it). On equal base weight the
+/// canonical optimum therefore maximises the number of boundary matches
+/// — the choice that *decouples* chains of degenerate alternatives.
+/// Without it, a tie at one end of an alternating defect chain can only
+/// be resolved by looking arbitrarily far along the chain (each link
+/// ties, so the epsilons decide globally), and a sliding window whose
+/// horizon cuts the chain would commit differently than the
+/// whole-history solve. Boundary-matched defects sever such chains, so
+/// the decision each window commits is determined by defects it can
+/// actually see.
+const PAIR_BIAS: i64 = 1 << 12;
+
+/// SplitMix64 finalizer — a deterministic pseudo-random sub-unit weight
+/// from an edge descriptor.
+#[inline]
+fn tie_eps(x: u64) -> i64 {
+    let mut z = x.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    ((z ^ (z >> 31)) % 509) as i64
+}
+
+/// Canonically perturbed weight of pairing defect nodes `a` and `b`.
+///
+/// Minimum-weight matchings of raw detector-graph distances are often
+/// degenerate (on a distance-3 chain, two neighbouring defects pair for
+/// the same weight 2 as two boundary matches — with opposite readout
+/// parity), and which optimum a solver returns then depends on node
+/// numbering. A sliding-window solve numbers nodes window-locally, so
+/// the windowed and whole-history decoders would break such ties
+/// *differently* even on histories the window covers perfectly. The
+/// perturbation makes the minimum generically unique, and it is built
+/// only from translation-invariant descriptors — the two stabilizer
+/// indices and their signed layer separation (after sorting the
+/// endpoints, so `(a, b)` and `(b, a)` agree) — never from absolute
+/// layer numbers. A window solve and a whole-history solve therefore
+/// perturb the same physical pairing by the same amount and select the
+/// same optimum, which is what lets the window-equivalence suite demand
+/// bit-identity on real noise streams rather than only on tie-free
+/// synthetic ones.
+#[inline]
+pub(crate) fn pair_weight(g: &DetectorGraph, a: usize, b: usize) -> i64 {
+    let d = g.pair_distance(a, b);
+    if d == u32::MAX {
+        return UNREACHABLE * TIE_SCALE;
+    }
+    let p = g.primary_count();
+    let (sa, la) = (a % p, a / p);
+    let (sb, lb) = (b % p, b / p);
+    let ((s0, l0), (s1, l1)) =
+        if (sa, la) <= (sb, lb) { ((sa, la), (sb, lb)) } else { ((sb, lb), (sa, la)) };
+    let dt = (l1 as i64 - l0 as i64 + (1 << 20)) as u64;
+    d as i64 * TIE_SCALE + PAIR_BIAS + tie_eps((s0 as u64) << 44 | (s1 as u64) << 24 | dt)
+}
+
+/// Canonically perturbed weight of matching defect node `a` to the
+/// boundary (see [`pair_weight`]); the descriptor is the stabilizer
+/// index alone, again translation-invariant.
+#[inline]
+pub(crate) fn boundary_weight(g: &DetectorGraph, a: usize) -> i64 {
+    let d = g.distance(a, g.boundary());
+    if d == u32::MAX {
+        return UNREACHABLE * TIE_SCALE;
+    }
+    d as i64 * TIE_SCALE + tie_eps(1 << 60 | (a % g.primary_count()) as u64)
+}
+
 /// Readout-flip parity the minimum-weight matching of `defects` implies —
 /// the exact core of [`MwpmDecoder::decode_shot`], factored out so the
 /// tiered [`BulkDecoder`](crate::decoder::BulkDecoder) provably computes
 /// the same function (it calls this very routine for its fallback tier and
 /// for populating its lookup table and cache).
 ///
-/// `defects` must be listed in [`MwpmDecoder::defects`] order (ascending
-/// stabilizer, round 0 before round 1) — the matcher's tie-breaking depends
-/// on edge insertion order.
+/// Matches on the canonically perturbed weights ([`pair_weight`]), so
+/// degenerate optima resolve the same way in every solver that shares
+/// this routine *and* in the sliding-window decoder's mid-stream solves.
 pub(crate) fn matching_flip(
     g: &DetectorGraph,
     defects: &[usize],
@@ -40,14 +117,14 @@ pub(crate) fn matching_flip(
     let boundary = g.boundary();
     let matches = arena.match_defects(
         defects.len(),
-        |a, b| weight_of(g.distance(defects[a], defects[b])),
-        |a| weight_of(g.distance(defects[a], boundary)),
+        |a, b| pair_weight(g, defects[a], defects[b]),
+        |a| boundary_weight(g, defects[a]),
     );
     let mut flip = false;
     for (a, m) in matches.iter().enumerate() {
         match *m {
             DefectMatch::Boundary => flip ^= g.crossing_parity(defects[a], boundary),
-            DefectMatch::Peer(b) if b > a => flip ^= g.crossing_parity(defects[a], defects[b]),
+            DefectMatch::Peer(b) if b > a => flip ^= g.pair_crossing_parity(defects[a], defects[b]),
             DefectMatch::Peer(_) => {} // counted once from the lower index
         }
     }

@@ -79,7 +79,7 @@ use crate::decoder::{BulkDecoder, Decoder, DecoderStats, TierConfig};
 use crate::injection::mix_seed;
 use crate::streaming::{CampaignReport, MultiStrike, StreamEngine, StreamFault, StrikeEvent};
 use radqec_circuit::ShotBatch;
-use radqec_detect::{EventAccumulator, EventStream};
+use radqec_detect::{EventAccumulator, EventStream, OnlineDetector, ThresholdDetector};
 use radqec_noise::{NoiseSpec, RadiationModel};
 use radqec_telemetry::{
     names, FlightEntry, FlightEvent, FlightRecorder, MetricsRegistry, MetricsSnapshot,
@@ -370,8 +370,16 @@ pub struct PatchSummary {
 pub struct FleetResult {
     /// Fleet-level metrics (the checkpoint-resume-stable part).
     pub metrics: FleetMetrics,
-    /// Every injected strike, scored.
+    /// Every injected strike, scored from the **online alarm stream**
+    /// (the per-round counts the supervised sink assembled in flight,
+    /// folded through [`OnlineDetector::push`]). The offline reference
+    /// [`score_strikes`] over [`FleetResult::per_patch_events`] must
+    /// agree row for row on a clean campaign.
     pub strikes: Vec<StrikeRow>,
+    /// Per-patch per-round detection-event totals merged **offline**
+    /// from the finished chunk records — the checkpoint-stable batch
+    /// view the online tally is pinned against.
+    pub per_patch_events: Vec<Vec<u64>>,
     /// Per-patch rollups.
     pub per_patch: Vec<PatchSummary>,
     /// Every non-skipped chunk of every patch completed (false when a
@@ -620,22 +628,23 @@ fn parse_checkpoint(text: &str, digest: u64) -> Option<HashMap<(usize, usize), C
     Some(done)
 }
 
-/// Score the strike timeline against per-patch per-round event counts.
-fn score_strikes(
+/// Per-patch baseline mean and standard deviation of the per-round event
+/// count over quiet rounds — outside every strike's flare (four decay
+/// spans is conservatively past the transient's tail). Shared by the
+/// offline reference scorer and the online alarm stream so both gates
+/// threshold the same calibration.
+fn quiet_baselines(
     cfg: &FleetConfig,
     strikes: &[StrikeEvent],
     per_patch_events: &[Vec<u64>],
-) -> Vec<StrikeRow> {
-    // Quiet rounds: outside every strike's flare (four decay spans is
-    // conservatively past the transient's tail).
+) -> Vec<(f64, f64)> {
     let flare = 4 * cfg.strike_decay_rounds.max(1);
     let mut hot = vec![false; cfg.rounds];
     for s in strikes {
         let end = (s.onset_round + flare).min(cfg.rounds);
         hot[s.onset_round..end].fill(true);
     }
-    // Per-patch baseline mean and standard deviation over quiet rounds.
-    let baselines: Vec<(f64, f64)> = per_patch_events
+    per_patch_events
         .iter()
         .map(|events| {
             let quiet: Vec<f64> =
@@ -648,7 +657,23 @@ fn score_strikes(
                 quiet.iter().map(|e| (e - mean) * (e - mean)).sum::<f64>() / quiet.len() as f64;
             (mean, var.sqrt())
         })
-        .collect();
+        .collect()
+}
+
+/// Score the strike timeline against per-patch per-round event counts —
+/// the **offline reference**: a whole-campaign batch pass over the
+/// merged chunk records. Production scoring goes through
+/// [`score_strikes_online`]; the tests pin the two row-for-row equal on
+/// a clean campaign. The spike gate thresholds the baseline-subtracted
+/// residual (`events − µ ≥ max(4σ, 2)`), exactly the comparison
+/// [`ThresholdDetector`] applies per push, so the two paths cannot drift
+/// apart on floating-point grouping.
+pub fn score_strikes(
+    cfg: &FleetConfig,
+    strikes: &[StrikeEvent],
+    per_patch_events: &[Vec<u64>],
+) -> Vec<StrikeRow> {
+    let baselines = quiet_baselines(cfg, strikes, per_patch_events);
     strikes
         .iter()
         .map(|s| {
@@ -657,11 +682,113 @@ fn score_strikes(
                 per_patch_events
                     .iter()
                     .zip(&baselines)
-                    .any(|(events, &(mu, sd))| events[r] as f64 > mu + (4.0 * sd).max(2.0))
+                    .any(|(events, &(mu, sd))| events[r] as f64 - mu >= (4.0 * sd).max(2.0))
             });
             let detected = first_alarm_round.is_some();
             // Recovery: the first round from onset where every patch sits
             // at baseline for `quiet_rounds` consecutive rounds.
+            let mut recovery_round = None;
+            let mut calm = 0usize;
+            for r in s.onset_round..cfg.rounds {
+                let at_baseline = per_patch_events
+                    .iter()
+                    .zip(&baselines)
+                    .all(|(events, &(mu, sd))| events[r] as f64 <= mu + (2.0 * sd).max(1.0));
+                calm = if at_baseline { calm + 1 } else { 0 };
+                if calm >= cfg.quiet_rounds.max(1) {
+                    recovery_round = Some(r + 1 - calm);
+                    break;
+                }
+            }
+            StrikeRow {
+                root: s.root,
+                onset_round: s.onset_round,
+                detected,
+                first_alarm_round,
+                recovery_round,
+                time_to_recovery_us: recovery_round
+                    .map(|r| (r - s.onset_round) as f64 * cfg.round_time_us),
+            }
+        })
+        .collect()
+}
+
+/// Per-patch per-round detection-event counts assembled **in-stream** by
+/// the supervised sink — the online mirror of the chunk records' offline
+/// totals. Each chunk contributes its rounds as an in-order prefix
+/// ([`Self::record`] under the patch's tally lock), so the counts exist
+/// round by round while the campaign runs instead of materialising only
+/// at the final merge. Supervised retries are absorbed by idempotence:
+/// a retried chunk replays a bit-identical stream, and a round the
+/// chunk already contributed is skipped rather than double-counted.
+struct OnlineTally {
+    /// Events per round, summed over stabilizers, shots and chunks.
+    counts: Vec<u64>,
+    /// Rounds contributed per chunk (always a prefix — rounds arrive in
+    /// order within a chunk, and retries restart at round 0).
+    delivered: Vec<usize>,
+}
+
+impl OnlineTally {
+    fn new(rounds: usize, chunks: usize) -> Self {
+        OnlineTally { counts: vec![0; rounds], delivered: vec![0; chunks] }
+    }
+
+    /// Fold `chunk`'s round-`round` event count into the patch totals.
+    fn record(&mut self, chunk: usize, round: usize, count: u64) {
+        if round == self.delivered[chunk] {
+            self.counts[round] += count;
+            self.delivered[chunk] += 1;
+        }
+    }
+
+    /// Feed a checkpointed chunk record into the tally — skipped chunks
+    /// never reach the sink on a resumed campaign, but their counts are
+    /// pure functions of `(patch, chunk)`, so replaying the record keeps
+    /// the online stream identical to an uninterrupted run's.
+    fn replay(&mut self, chunk: usize, events_per_round: &[u64]) {
+        for (r, &c) in events_per_round.iter().enumerate() {
+            self.record(chunk, r, c);
+        }
+    }
+}
+
+/// Score the strike timeline against the **online alarm stream**: the
+/// sink-assembled per-round counts folded through
+/// [`OnlineDetector::push`], one [`ThresholdDetector`] spike-gate state
+/// per patch per strike window. Detection coverage, alarm rounds and
+/// recovery times in [`FleetResult`] come from this path; it must agree
+/// with the offline reference ([`score_strikes`]) row for row on a
+/// campaign whose every chunk completed — the per-shot batch detectors
+/// pin the same fold/batch identity in `radqec-detect`.
+fn score_strikes_online(
+    cfg: &FleetConfig,
+    strikes: &[StrikeEvent],
+    per_patch_events: &[Vec<u64>],
+) -> Vec<StrikeRow> {
+    let baselines = quiet_baselines(cfg, strikes, per_patch_events);
+    strikes
+        .iter()
+        .map(|s| {
+            let window_end = (s.onset_round + cfg.detect_window).min(cfg.rounds);
+            // One online gate per patch; the fleet's first alarm is the
+            // earliest any of them raises.
+            let first_alarm_round = per_patch_events
+                .iter()
+                .zip(&baselines)
+                .filter_map(|(events, &(mu, sd))| {
+                    let gate = ThresholdDetector { threshold: (4.0 * sd).max(2.0) };
+                    let mut state = gate.begin();
+                    let post = events.iter().enumerate().take(window_end).skip(s.onset_round);
+                    for (r, &e) in post {
+                        gate.push(&mut state, r, e as f64 - mu);
+                    }
+                    state.alarm_round
+                })
+                .min();
+            let detected = first_alarm_round.is_some();
+            // Recovery: stream the post-onset rounds through the same
+            // calm-run rule the offline scorer applies.
             let mut recovery_round = None;
             let mut calm = 0usize;
             for r in s.onset_round..cfg.rounds {
@@ -720,9 +847,12 @@ pub fn run_fleet(cfg: &FleetConfig) -> FleetResult {
     let budget = AtomicUsize::new(cfg.max_chunks.unwrap_or(usize::MAX));
     let chaos_armed = AtomicBool::new(cfg.chaos_panic.is_some());
     let chunks_per_patch = cfg.shots.div_ceil(cfg.frame_chunk);
+    let tallies: Vec<Mutex<OnlineTally>> = (0..cfg.patches)
+        .map(|_| Mutex::new(OnlineTally::new(cfg.rounds, chunks_per_patch)))
+        .collect();
     let mut per_patch = Vec::with_capacity(cfg.patches);
     let mut decoder_snapshots = Vec::with_capacity(cfg.patches);
-    for patch in 0..cfg.patches {
+    for (patch, tally) in tallies.iter().enumerate() {
         let engine = StreamEngine::builder(cfg.code, cfg.rounds)
             .shots(cfg.shots)
             .seed(mix_seed(cfg.seed, patch as u64, 0x1EE7))
@@ -762,6 +892,26 @@ pub fn run_fleet(cfg: &FleetConfig) -> FleetResult {
                     let done = {
                         let acc = acc.as_mut().expect("round 0 arrives first");
                         acc.push_round(slice.round, slice.syndrome_rows());
+                        // Feed the round's event count into the patch's
+                        // online alarm stream the moment it exists — the
+                        // accumulator finalises a round's event planes on
+                        // push, so this is the earliest any monitor can
+                        // see it.
+                        let stream = acc.stream();
+                        let count: u64 = (0..stream.num_stabs())
+                            .map(|i| {
+                                stream
+                                    .plane(slice.round, i)
+                                    .iter()
+                                    .map(|w| u64::from(w.count_ones()))
+                                    .sum::<u64>()
+                            })
+                            .sum();
+                        tally.lock().unwrap_or_else(PoisonError::into_inner).record(
+                            slice.chunk,
+                            slice.round,
+                            count,
+                        );
                         acc.rounds_pushed() == cfg.rounds
                     };
                     if done {
@@ -810,7 +960,23 @@ pub fn run_fleet(cfg: &FleetConfig) -> FleetResult {
     for (patch, events) in per_patch_events.iter().enumerate() {
         per_patch[patch].events = events.iter().sum();
     }
-    let strike_rows = score_strikes(cfg, &strikes, &per_patch_events);
+    // Close the online stream: chunks skipped from a checkpoint never
+    // reached the sink, so their recorded counts replay into the tally
+    // (idempotent — chunks the sink already delivered are untouched),
+    // and production strike scoring runs on the online alarm stream.
+    let online_events: Vec<Vec<u64>> = {
+        for (&(patch, chunk), rec) in &done {
+            tallies[patch]
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .replay(chunk, &rec.events_per_round);
+        }
+        tallies
+            .into_iter()
+            .map(|t| t.into_inner().unwrap_or_else(PoisonError::into_inner).counts)
+            .collect()
+    };
+    let strike_rows = score_strikes_online(cfg, &strikes, &online_events);
     // Distributions the flight deck reports: detection latency in rounds
     // and time to recovery in µs, one sample per scored strike; the gate
     // alarm itself lands in the flight recorder.
@@ -860,6 +1026,7 @@ pub fn run_fleet(cfg: &FleetConfig) -> FleetResult {
     FleetResult {
         metrics,
         strikes: strike_rows,
+        per_patch_events,
         per_patch,
         complete,
         snapshot,
@@ -972,6 +1139,25 @@ mod tests {
 
     fn res_code() -> CodeSpec {
         RepetitionCode::bit_flip(3).into()
+    }
+
+    #[test]
+    fn online_alarm_stream_matches_offline_strike_scoring() {
+        // The production strike table is scored from the counts the
+        // supervised sink pushed round by round through the online
+        // spike gates; the offline reference batch-scores the merged
+        // chunk records. On a clean campaign the two must agree row for
+        // row — both on the assembled counts and on every alarm round.
+        let cfg = quick(2000);
+        let res = run_fleet(&cfg);
+        assert!(res.complete);
+        assert!(res.metrics.strikes > 0, "the quick campaign must inject strikes");
+        let layout = FleetLayout::tile(cfg.code, cfg.patches);
+        let strikes = poisson_strikes(&cfg, &layout.device);
+        let offline = score_strikes(&cfg, &strikes, &res.per_patch_events);
+        assert_eq!(res.strikes, offline, "online alarm stream diverged from the offline reference");
+        let offline_total: u64 = res.per_patch_events.iter().flat_map(|e| e.iter()).sum();
+        assert_eq!(offline_total, res.metrics.total_events);
     }
 
     #[test]

@@ -312,11 +312,16 @@ impl StreamContext {
     fn build(
         spec: CodeSpec,
         rounds: usize,
+        final_readout: bool,
         topology: Option<Topology>,
         initial_layout: Option<Vec<u32>>,
         opts: &TranspileOptions,
     ) -> StreamContext {
-        let memory = spec.build_memory(rounds);
+        let memory = if final_readout {
+            spec.build_memory_readout(rounds)
+        } else {
+            spec.build_memory(rounds)
+        };
         let topology = topology.unwrap_or_else(|| fitting_mesh(memory.total_qubits()));
         assert!(
             topology.num_qubits() >= memory.total_qubits(),
@@ -378,8 +383,8 @@ impl StreamContext {
     }
 }
 
-/// Context-cache key: `(code, rounds, host kind)`.
-type ContextKey = (CodeSpec, usize, HostKind);
+/// Context-cache key: `(code, rounds, final readout, host kind)`.
+type ContextKey = (CodeSpec, usize, bool, HostKind);
 
 /// Process-wide stream-context cache (see [`StreamContext`]).
 fn context_cache() -> &'static Mutex<HashMap<ContextKey, Arc<StreamContext>>> {
@@ -391,6 +396,7 @@ fn context_cache() -> &'static Mutex<HashMap<ContextKey, Arc<StreamContext>>> {
 pub struct StreamEngineBuilder {
     spec: CodeSpec,
     rounds: usize,
+    final_readout: bool,
     host: HostKind,
     topology: Option<Topology>,
     initial_layout: Option<Vec<u32>>,
@@ -404,6 +410,18 @@ pub struct StreamEngineBuilder {
 }
 
 impl StreamEngineBuilder {
+    /// Terminate the memory with a transversal data readout
+    /// ([`QecCode::build_memory_readout`]): the last round measures every
+    /// data qubit in the primary basis, each round slice of the final
+    /// round carries the data bit-planes, and the space-time decoder can
+    /// score each replica's absolute logical frame.
+    ///
+    /// [`QecCode::build_memory_readout`]: crate::codes::QecCode::build_memory_readout
+    pub fn final_readout(mut self) -> Self {
+        self.final_readout = true;
+        self
+    }
+
     /// Override the architecture graph (default: the smallest 5×k mesh
     /// that fits the memory circuit).
     pub fn topology(mut self, topo: Topology) -> Self {
@@ -483,12 +501,13 @@ impl StreamEngineBuilder {
             HostKind::Custom => Arc::new(StreamContext::build(
                 self.spec,
                 self.rounds,
+                self.final_readout,
                 self.topology,
                 self.initial_layout,
                 &self.transpile_opts,
             )),
             host => {
-                let key = (self.spec, self.rounds, host);
+                let key = (self.spec, self.rounds, self.final_readout, host);
                 let cached = context_cache()
                     .lock()
                     .unwrap_or_else(PoisonError::into_inner)
@@ -503,6 +522,7 @@ impl StreamEngineBuilder {
                         let ctx = Arc::new(StreamContext::build(
                             self.spec,
                             self.rounds,
+                            self.final_readout,
                             self.topology,
                             self.initial_layout,
                             &self.transpile_opts,
@@ -549,7 +569,11 @@ fn stream_spec_of(memory: &MemoryCircuit, transpiled: &Transpiled) -> StreamSpec
     let mut ancilla_physical = vec![u32::MAX; grid];
     for gate in transpiled.circuit.ops() {
         if let Gate::Measure { qubit, cbit } = *gate {
-            ancilla_physical[cbit as usize] = qubit;
+            // Readout-terminated memories measure the data qubits into
+            // classical bits past the syndrome grid — not ancilla planes.
+            if (cbit as usize) < grid {
+                ancilla_physical[cbit as usize] = qubit;
+            }
         }
     }
     assert!(
@@ -690,6 +714,9 @@ pub struct RoundSlice {
     words: usize,
     /// Stabilizer-major syndrome planes of this round.
     syndromes: Vec<u64>,
+    /// Data-qubit readout planes (data-qubit-major), populated only on
+    /// the final round of a readout-terminated memory — empty otherwise.
+    data: Vec<u64>,
 }
 
 impl RoundSlice {
@@ -715,6 +742,24 @@ impl RoundSlice {
     #[inline]
     pub fn syndrome_rows(&self) -> &[u64] {
         &self.syndromes
+    }
+
+    /// Whether this slice carries the final transversal data readout
+    /// (last round of a [`StreamEngineBuilder::final_readout`] stream).
+    #[inline]
+    pub fn has_data_readout(&self) -> bool {
+        !self.data.is_empty()
+    }
+
+    /// The readout bit-plane of data qubit `d` (one bit per shot).
+    ///
+    /// # Panics
+    /// Panics when the slice carries no data readout
+    /// ([`RoundSlice::has_data_readout`]).
+    #[inline]
+    pub fn data_row(&self, d: usize) -> &[u64] {
+        assert!(!self.data.is_empty(), "round slice carries no data readout");
+        &self.data[d * self.words..(d + 1) * self.words]
     }
 }
 
@@ -750,6 +795,7 @@ impl StreamEngine {
         StreamEngineBuilder {
             spec,
             rounds,
+            final_readout: false,
             host: HostKind::Fitted,
             topology: None,
             initial_layout: None,
@@ -1022,6 +1068,14 @@ impl StreamEngine {
         for stab in 0..num_stabs {
             syndromes.extend_from_slice(record.row(self.ctx.stream_spec.cbit(round, stab)));
         }
+        let memory = &self.ctx.memory;
+        let mut data = Vec::new();
+        if round + 1 == memory.rounds && memory.final_readout.is_some() {
+            data.reserve(memory.n_data as usize * words);
+            for d in 0..memory.n_data {
+                data.extend_from_slice(record.row(memory.data_cbit(d)));
+            }
+        }
         RoundSlice {
             chunk,
             round,
@@ -1030,6 +1084,7 @@ impl StreamEngine {
             num_stabs,
             words,
             syndromes,
+            data,
         }
     }
 
@@ -1665,10 +1720,13 @@ mod tests {
         let accs: Vec<Mutex<EventAccumulator>> =
             batches.iter().map(|b| Mutex::new(EventAccumulator::new(spec, b.shots()))).collect();
         engine.for_each_round(&fault, &noise, |slice| {
-            accs[slice.chunk].lock().unwrap().push_round(slice.round, slice.syndrome_rows());
+            accs[slice.chunk]
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .push_round(slice.round, slice.syndrome_rows());
         });
         for (batch, acc) in batches.iter().zip(accs) {
-            let incremental = acc.into_inner().unwrap().finish();
+            let incremental = acc.into_inner().unwrap_or_else(PoisonError::into_inner).finish();
             let oneshot = EventStream::extract(batch, spec);
             assert_eq!(incremental, oneshot, "incremental extraction diverged");
         }
@@ -1766,8 +1824,15 @@ mod tests {
         (0..n).map(|_| Mutex::new(None)).collect()
     }
 
+    /// Poison-tolerant by design: a sink that panics *while holding the
+    /// lock* (the supervised driver catches the panic and retries the
+    /// chunk) leaves the mutex poisoned — the retry's round-0 reset
+    /// rebuilds the accumulator from scratch, so the stale guard state is
+    /// harmless and `into_inner` recovery is sound. A poison-panicking
+    /// `unwrap()` here would turn every retry into a second failure and
+    /// mask the original fault's message.
     fn accumulate(accs: &[Mutex<Option<EventAccumulator>>], spec: &StreamSpec, slice: &RoundSlice) {
-        let mut acc = accs[slice.chunk].lock().unwrap();
+        let mut acc = accs[slice.chunk].lock().unwrap_or_else(PoisonError::into_inner);
         if slice.round == 0 {
             *acc = Some(EventAccumulator::new(spec, slice.shots));
         }
@@ -1811,7 +1876,11 @@ mod tests {
         assert_eq!(report.chunk_retries, 1);
         assert_eq!(report.workspaces_quarantined, 1);
         for (chunk, (batch, acc)) in batches.iter().zip(accs).enumerate() {
-            let incremental = acc.into_inner().unwrap().expect("chunk delivered").finish();
+            let incremental = acc
+                .into_inner()
+                .unwrap_or_else(PoisonError::into_inner)
+                .expect("chunk delivered")
+                .finish();
             assert_eq!(
                 incremental,
                 EventStream::extract(batch, spec),
@@ -1860,6 +1929,80 @@ mod tests {
     }
 
     #[test]
+    fn panic_while_holding_the_sink_lock_yields_a_typed_failure_not_a_poison_panic() {
+        // Chaos case: the sink dies *inside* the accumulator's critical
+        // section, after mutating shared state — the mutex is poisoned
+        // from that moment on. The supervised driver must (a) keep
+        // retrying through the poisoned lock instead of converting every
+        // retry into a `PoisonError` panic, and (b) surface the chunk
+        // that genuinely never recovers as a typed [`ChunkFailure`]
+        // carrying the *injected* message, not lock-poisoning fallout.
+        let engine = StreamEngine::builder(RepetitionCode::bit_flip(5).into(), 6)
+            .shots(300)
+            .seed(17)
+            .frame_chunk(64)
+            .build();
+        let fault = StreamFault::Strike { model: RadiationModel::default(), root: 2 };
+        let noise = NoiseSpec::paper_default();
+        let batches = engine.stream_batches(&fault, &noise);
+        let spec = engine.stream_spec();
+        let accs = retry_safe_accs(batches.len());
+        let transient = std::sync::atomic::AtomicBool::new(false);
+        let report = engine
+            .for_each_round_supervised(
+                &fault,
+                &noise,
+                |_| false,
+                |slice| {
+                    // Chunk 1: panics mid-accumulation on *every* attempt
+                    // (a persistent fault). Chunk 2: panics once, also
+                    // inside the lock, then recovers on retry.
+                    let die_here = slice.chunk == 1
+                        || (slice.chunk == 2
+                            && slice.round == 1
+                            && !transient.swap(true, Ordering::Relaxed));
+                    if die_here && slice.round == 1 {
+                        let mut guard =
+                            accs[slice.chunk].lock().unwrap_or_else(PoisonError::into_inner);
+                        // Half-applied mutation, then death with the
+                        // guard still held — the poisoning scenario.
+                        *guard = None;
+                        panic!("sink died holding the lock");
+                    }
+                    accumulate(&accs, spec, &slice);
+                },
+            )
+            .unwrap();
+        assert_eq!(
+            report.failures,
+            vec![ChunkFailure {
+                chunk: 1,
+                attempts: 2,
+                message: "sink died holding the lock".into()
+            }],
+            "the persistent fault must surface with its own message, not a PoisonError"
+        );
+        assert_eq!(report.chunks_completed, batches.len() as u64 - 1);
+        assert_eq!(
+            report.chunk_retries, 2,
+            "one retry each for the persistent and transient fault"
+        );
+        // Every surviving chunk — including the once-poisoned chunk 2 —
+        // is bit-identical to the materialised stream.
+        for (chunk, (batch, acc)) in batches.iter().zip(accs).enumerate() {
+            let acc = acc.into_inner().unwrap_or_else(PoisonError::into_inner);
+            if chunk == 1 {
+                continue;
+            }
+            assert_eq!(
+                acc.expect("chunk delivered").finish(),
+                EventStream::extract(batch, spec),
+                "chunk {chunk}: recovery through the poisoned lock diverged"
+            );
+        }
+    }
+
+    #[test]
     fn skip_filter_replays_exactly_the_missing_chunks() {
         let engine = StreamEngine::builder(RepetitionCode::bit_flip(5).into(), 6)
             .shots(300)
@@ -1886,7 +2029,7 @@ mod tests {
         assert_eq!(report.chunks_completed, batches.len() as u64 - 3);
         assert!(report.is_clean());
         for (chunk, (batch, acc)) in batches.iter().zip(accs).enumerate() {
-            let acc = acc.into_inner().unwrap();
+            let acc = acc.into_inner().unwrap_or_else(PoisonError::into_inner);
             if chunk < 3 {
                 assert!(acc.is_none(), "chunk {chunk} should have been skipped");
             } else {

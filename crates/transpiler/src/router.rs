@@ -2,7 +2,7 @@
 //! adjacent physical qubits of the target topology.
 
 use crate::layout::Layout;
-use radqec_circuit::Circuit;
+use radqec_circuit::{Circuit, Gate};
 use radqec_topology::Topology;
 
 /// Which routing algorithm to use.
@@ -28,6 +28,13 @@ pub struct RoutedCircuit {
     pub final_layout: Layout,
     /// Number of SWAP gates inserted.
     pub swap_count: usize,
+    /// Time-resolved qubit→seat map: the logical→physical assignment in
+    /// force at each `Barrier` of the source circuit, in barrier order.
+    /// Barriers survive routing in order, so for barrier-per-round
+    /// circuits (memory experiments) entry `r` is the seating under
+    /// which round `r` opens — the map a physically-located fault model
+    /// needs to find a qubit *at a point in time* on a SWAP-routed host.
+    pub seat_maps: Vec<Layout>,
 }
 
 /// Route `circuit` onto `topo` starting from `layout`.
@@ -43,6 +50,7 @@ pub fn route(
     let mut lay = layout.clone();
     let mut out = Circuit::new(topo.num_qubits(), circuit.num_clbits());
     let mut swap_count = 0usize;
+    let mut seat_maps = Vec::new();
     let dist = topo.all_pairs_distances();
 
     // Pending two-qubit gate list for lookahead scoring.
@@ -59,6 +67,9 @@ pub fn route(
     let mut next_twoq = 0usize;
 
     for (op_idx, g) in circuit.ops().iter().enumerate() {
+        if matches!(g, Gate::Barrier) {
+            seat_maps.push(lay.clone());
+        }
         if g.is_two_qubit() {
             while next_twoq < twoq_positions.len() && twoq_positions[next_twoq].0 <= op_idx {
                 next_twoq += 1;
@@ -106,7 +117,7 @@ pub fn route(
             out.push(g.map_qubits(|q| lay.physical(q)));
         }
     }
-    RoutedCircuit { circuit: out, final_layout: lay, swap_count }
+    RoutedCircuit { circuit: out, final_layout: lay, swap_count, seat_maps }
 }
 
 /// Pick the swap (on an edge incident to either operand) that minimises the
@@ -253,6 +264,23 @@ mod tests {
             let r = route(&c, &topo, &lay, kind);
             assert!(all_twoq_adjacent(&r.circuit, &topo), "{kind:?}");
         }
+    }
+
+    #[test]
+    fn seat_maps_snapshot_the_layout_at_each_barrier() {
+        let mut c = Circuit::new(4, 0);
+        c.barrier().cx(0, 3).barrier().cx(0, 3);
+        let topo = linear(4);
+        let lay = choose_layout(&c, &topo, LayoutStrategy::Trivial);
+        let r = route(&c, &topo, &lay, RouterKind::BasicShortestPath);
+        assert_eq!(r.seat_maps.len(), 2, "one snapshot per barrier");
+        // Barrier 0 precedes any SWAP; by barrier 1 logical 0 has been
+        // routed to physical 2, where the second gate finds it already
+        // adjacent (no further SWAPs, so the final layout agrees).
+        assert_eq!(r.seat_maps[0], lay);
+        assert_eq!(r.seat_maps[1].physical(0), 2);
+        assert_eq!(r.seat_maps[1], r.final_layout);
+        assert_eq!(r.swap_count, 2);
     }
 
     #[test]

@@ -40,6 +40,12 @@ pub struct Transpiled {
     pub final_layout: Layout,
     /// Number of SWAPs the router inserted (before decomposition).
     pub swap_count: usize,
+    /// Time-resolved qubit→seat map: one snapshot of the evolving
+    /// logical→physical assignment per `Barrier` of the source circuit
+    /// (see [`RoutedCircuit::seat_maps`]).
+    ///
+    /// [`RoutedCircuit::seat_maps`]: crate::RoutedCircuit::seat_maps
+    pub seat_maps: Vec<Layout>,
 }
 
 impl Transpiled {
@@ -47,6 +53,17 @@ impl Transpiled {
     /// set the paper's Fig. 8 plots (unused device qubits are omitted).
     pub fn used_physical_qubits(&self) -> Vec<u32> {
         self.circuit.used_qubits()
+    }
+
+    /// The seat assignment in force at barrier `epoch` — for memory
+    /// circuits (one barrier per round), the map under which round
+    /// `epoch` opens. Epochs past the last barrier resolve to the final
+    /// layout, and a barrier-free circuit resolves every epoch there; on
+    /// a SWAP-free host every epoch is the initial layout, which is why
+    /// the initial-layout projection of strike masks is exact there and
+    /// only approximate on routed hosts.
+    pub fn seat_at(&self, epoch: usize) -> &Layout {
+        self.seat_maps.get(epoch).unwrap_or(&self.final_layout)
     }
 }
 
@@ -75,6 +92,7 @@ pub fn transpile(circuit: &Circuit, topo: &Topology, opts: &TranspileOptions) ->
                 initial_layout: initial,
                 final_layout: routed.final_layout,
                 swap_count: routed.swap_count,
+                seat_maps: routed.seat_maps,
             });
         }
     }
@@ -114,6 +132,7 @@ pub fn transpile_with_layout(
         initial_layout: initial,
         final_layout: routed.final_layout,
         swap_count: routed.swap_count,
+        seat_maps: routed.seat_maps,
     };
     if !opts.keep_swaps {
         t.circuit = t.circuit.decompose_swaps();
